@@ -1,0 +1,19 @@
+"""Section VII-C: 32 GPUs vs the 128-core 9q CPU partition (>10x)."""
+
+from conftest import BENCH_ITERATIONS
+from repro.bench import cpu_comparison
+from repro.gpu.specs import XEON_E5530
+
+
+def _check(exp) -> None:
+    # "we obtained 255 Gflops in single precision using highly optimized
+    # SSE routines" on 16 nodes x 8 cores x ~2 Gflops.
+    assert abs(XEON_E5530.sustained_gflops(16) - 256.0) < 2.0
+    # "over a factor of 10 faster than observed without the GPUs"
+    assert exp.series_by_label("speedup (x)").at(2.0) > 10.0
+
+
+def test_cpu_comparison(run_once, record_experiment):
+    exp = run_once(lambda: cpu_comparison(iterations=BENCH_ITERATIONS))
+    record_experiment(exp)
+    _check(exp)

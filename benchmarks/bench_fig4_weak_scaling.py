@@ -1,0 +1,45 @@
+"""Fig. 4: weak scaling to 32 GPUs at 32^4 and 24^3 x 32 sites per GPU.
+
+Each bench regenerates the figure's series, archives the
+paper-vs-measured report, and asserts the paper's qualitative shape.
+"""
+
+from conftest import BENCH_ITERATIONS
+from repro.bench import fig4a, fig4b
+
+
+def _check_fig4a(exp) -> None:
+    # "near linear scaling on up to 32 GPUs in all solver modes"
+    for s in exp.series:
+        assert s.at(32) / 32 > 0.85 * s.at(1), s.label
+    # mixed precision "substantially more performant" than uniform single
+    single = exp.series_by_label("single")
+    mixed = exp.series_by_label("single-half")
+    for n in single.x:
+        assert mixed.at(n) > 1.25 * single.at(n)
+    # "we have reached a performance of 4.75 Tflops" — same ballpark
+    assert 0.6 * 4750 < mixed.at(32) < 1.5 * 4750
+
+
+def test_fig4a(run_once, record_experiment):
+    exp = run_once(lambda: fig4a(iterations=BENCH_ITERATIONS))
+    record_experiment(exp)
+    _check_fig4a(exp)
+
+
+def _check_fig4b(exp) -> None:
+    at = lambda label, n: exp.series_by_label(label).at(n)  # noqa: E731
+    # mode ordering: both mixed modes > single > double, at 8 and 32 GPUs
+    for n in (8, 32):
+        assert at("single-half", n) > at("single", n) > at("double", n)
+        assert at("double-half", n) > at("single", n)
+    # "the mixed double-half precision performance ... is nearly identical
+    # to that of the single-half precision case"
+    sh, dh = at("single-half", 32), at("double-half", 32)
+    assert abs(sh - dh) / sh < 0.10
+
+
+def test_fig4b(run_once, record_experiment):
+    exp = run_once(lambda: fig4b(iterations=BENCH_ITERATIONS))
+    record_experiment(exp)
+    _check_fig4b(exp)

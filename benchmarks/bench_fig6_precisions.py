@@ -1,0 +1,31 @@
+"""Fig. 6: strong scaling of all four precision modes (non-overlapped)."""
+
+from conftest import BENCH_ITERATIONS
+from repro.bench import fig6
+
+
+def _check_fig6(exp) -> None:
+    at = lambda label, n: exp.series_by_label(f"{label}, not overlapped").at(n)  # noqa: E731
+    # "the mixed precision solvers employing half precision outperform
+    # both single and double uniform precision solvers"
+    for n in (8, 16, 32):
+        assert at("single-half", n) > at("single", n)
+        assert at("double-half", n) > at("double", n)
+        assert at("double-half", n) > at("single", n)
+
+    # "uniform double precision exhibits the best strong scaling of all
+    # because this kernel is less bandwidth bound" — parallel efficiency
+    # from 2 to 32 GPUs.
+    def efficiency(label):
+        s = exp.series_by_label(f"{label}, not overlapped")
+        return (s.at(32) / 32) / (s.at(2) / 2)
+
+    e_double = efficiency("double")
+    for other in ("single", "single-half", "double-half"):
+        assert e_double >= efficiency(other), other
+
+
+def test_fig6(run_once, record_experiment):
+    exp = run_once(lambda: fig6(iterations=BENCH_ITERATIONS))
+    record_experiment(exp)
+    _check_fig6(exp)

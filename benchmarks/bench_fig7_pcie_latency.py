@@ -1,0 +1,29 @@
+"""Fig. 7: the PCIe latency microbenchmark (cudaMemcpy vs Async)."""
+
+from repro.bench import fig7
+
+
+def _check_fig7(exp) -> None:
+    sync = exp.series_by_label("cudaMemcpy - device to host")
+    async_ = exp.series_by_label("cudaMemcpyAsync - device to host")
+    # "~11 us" synchronous vs "just under 50 us" asynchronous latency.
+    assert 10 < sync.at(1024) < 13
+    assert 45 < async_.at(1024) < 50
+    # The gap washes out for large messages (bandwidth dominated).
+    assert async_.at(1024) / sync.at(1024) > 3.5
+    assert async_.at(262144) / sync.at(262144) < 1.6
+    # "different gradients for the host-to-device and device-to-host
+    # transfers" — the early-revision Intel 5520 chipset quirk.
+    h2d = exp.series_by_label("cudaMemcpy - host to device")
+    slope_d2h = sync.at(262144) - sync.at(1024)
+    slope_h2d = h2d.at(262144) - h2d.at(1024)
+    assert slope_d2h > 1.2 * slope_h2d
+    # Transfer time is monotone in message size for all four curves.
+    for s in exp.series:
+        assert s.y == sorted(s.y)
+
+
+def test_fig7(run_once, record_experiment):
+    exp = run_once(fig7)
+    record_experiment(exp)
+    _check_fig7(exp)

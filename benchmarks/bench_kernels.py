@@ -1,0 +1,113 @@
+"""Wall-clock microbenchmarks of the NumPy compute kernels themselves.
+
+These measure the *simulator's* real execution speed (useful when working
+on the library); the paper-shape results come from the model-time benches
+in the other files.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import blas
+from repro.gpu import (
+    DeviceCloverField,
+    DeviceGaugeField,
+    DeviceSpinorField,
+    Precision,
+    VirtualGPU,
+)
+from repro.gpu.kernels import dslash_kernel, dslash_tables
+from repro.lattice import (
+    LatticeGeometry,
+    WilsonCloverOperator,
+    make_clover,
+    random_spinor,
+    weak_field_gauge,
+)
+from repro.lattice.evenodd import EVEN, full_to_parity
+
+DIMS = (8, 8, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(1)
+    geo = LatticeGeometry(DIMS)
+    gauge = weak_field_gauge(geo, rng, 0.1)
+    clover = make_clover(gauge)
+    psi = random_spinor(geo, rng)
+    return geo, gauge, clover, psi
+
+
+def test_host_wilson_clover_apply(benchmark, setup):
+    geo, gauge, clover, psi = setup
+    op = WilsonCloverOperator(gauge, 0.1, clover)
+    benchmark(op.apply, psi)
+
+
+def test_device_dslash_single(benchmark, setup):
+    geo, gauge, clover, psi = setup
+    gpu = VirtualGPU(enforce_memory=False)
+    dg = DeviceGaugeField(gpu, sites=geo.volume, precision=Precision.SINGLE)
+    dg.set(gauge.data)
+    src = DeviceSpinorField(gpu, sites=geo.half_volume, precision=Precision.SINGLE)
+    src.set(full_to_parity(geo, psi.data, 1))
+    dst = DeviceSpinorField(
+        gpu, sites=geo.half_volume, precision=Precision.SINGLE, label="dst"
+    )
+    tables = dslash_tables(geo, EVEN)
+    benchmark(dslash_kernel, gpu, tables, dg, src, dst)
+
+
+def test_device_dslash_half(benchmark, setup):
+    geo, gauge, clover, psi = setup
+    gpu = VirtualGPU(enforce_memory=False)
+    dg = DeviceGaugeField(gpu, sites=geo.volume, precision=Precision.HALF)
+    dg.set(gauge.data)
+    src = DeviceSpinorField(gpu, sites=geo.half_volume, precision=Precision.HALF)
+    src.set(full_to_parity(geo, psi.data, 1))
+    dst = DeviceSpinorField(
+        gpu, sites=geo.half_volume, precision=Precision.HALF, label="dst"
+    )
+    tables = dslash_tables(geo, EVEN)
+    benchmark(dslash_kernel, gpu, tables, dg, src, dst)
+
+
+def test_clover_construction(benchmark, setup):
+    geo, gauge, clover, psi = setup
+    benchmark(make_clover, gauge)
+
+
+def test_blas_axpy_norm(benchmark, setup):
+    geo, *_ = setup
+    gpu = VirtualGPU(enforce_memory=False)
+    rng = np.random.default_rng(2)
+    x = DeviceSpinorField(gpu, sites=geo.half_volume, precision=Precision.SINGLE)
+    y = DeviceSpinorField(
+        gpu, sites=geo.half_volume, precision=Precision.SINGLE, label="y"
+    )
+    data = rng.standard_normal((geo.half_volume, 4, 3)) + 0j
+    x.set(data)
+    y.set(data)
+    benchmark(blas.axpy_norm, gpu, 0.5, x, y)
+
+
+def test_half_precision_roundtrip(benchmark, setup):
+    geo, *_ = setup
+    gpu = VirtualGPU(enforce_memory=False)
+    f = DeviceSpinorField(gpu, sites=geo.volume, precision=Precision.HALF)
+    rng = np.random.default_rng(3)
+    data = rng.standard_normal((geo.volume, 4, 3)) + 0j
+
+    def roundtrip():
+        f.set(data)
+        return f.get()
+
+    benchmark(roundtrip)
+
+
+def test_clover_field_pack(benchmark, setup):
+    geo, gauge, clover, psi = setup
+    from repro.lattice.clover import pack_clover
+
+    benchmark(pack_clover, clover)

@@ -1,0 +1,23 @@
+"""Section VII-C memory feasibility: which 32^3 x 256 configurations fit
+on 2 GiB cards — the '4 GPUs for single, 8 for mixed' result."""
+
+from repro.bench import memory_footprint
+
+
+def _check(exp) -> None:
+    # "The uniform single precision solver ... can be solved (at a
+    # performance cost) already on 4 GPUs."
+    assert exp.series_by_label("single").at(4) == 1.0
+    # "at least 8 GPUs are needed to solve this system" (mixed).
+    assert exp.series_by_label("single-half").at(4) is None
+    assert exp.series_by_label("single-half").at(8) == 1.0
+    # Nothing fits on 2 GPUs; everything fits on 32.
+    for s in exp.series:
+        assert s.at(2) is None
+        assert s.at(32) == 1.0
+
+
+def test_memory_footprint(run_once, record_experiment):
+    exp = run_once(memory_footprint)
+    record_experiment(exp)
+    _check(exp)

@@ -1,0 +1,50 @@
+"""Future-work bench: multi-dimensional decomposition beyond 32 GPUs.
+
+Section VI-A: "If one were to attempt to scale to hundreds of GPUs or
+more, multi-dimensional parallelization would clearly be needed to keep
+the local surface to volume ratio under control."  This bench extends
+the Fig. 5(a) strong-scaling study past the paper's 32 GPUs and compares
+the paper's time-only slicing with (Z, T) grids.
+"""
+
+from conftest import BENCH_ITERATIONS
+from repro.bench.report import format_table
+from repro.core import invert_model, paper_invert_param
+
+DIMS = (32, 32, 32, 256)
+
+
+def _rate(n_gpus=None, grid=None):
+    inv = paper_invert_param("single-half", fixed_iterations=BENCH_ITERATIONS)
+    res = invert_model(
+        DIMS, inv, n_gpus=n_gpus or 1, grid=grid, enforce_memory=False
+    )
+    return res.stats.sustained_gflops
+
+
+def test_multidim_strong_scaling(run_once):
+    def measure():
+        out = {}
+        for n, grid in ((32, (4, 8)), (64, (4, 16)), (128, (4, 32))):
+            out[n] = (_rate(n_gpus=n), _rate(grid=grid), grid)
+        return out
+
+    results = run_once(measure)
+    rows = [
+        [n, f"{r1d:.0f}", f"{grid}", f"{r2d:.0f}", f"{r2d / r1d:.2f}x"]
+        for n, (r1d, r2d, grid) in results.items()
+    ]
+    print("\n32^3 x 256, mixed single-half, overlapped:\n" + format_table(
+        ["GPUs", "1-D (T only) Gflops", "2-D grid", "2-D Gflops", "2-D/1-D"],
+        rows,
+    ))
+    # At the paper's scale, time-only slicing holds its own...
+    r1d_32, r2d_32, _ = results[32]
+    assert r1d_32 > 0.8 * r2d_32
+    # ...but at 128 GPUs (T_local = 2: every site is a boundary site) the
+    # 2-D grid wins, as the paper predicts.
+    r1d_128, r2d_128, _ = results[128]
+    assert r2d_128 > r1d_128
+    # And the 2-D decomposition keeps strong-scaling further: 128 GPUs
+    # beat 64 GPUs.
+    assert results[128][1] > results[64][1]

@@ -1,0 +1,12 @@
+"""Table I: specifications of representative NVIDIA graphics cards."""
+
+from repro.bench import table1
+from repro.gpu.specs import TABLE_I
+
+
+def test_table1(run_once):
+    text = run_once(table1)
+    print("\n" + text)
+    # The six rows of Table I, with the GTX 285 values verbatim.
+    assert len(TABLE_I) == 6
+    assert "GeForce GTX 285" in text and "159.0" in text and "1062.0" in text

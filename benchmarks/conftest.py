@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Figure benches run each experiment once (they are model-time studies, not
+wall-clock microbenchmarks) via ``benchmark.pedantic``; the rendered
+paper-vs-measured report is printed and archived under
+``benchmarks/results/`` so the run leaves an inspectable record.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Timing-only iterations per scaling point in the bench suite.  Small
+#: enough to keep the full suite fast; the sustained rate is steady-state.
+BENCH_ITERATIONS = 15
+
+
+@pytest.fixture
+def record_experiment():
+    """Print an experiment's report and archive it to results/."""
+
+    def _record(experiment):
+        text = experiment.render()
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment.exp_id}.txt").write_text(text + "\n")
+        return experiment
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

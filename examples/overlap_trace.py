@@ -1,0 +1,76 @@
+"""Visualize the two communication strategies of Section VI-D.
+
+Renders the GPU timeline of one distributed matrix application as an
+ASCII Gantt chart, for both strategies:
+
+* **not overlapped** — faces drain synchronously on stream 0, then a
+  single full-volume kernel runs: one serial chain;
+* **overlapped** — the interior kernel occupies stream 0 (`#`) while the
+  face copies (`<`/`>`) fly on the side streams, and only the small
+  boundary kernel trails.
+
+Run:  python examples/overlap_trace.py
+"""
+
+import numpy as np
+
+from repro.bench.trace import render_gantt
+from repro.comms import QMPMachine, run_spmd
+from repro.core.dslash import DeviceSchurOperator
+from repro.gpu import Precision, VirtualGPU
+from repro.lattice import LatticeGeometry, make_clover, weak_field_gauge
+
+
+def trace_one_apply(overlap: bool) -> str:
+    geo = LatticeGeometry((8, 8, 8, 32))
+    rng = np.random.default_rng(1)
+    gauge = weak_field_gauge(geo, rng, noise=0.1)
+    clover = make_clover(gauge)
+    slicing = geo.slice_time(2)
+
+    def fn(comm):
+        gpu = VirtualGPU(enforce_memory=False, name=f"gpu{comm.rank}")
+        comm.bind_timeline(gpu.timeline)
+        qmp = QMPMachine(comm)
+        local = slicing.locals[comm.rank]
+        slab = slicing.local_sites(comm.rank)
+        op = DeviceSchurOperator.setup(
+            gpu, qmp, local, gauge.data[:, slab], clover.data[slab], 0.1,
+            precision=Precision.SINGLE, overlap=overlap,
+        )
+        src = op.make_spinor("src")
+        tmp = op.make_spinor("tmp")
+        dst = op.make_spinor("dst")
+        if gpu.execute:
+            r = np.random.default_rng(comm.rank)
+            src.set(
+                r.standard_normal((local.half_volume, 4, 3))
+                + 1j * r.standard_normal((local.half_volume, 4, 3))
+            )
+        i0 = gpu.timeline.op_count
+        op.apply(src, tmp, dst)
+        gpu.device_synchronize()
+        ops = gpu.timeline.ops[i0:]
+        elapsed = max(o.end for o in ops) - min(o.start for o in ops)
+        return ops, elapsed
+
+    ops, elapsed = run_spmd(2, fn)[0]
+    title = "overlapped (Section VI-D2)" if overlap else "not overlapped (VI-D1)"
+    return f"--- {title}: {elapsed * 1e6:.0f} us ---\n" + render_gantt(ops)
+
+
+def main() -> None:
+    print("One Mhat application on rank 0 of 2 (8^3 x 16 local volume):\n")
+    for overlap in (False, True):
+        print(trace_one_apply(overlap))
+        print()
+    print(
+        "In the overlapped chart the interior kernels (stream 0) run under\n"
+        "the face transfers (streams 3/4); in the serial chart everything\n"
+        "queues behind everything else.  At *small* local volumes the\n"
+        "async-copy latency makes the overlapped version slower — Fig. 5(b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

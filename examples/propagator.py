@@ -1,0 +1,50 @@
+"""The paper's measurement workload: a propagator calculation.
+
+Section VII-A: "The numerical measurements were taken from running the
+Chroma propagator code and performing 6 linear solves for each test (one
+for each of the 3 color components of the upper 2 spin components), with
+the quoted performance results given by averages over these solves."
+
+This example reproduces that protocol: six point-source solves on a
+weak-field configuration over two virtual GPUs, reporting the averaged
+sustained performance and verifying every solution against the host
+reference operator.
+
+Run:  python examples/propagator.py
+"""
+
+import numpy as np
+
+from repro.bench import propagator_benchmark
+
+
+def main() -> None:
+    mean_gflops, results = propagator_benchmark(
+        dims=(8, 8, 8, 16),
+        mode="single-half",
+        n_gpus=2,
+        n_solves=6,
+        mass=0.15,
+    )
+
+    print("spin color   iters  reliable  |r|_true     Gflops")
+    sources = [(s, c) for s in range(2) for c in range(3)]
+    for (spin, color), res in zip(sources, results):
+        print(
+            f"   {spin}     {color}   {res.stats.iterations:5d}"
+            f"  {res.stats.reliable_updates:8d}"
+            f"  {res.true_residual:.2e}"
+            f"  {res.stats.sustained_gflops:9.1f}"
+        )
+    print(f"\naverage over 6 solves: {mean_gflops:.1f} effective Gflops")
+
+    iters = [r.stats.iterations for r in results]
+    print(f"iteration spread: {min(iters)}..{max(iters)} "
+          "(the mass parameter controls conditioning, not the rate)")
+
+    assert all(r.stats.converged for r in results)
+    assert all(r.true_residual < 1e-5 for r in results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — a Python reproduction of "Parallelizing the QUDA Library for
+Multi-GPU Calculations in Lattice Quantum Chromodynamics"
+(R. Babich, M. A. Clark, B. Joo, SC'10; arXiv:1011.0024).
+
+The package is organized by substrate:
+
+* :mod:`repro.lattice` — the LQCD ground truth: geometry, SU(3) algebra,
+  gamma matrices, the Wilson-clover operator, even-odd preconditioning.
+* :mod:`repro.gpu` — a virtual CUDA GPU: device memory with the paper's
+  padded field layout, half-precision fixed-point storage, streams/events
+  on a discrete-event timeline, and a calibrated bandwidth/latency model.
+* :mod:`repro.comms` — a thread-based MPI/QMP simulator plus a cluster
+  model of the JLab "9g" machine (PCIe, QDR InfiniBand, NUMA).
+* :mod:`repro.core` — the paper's contribution: the multi-GPU parallelized
+  Wilson-clover matrix (ghost zones, overlapped/non-overlapped
+  communication) and mixed-precision reliable-update Krylov solvers.
+* :mod:`repro.bench` — harnesses regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,384 @@
+"""Drivers regenerating every table and figure of the paper's evaluation.
+
+Each ``fig*()``/``table*()`` function runs the corresponding experiment on
+the simulated cluster and returns an :class:`~repro.bench.report.Experiment`
+holding the measured series *and* the paper's reference values (read off
+the published figures; the paper prints few exact numbers), so the bench
+output and EXPERIMENTS.md can show paper-vs-measured side by side.
+
+We do not expect to match absolute numbers — the substrate is a calibrated
+simulator, not the 9g cluster — but the *shape* must hold: who wins, by
+roughly what factor, and where the crossovers fall.  The shape assertions
+live in ``tests/bench/`` and ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from ..comms.cluster import ClusterSpec
+from ..gpu.perfmodel import DEFAULT_PARAMS, pcie_time
+from ..gpu.specs import TABLE_I, XEON_E5530
+from .harness import FIXED_ITERATIONS, ScalingPoint, run_scaling_point
+from .report import Experiment, Series, format_table
+
+__all__ = [
+    "table1",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "cpu_comparison",
+    "memory_footprint",
+    "ALL_FIGURES",
+]
+
+#: GPU counts of the paper's scaling studies ("for up to 32 GPUs").
+GPU_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+def _sweep(
+    dims_for,
+    mode: str,
+    gpu_counts,
+    *,
+    overlap: bool,
+    cluster: ClusterSpec | None = None,
+    iterations: int = FIXED_ITERATIONS,
+) -> Series:
+    label = f"{mode}{'' if overlap else ', not overlapped'}"
+    points: list[ScalingPoint] = [
+        run_scaling_point(
+            dims_for(n), mode, n, overlap=overlap, cluster=cluster,
+            fixed_iterations=iterations,
+        )
+        for n in gpu_counts
+    ]
+    return Series(
+        label=label,
+        x=[p.n_gpus for p in points],
+        y=[p.gflops for p in points],
+    )
+
+
+# ------------------------------------------------------------------------ #
+# Table I
+# ------------------------------------------------------------------------ #
+
+
+def table1() -> str:
+    """Reproduce Table I (specifications of representative NVIDIA cards)."""
+    rows = [
+        [
+            s.name,
+            s.cores,
+            s.bandwidth_gbs,
+            s.gflops_sp,
+            "N/A" if s.gflops_dp is None else s.gflops_dp,
+            s.ram_gib,
+        ]
+        for s in TABLE_I.values()
+    ]
+    return format_table(
+        ["Card", "Cores", "GB/s", "Gflops 32-bit", "Gflops 64-bit", "GiB RAM"],
+        rows,
+    )
+
+
+# ------------------------------------------------------------------------ #
+# Fig. 4 — weak scaling
+# ------------------------------------------------------------------------ #
+
+
+def fig4a(iterations: int = FIXED_ITERATIONS) -> Experiment:
+    """Weak scaling, V = 32^4 sites per GPU (Fig. 4(a)).
+
+    Overlapped communications ("as this performed fastest in weak scaling
+    tests").  Double modes are absent: "we were unable to fit the double
+    precision ... problems into device memory" at this local volume.
+    """
+    dims_for = lambda n: (32, 32, 32, 32 * n)  # noqa: E731
+    exp = Experiment(
+        exp_id="fig4a",
+        title="Weak scaling, 32^4 sites/GPU",
+        x_label="GPUs",
+        y_label="sustained Gflops",
+        series=[
+            _sweep(dims_for, m, GPU_COUNTS, overlap=True, iterations=iterations)
+            for m in ("single", "single-half")
+        ],
+        paper_points=[
+            ("single", 32, 3350.0),
+            ("single-half", 32, 4750.0),  # "we have reached ... 4.75 Tflops"
+        ],
+        notes="Paper: near-linear scaling; 4.75 Tflops at 32 GPUs in mixed "
+        "single-half precision (Section VII-B).",
+    )
+    return exp
+
+
+def fig4b(iterations: int = FIXED_ITERATIONS) -> Experiment:
+    """Weak scaling, V = 24^3 x 32 sites per GPU (Fig. 4(b)).
+
+    All four precision modes; "the mixed double-half precision performance
+    ... is nearly identical to that of the single-half precision case."
+    """
+    dims_for = lambda n: (24, 24, 24, 32 * n)  # noqa: E731
+    exp = Experiment(
+        exp_id="fig4b",
+        title="Weak scaling, 24^3 x 32 sites/GPU",
+        x_label="GPUs",
+        y_label="sustained Gflops",
+        series=[
+            _sweep(dims_for, m, GPU_COUNTS, overlap=True, iterations=iterations)
+            for m in ("single", "double", "single-half", "double-half")
+        ],
+        paper_points=[
+            ("single", 32, 2550.0),
+            ("double", 32, 1100.0),
+            ("single-half", 32, 3550.0),
+            ("double-half", 32, 3500.0),
+        ],
+        notes="Paper: both mixed modes nearly identical and well above the "
+        "uniform modes.",
+    )
+    return exp
+
+
+# ------------------------------------------------------------------------ #
+# Fig. 5 — strong scaling
+# ------------------------------------------------------------------------ #
+
+
+def fig5a(iterations: int = FIXED_ITERATIONS) -> Experiment:
+    """Strong scaling, V = 32^3 x 256 (Fig. 5(a)).
+
+    Four strategy/precision curves plus the deliberately-bad NUMA series.
+    Mixed precision cannot run below 8 GPUs ("this increase in memory
+    footprint means that at least 8 GPUs are needed"); uniform single fits
+    on 4 — the sweep reports those infeasible points as missing.
+    """
+    dims = (32, 32, 32, 256)
+    dims_for = lambda n: dims  # noqa: E731
+    counts = [4, 8, 16, 32]
+    series = []
+    for mode in ("single", "single-half"):
+        for overlap in (False, True):
+            series.append(
+                _sweep(dims_for, mode, counts, overlap=overlap, iterations=iterations)
+            )
+    numa = _sweep(
+        dims_for,
+        "single-half",
+        counts,
+        overlap=True,
+        cluster=ClusterSpec(numa_policy="wrong"),
+        iterations=iterations,
+    )
+    numa.label = "single-half, bad NUMA placement"
+    series.append(numa)
+    return Experiment(
+        exp_id="fig5a",
+        title="Strong scaling, 32^3 x 256",
+        x_label="GPUs",
+        y_label="sustained Gflops",
+        series=series,
+        paper_points=[
+            ("single, not overlapped", 32, 1900.0),
+            ("single", 32, 2300.0),
+            ("single-half, not overlapped", 32, 2600.0),
+            ("single-half", 32, 3100.0),  # "we sustained over 3 Tflops"
+            ("single-half, bad NUMA placement", 32, 2700.0),
+        ],
+        notes="Paper: overlap increasingly helps with GPU count; mixed "
+        "precision needs >= 8 GPUs (memory); bad NUMA binding costs "
+        "~10-15%.",
+    )
+
+
+def fig5b(iterations: int = FIXED_ITERATIONS) -> Experiment:
+    """Strong scaling, V = 24^3 x 128 (Fig. 5(b)) — the overlap anomaly.
+
+    "We seem to gain little from overlapping communication and computation
+    in the mixed precision solver ... the mixed precision performance
+    reaches a plateau" — caused by the ~50 us cudaMemcpyAsync latency
+    (Fig. 7) dominating at small local volumes.
+    """
+    dims_for = lambda n: (24, 24, 24, 128)  # noqa: E731
+    series = []
+    for mode in ("single", "single-half"):
+        for overlap in (False, True):
+            series.append(
+                _sweep(dims_for, mode, GPU_COUNTS, overlap=overlap, iterations=iterations)
+            )
+    return Experiment(
+        exp_id="fig5b",
+        title="Strong scaling, 24^3 x 128",
+        x_label="GPUs",
+        y_label="sustained Gflops",
+        series=series,
+        paper_points=[
+            ("single, not overlapped", 32, 1050.0),
+            ("single", 32, 1250.0),
+            ("single-half, not overlapped", 32, 1400.0),
+            ("single-half", 32, 1100.0),
+        ],
+        notes="Paper: beyond ~8 GPUs the overlapped mixed solver stops "
+        "gaining — the async-copy latency penalty; the non-overlapped "
+        "variant is faster at this volume.",
+    )
+
+
+def fig6(iterations: int = FIXED_ITERATIONS) -> Experiment:
+    """Strong scaling of all four precision modes, 24^3 x 128,
+    non-overlapped (Fig. 6).
+
+    "Uniform double precision exhibits the best strong scaling of all
+    because this kernel is less bandwidth bound due to the much lower
+    double precision peak performance of the GTX 285."
+    """
+    dims_for = lambda n: (24, 24, 24, 128)  # noqa: E731
+    series = [
+        _sweep(dims_for, m, GPU_COUNTS, overlap=False, iterations=iterations)
+        for m in ("single", "single-half", "double", "double-half")
+    ]
+    return Experiment(
+        exp_id="fig6",
+        title="Strong scaling, 24^3 x 128, all precisions, not overlapped",
+        x_label="GPUs",
+        y_label="sustained Gflops",
+        series=series,
+        paper_points=[
+            ("single, not overlapped", 32, 1100.0),
+            ("single-half, not overlapped", 32, 1450.0),
+            ("double, not overlapped", 32, 700.0),
+            ("double-half, not overlapped", 32, 1400.0),
+        ],
+        notes="Paper: half-precision mixed modes beat both uniform modes; "
+        "double has the flattest (best) scaling curve.",
+    )
+
+
+# ------------------------------------------------------------------------ #
+# Fig. 7 — PCIe latency microbenchmark
+# ------------------------------------------------------------------------ #
+
+
+def fig7() -> Experiment:
+    """Transfer-time microbenchmark (Fig. 7): cudaMemcpy vs
+    cudaMemcpyAsync, both directions, 1 KiB - 256 KiB."""
+    sizes = [2**k for k in range(10, 19)]  # 1K .. 256K
+    series = []
+    for asynchronous in (False, True):
+        for direction in ("d2h", "h2d"):
+            name = "cudaMemcpyAsync" if asynchronous else "cudaMemcpy"
+            times = [
+                pcie_time(DEFAULT_PARAMS, n, direction, asynchronous=asynchronous)
+                * 1e6
+                for n in sizes
+            ]
+            series.append(
+                Series(
+                    label=f"{name} - {'device to host' if direction == 'd2h' else 'host to device'}",
+                    x=[float(s) for s in sizes],
+                    y=times,
+                )
+            )
+    return Experiment(
+        exp_id="fig7",
+        title="PCIe transfer-time microbenchmark",
+        x_label="message bytes",
+        y_label="transfer time (us)",
+        series=series,
+        paper_points=[
+            ("cudaMemcpy - device to host", 1024.0, 11.0),
+            ("cudaMemcpyAsync - device to host", 1024.0, 48.0),
+            ("cudaMemcpy - device to host", 262144.0, 77.0),
+            ("cudaMemcpy - host to device", 262144.0, 59.0),
+        ],
+        notes="Paper: ~11 us synchronous latency vs just under 50 us "
+        "asynchronous; different d2h/h2d slopes (early-revision Intel "
+        "5520 chipset).",
+    )
+
+
+# ------------------------------------------------------------------------ #
+# Text-level results
+# ------------------------------------------------------------------------ #
+
+
+def cpu_comparison(iterations: int = FIXED_ITERATIONS) -> Experiment:
+    """Section VII-C: the 9q CPU baseline vs 32 GPUs on 32^3 x 256.
+
+    "On a 16-node partition of the 9q cluster we obtained 255 Gflops in
+    single precision using highly optimized SSE routines ... on 16 nodes
+    and 32 GPUs we sustained over 3 Tflops which is over a factor of 10
+    faster."
+    """
+    gpu_point = run_scaling_point(
+        (32, 32, 32, 256), "single-half", 32, overlap=True,
+        fixed_iterations=iterations,
+    )
+    cpu_gflops = XEON_E5530.sustained_gflops(16)
+    return Experiment(
+        exp_id="cpu",
+        title="16 nodes: 128 Nehalem cores (9q) vs 32 GTX 285 GPUs (9g)",
+        x_label="configuration",
+        y_label="sustained Gflops",
+        series=[
+            Series("9q CPU partition (SSE, single)", [0.0], [cpu_gflops]),
+            Series("9g GPU partition (mixed single-half)", [1.0], [gpu_point.gflops]),
+            Series(
+                "speedup (x)",
+                [2.0],
+                [None if gpu_point.gflops is None else gpu_point.gflops / cpu_gflops],
+            ),
+        ],
+        paper_points=[
+            ("9q CPU partition (SSE, single)", 0.0, 255.0),
+            ("9g GPU partition (mixed single-half)", 1.0, 3100.0),
+            ("speedup (x)", 2.0, 12.2),
+        ],
+        notes="Paper: 'over a factor of 10 faster than observed without "
+        "the GPUs'.",
+    )
+
+
+def memory_footprint() -> Experiment:
+    """Section VII-C memory feasibility for 32^3 x 256 on 2 GiB cards:
+    uniform single fits on 4 GPUs; mixed single-half needs at least 8."""
+    dims = (32, 32, 32, 256)
+    series = []
+    for mode in ("single", "single-half", "double", "double-half"):
+        fits: list[float | None] = []
+        for n in [2, 4, 8, 16, 32]:
+            point = run_scaling_point(dims, mode, n, fixed_iterations=1)
+            fits.append(None if point.gflops is None else 1.0)
+        series.append(Series(mode, [2, 4, 8, 16, 32], fits))
+    return Experiment(
+        exp_id="memory",
+        title="Device-memory feasibility, 32^3 x 256 on 2 GiB GTX 285s "
+        "(1 = fits, missing = out of memory)",
+        x_label="GPUs",
+        y_label="fits",
+        series=series,
+        paper_points=[
+            ("single", 4, 1.0),  # "can be solved ... already on 4 GPUs"
+            ("single-half", 8, 1.0),  # "at least 8 GPUs are needed"
+        ],
+        notes="Paper: the mixed-precision solver stores both precisions' "
+        "data, pushing the minimum partition from 4 to 8 GPUs.",
+    )
+
+
+#: Registry used by the bench suite and EXPERIMENTS.md generator.
+ALL_FIGURES = {
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "fig6": fig6,
+    "fig7": fig7,
+    "cpu": cpu_comparison,
+    "memory": memory_footprint,
+}

@@ -1,0 +1,134 @@
+"""Experiment harness: run solver configurations and report sustained Gflops.
+
+The measurement protocol follows Section VII-A: performance numbers are
+sustained "effective Gflops" (no gauge-reconstruction flops counted),
+quoted as averages over propagator-style solves.  Paper-scale lattices run
+through :func:`repro.core.invert_model` (timing-only; exact schedule, no
+array data); small lattices can run fully numerically through
+:func:`repro.core.invert` with the weak-field configurations of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comms.cluster import ClusterSpec
+from ..core import invert, invert_model, paper_invert_param
+from ..core.interface import QudaInvertParam
+from ..gpu.memory import DeviceOutOfMemoryError
+from ..gpu.specs import GTX285, GPUSpec
+
+__all__ = [
+    "ScalingPoint",
+    "run_scaling_point",
+    "sweep_gpus",
+    "propagator_benchmark",
+    "oom_cause",
+]
+
+#: Iterations per timing-only measurement.  The sustained rate is a
+#: steady-state quantity, so a modest fixed count suffices; reliable
+#: updates fire on the same cadence the functional runs exhibit.
+FIXED_ITERATIONS = 40
+
+
+@dataclass
+class ScalingPoint:
+    """One (configuration, GPU count) measurement."""
+
+    n_gpus: int
+    gflops: float | None  # None => did not fit in device memory
+    model_time: float | None = None
+
+
+def oom_cause(exc: BaseException) -> bool:
+    """Whether a SimMPI failure was a device OOM (expected for some
+    configurations, e.g. mixed precision on 4 GPUs — Section VII-C)."""
+    seen = set()
+    while exc is not None and id(exc) not in seen:
+        if isinstance(exc, DeviceOutOfMemoryError):
+            return True
+        seen.add(id(exc))
+        exc = exc.__cause__ or exc.__context__
+    return False
+
+
+def run_scaling_point(
+    dims: tuple[int, int, int, int],
+    mode: str,
+    n_gpus: int,
+    *,
+    overlap: bool = True,
+    cluster: ClusterSpec | None = None,
+    gpu_spec: GPUSpec = GTX285,
+    fixed_iterations: int = FIXED_ITERATIONS,
+    solver: str = "bicgstab",
+) -> ScalingPoint:
+    """One timing-only solve; returns sustained Gflops or an OOM marker."""
+    inv = paper_invert_param(
+        mode,
+        overlap_comms=overlap,
+        fixed_iterations=fixed_iterations,
+        solver=solver,
+    )
+    try:
+        res = invert_model(
+            dims, inv, n_gpus=n_gpus, cluster=cluster, gpu_spec=gpu_spec
+        )
+    except RuntimeError as exc:
+        if oom_cause(exc):
+            return ScalingPoint(n_gpus=n_gpus, gflops=None)
+        raise
+    return ScalingPoint(
+        n_gpus=n_gpus,
+        gflops=res.stats.sustained_gflops,
+        model_time=res.stats.model_time,
+    )
+
+
+def sweep_gpus(
+    dims_for: "callable",
+    mode: str,
+    gpu_counts: list[int],
+    **kwargs,
+) -> list[ScalingPoint]:
+    """Run a scaling sweep; ``dims_for(n)`` gives the lattice at each count
+    (constant for strong scaling, growing-T for weak scaling)."""
+    return [
+        run_scaling_point(dims_for(n), mode, n, **kwargs) for n in gpu_counts
+    ]
+
+
+def propagator_benchmark(
+    dims: tuple[int, int, int, int] = (4, 4, 4, 8),
+    mode: str = "single-half",
+    n_gpus: int = 2,
+    n_solves: int = 6,
+    seed: int = 2010,
+    mass: float = 0.2,
+    **invert_kwargs,
+):
+    """The paper's functional measurement: "performing 6 linear solves for
+    each test (one for each of the 3 color components of the upper 2 spin
+    components), with the quoted performance results given by averages
+    over these solves" — on a weak-field configuration.
+
+    Returns ``(mean Gflops, per-solve InvertResults)``.
+    """
+    from ..lattice import LatticeGeometry, point_source, weak_field_gauge
+
+    rng = np.random.default_rng(seed)
+    geo = LatticeGeometry(dims)
+    gauge = weak_field_gauge(geo, rng, noise=0.1)
+    inv = paper_invert_param(mode, mass=mass)
+    results = []
+    sources = [(s, c) for s in range(2) for c in range(3)][:n_solves]
+    for spin, color in sources:
+        src = point_source(geo, site=0, spin=spin, color=color)
+        results.append(invert(gauge, src, inv, n_gpus=n_gpus, **invert_kwargs))
+    mean_gflops = float(
+        np.mean([r.stats.sustained_gflops for r in results])
+    )
+    return mean_gflops, results

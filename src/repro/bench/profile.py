@@ -1,0 +1,141 @@
+"""Profiler-style reports from a GPU timeline (an nvprof for the model).
+
+Aggregates a :class:`~repro.gpu.streams.Timeline`'s op record into the
+table every CUDA developer lives in: per-kernel call counts, total time,
+share of the schedule, bytes moved, and achieved bandwidth — making it
+obvious *where* a solver configuration spends its model time (dslash vs
+BLAS vs PCIe vs waiting on the network).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..gpu.streams import TimelineOp
+from .report import format_table
+
+__all__ = ["ProfileRow", "profile_ops", "profile_solve", "render_profile"]
+
+
+@dataclass
+class ProfileRow:
+    """Aggregated statistics for one operation name-group."""
+
+    name: str
+    kind: str
+    calls: int
+    total_s: float
+    nbytes: int
+    flops: int
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.nbytes / self.total_s / 1e9 if self.total_s > 0 else 0.0
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.total_s / 1e9 if self.total_s > 0 else 0.0
+
+
+def _group(name: str) -> str:
+    """Collapse per-instance suffixes: 'face_d2h[3][backward][1]' ->
+    'face_d2h'."""
+    return name.split("[")[0]
+
+
+def profile_ops(ops: list[TimelineOp]) -> list[ProfileRow]:
+    """Aggregate ops by name group, sorted by total time (descending)."""
+    acc: dict[str, ProfileRow] = {}
+    for op in ops:
+        key = _group(op.name)
+        row = acc.get(key)
+        if row is None:
+            acc[key] = ProfileRow(
+                name=key, kind=op.kind, calls=1, total_s=op.duration,
+                nbytes=op.nbytes, flops=op.flops,
+            )
+        else:
+            row.calls += 1
+            row.total_s += op.duration
+            row.nbytes += op.nbytes
+            row.flops += op.flops
+    return sorted(acc.values(), key=lambda r: -r.total_s)
+
+
+def profile_solve(
+    dims: tuple[int, int, int, int],
+    mode: str = "single-half",
+    *,
+    n_gpus: int = 2,
+    overlap: bool = True,
+    iterations: int = 10,
+    rank: int = 0,
+) -> list[TimelineOp]:
+    """Run a timing-only solve and return one rank's solver-window ops.
+
+    The profiling analogue of :func:`repro.core.invert_model`: same
+    schedule, but the raw timeline comes back for analysis.
+    """
+    from ..comms.mpi_sim import SimMPI
+    from ..comms.qmp import QMPMachine
+    from ..core.dslash import DeviceSchurOperator
+    from ..core.interface import PRECISION_MODES
+    from ..core.solvers.bicgstab import bicgstab_solve
+    from ..gpu.device import VirtualGPU
+    from ..lattice.geometry import LatticeGeometry
+
+    full_prec, sloppy_prec = PRECISION_MODES[mode]
+    geometry = LatticeGeometry(dims)
+    slicing = geometry.slice_time(n_gpus)
+
+    def body(comm):
+        gpu = VirtualGPU(execute=False, enforce_memory=False, name=f"gpu{comm.rank}")
+        comm.bind_timeline(gpu.timeline)
+        qmp = QMPMachine(comm)
+        local = slicing.locals[comm.rank]
+        op_full = DeviceSchurOperator.setup(
+            gpu, qmp, local, None, None, 0.1, precision=full_prec, overlap=overlap
+        )
+        op_sloppy = (
+            op_full
+            if sloppy_prec is full_prec
+            else DeviceSchurOperator.setup(
+                gpu, qmp, local, None, None, 0.1,
+                precision=sloppy_prec, overlap=overlap,
+            )
+        )
+        b = op_full.make_spinor("b")
+        x = op_full.make_spinor("x")
+        i0 = gpu.timeline.op_count
+        bicgstab_solve(
+            op_full, op_sloppy, b, x, tol=1e-7, delta=0.1, maxiter=1,
+            fixed_iterations=iterations,
+        )
+        return gpu.timeline.ops[i0:]
+
+    return SimMPI(n_gpus).run(body)[rank]
+
+
+def render_profile(ops: list[TimelineOp], *, top: int | None = None) -> str:
+    """A profiler table for a timeline window."""
+    rows = profile_ops(ops)
+    busy = sum(r.total_s for r in rows)
+    if top is not None:
+        rows = rows[:top]
+    table = format_table(
+        ["name", "kind", "calls", "time (ms)", "share", "GB/s", "Gflops"],
+        [
+            [
+                r.name,
+                r.kind,
+                r.calls,
+                f"{r.total_s * 1e3:.3f}",
+                f"{r.total_s / busy:6.1%}" if busy else "-",
+                f"{r.bandwidth_gbs:.1f}" if r.nbytes else "-",
+                f"{r.gflops:.1f}" if r.flops else "-",
+            ]
+            for r in rows
+        ],
+    )
+    return table

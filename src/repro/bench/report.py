@@ -1,0 +1,95 @@
+"""Reporting utilities: fixed-width tables and paper-vs-measured records.
+
+Every figure/table driver in :mod:`repro.bench.figures` returns one
+:class:`Experiment` containing its :class:`Series` rows plus the paper's
+reference values, so EXPERIMENTS.md and the bench output are generated
+from a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "Experiment", "format_table"]
+
+
+@dataclass
+class Series:
+    """One curve of a figure: (x, y) pairs with a label."""
+
+    label: str
+    x: list[float]
+    y: list[float | None]
+
+    def at(self, x_value: float) -> float | None:
+        try:
+            return self.y[self.x.index(x_value)]
+        except ValueError:
+            return None
+
+
+@dataclass
+class Experiment:
+    """One reproduced table/figure with its paper reference points."""
+
+    exp_id: str  # e.g. "fig5a"
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    #: (series label, x, paper value, tolerance note) reference points
+    #: read off the paper's figures for the comparison report.
+    paper_points: list[tuple[str, float, float]] = field(default_factory=list)
+    notes: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"{self.exp_id}: no series {label!r}")
+
+    def comparison_rows(self) -> list[tuple[str, float, float, float | None, float | None]]:
+        """(label, x, paper, measured, ratio) for every reference point."""
+        rows = []
+        for label, x, paper in self.paper_points:
+            measured = self.series_by_label(label).at(x)
+            ratio = None if (measured is None or paper == 0) else measured / paper
+            rows.append((label, x, paper, measured, ratio))
+        return rows
+
+    def render(self) -> str:
+        """Fixed-width text rendering of the whole experiment."""
+        lines = [f"== {self.exp_id}: {self.title} ==", ""]
+        xs = sorted({x for s in self.series for x in s.x})
+        header = [f"{self.x_label:>12s}"] + [f"{s.label:>26s}" for s in self.series]
+        lines.append(" ".join(header))
+        for x in xs:
+            row = [f"{x:>12g}"]
+            for s in self.series:
+                v = s.at(x)
+                row.append(f"{'-':>26s}" if v is None else f"{v:>26.1f}")
+            lines.append(" ".join(row))
+        if self.paper_points:
+            lines += ["", f"paper-vs-measured ({self.y_label}):"]
+            for label, x, paper, measured, ratio in self.comparison_rows():
+                m = "-" if measured is None else f"{measured:9.1f}"
+                r = "-" if ratio is None else f"{ratio:5.2f}x"
+                lines.append(
+                    f"  {label:<34s} @ {x:>5g}: paper {paper:9.1f}  measured {m}  ratio {r}"
+                )
+        if self.notes:
+            lines += ["", self.notes]
+        return "\n".join(lines)
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a simple fixed-width table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])

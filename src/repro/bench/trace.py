@@ -1,0 +1,81 @@
+"""ASCII Gantt rendering of a GPU timeline.
+
+Turns the discrete-event record of a :class:`~repro.gpu.streams.Timeline`
+into a stream-by-stream text chart, making the paper's communication
+strategies *visible*: the overlapped dslash shows the interior kernel on
+stream 0 running under the face copies on the side streams, while the
+non-overlapped variant is one long serial chain.
+
+Glyphs: ``#`` kernel, ``<`` device-to-host copy, ``>`` host-to-device
+copy, ``=`` host work, ``.`` host waiting.
+"""
+
+from __future__ import annotations
+
+from ..gpu.streams import TimelineOp
+
+__all__ = ["render_gantt"]
+
+_GLYPH = {"kernel": "#", "d2h": "<", "h2d": ">", "host": "=", "wait": "."}
+
+
+def render_gantt(
+    ops: list[TimelineOp],
+    *,
+    width: int = 96,
+    label_width: int = 10,
+    include_host: bool = True,
+) -> str:
+    """Render timeline ops as an ASCII Gantt chart, one row per stream.
+
+    ``width`` is the number of time columns; each op paints its glyph over
+    its [start, end) span (minimum one column so latency-bound ops stay
+    visible).
+    """
+    if not ops:
+        return "(empty timeline)"
+    t0 = min(op.start for op in ops)
+    t1 = max(op.end for op in ops)
+    span = max(t1 - t0, 1e-12)
+
+    def col(t: float) -> int:
+        return min(width - 1, int((t - t0) / span * width))
+
+    rows: dict[str, list[str]] = {}
+    order: list[str] = []
+
+    def row(name: str) -> list[str]:
+        if name not in rows:
+            rows[name] = [" "] * width
+            order.append(name)
+        return rows[name]
+
+    for op in ops:
+        if op.kind in ("host", "wait"):
+            if not include_host:
+                continue
+            name = "host"
+        else:
+            name = f"stream {op.stream}"
+        glyph = _GLYPH.get(op.kind, "?")
+        lo = col(op.start)
+        hi = max(col(op.end), lo + 1)
+        r = row(name)
+        for c in range(lo, hi):
+            r[c] = glyph
+
+    # Streams sorted numerically, host last.
+    def key(name: str):
+        return (1, 0) if name == "host" else (0, int(name.split()[-1]))
+
+    lines = [
+        f"{name:<{label_width}}|{''.join(rows[name])}|"
+        for name in sorted(order, key=key)
+    ]
+    header = (
+        f"{'':<{label_width}} 0"
+        + " " * (width - len(f"{span * 1e6:.0f} us") - 2)
+        + f"{span * 1e6:.0f} us"
+    )
+    legend = "  # kernel   < d2h copy   > h2d copy   = host   . wait"
+    return "\n".join([header] + lines + [legend])

@@ -1,0 +1,247 @@
+"""Command-line interface: the library's workflow as shell commands.
+
+    python -m repro solve     --dims 8,8,8,16 --mode single-half --gpus 2
+    python -m repro generate  --dims 4,4,4,8 --beta 5.7 --updates 10 --out cfg
+    python -m repro spectrum  --config cfg.npz --mass 0.3
+    python -m repro bench     --figure fig5b
+    python -m repro experiments --out EXPERIMENTS.md
+
+``solve`` runs the paper's solver on a weak-field (or stored)
+configuration; ``generate`` runs the heatbath Monte Carlo; ``spectrum``
+computes meson correlators from a stored configuration; ``bench``
+regenerates one of the paper's figures; ``experiments`` writes the full
+paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _dims(text: str) -> tuple[int, int, int, int]:
+    parts = tuple(int(p) for p in text.replace("x", ",").split(","))
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError("dims must be X,Y,Z,T")
+    return parts
+
+
+def _grid(text: str) -> tuple[int, int]:
+    parts = tuple(int(p) for p in text.split(","))
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError("grid must be RANKS_Z,RANKS_T")
+    return parts
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-GPU QUDA reproduction (Babich/Clark/Joo, SC'10) "
+        "on a simulated cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="run one Wilson-clover solve")
+    p.add_argument("--dims", type=_dims, default=(8, 8, 8, 16))
+    p.add_argument("--mode", default="single-half",
+                   choices=["single", "double", "single-half", "double-half"])
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--grid", type=_grid, default=None,
+                   help="multi-dimensional decomposition: RANKS_Z,RANKS_T")
+    p.add_argument("--mass", type=float, default=0.1)
+    p.add_argument("--no-overlap", action="store_true",
+                   help="disable communication/computation overlap")
+    p.add_argument("--config", default=None, help="stored gauge config (.npz)")
+    p.add_argument("--seed", type=int, default=2010)
+
+    p = sub.add_parser("generate", help="heatbath gauge generation")
+    p.add_argument("--dims", type=_dims, default=(4, 4, 4, 8))
+    p.add_argument("--beta", type=float, default=5.7)
+    p.add_argument("--updates", type=int, default=10)
+    p.add_argument("--start", default="cold", choices=["cold", "hot"])
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", default=None, help="save final configuration here")
+
+    p = sub.add_parser("spectrum", help="meson correlators from a config")
+    p.add_argument("--config", default=None, help="stored gauge config (.npz)")
+    p.add_argument("--dims", type=_dims, default=(4, 4, 4, 8),
+                   help="weak-field dims when no --config is given")
+    p.add_argument("--mass", type=float, default=0.3)
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--channels", default="pion,rho_x")
+    p.add_argument("--seed", type=int, default=3)
+
+    p = sub.add_parser("bench", help="regenerate one paper figure")
+    p.add_argument("--figure", required=True)
+    p.add_argument("--iterations", type=int, default=15)
+
+    p = sub.add_parser(
+        "profile", help="per-kernel time breakdown of a (timing-only) solve"
+    )
+    p.add_argument("--dims", type=_dims, default=(24, 24, 24, 128))
+    p.add_argument("--mode", default="single-half",
+                   choices=["single", "double", "single-half", "double-half"])
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--no-overlap", action="store_true")
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--gantt", action="store_true",
+                   help="also draw the stream schedule of the window")
+
+    p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
+    p.add_argument("--out", default="EXPERIMENTS.md")
+    p.add_argument("--iterations", type=int, default=40)
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    from .core import invert, paper_invert_param
+    from .lattice import random_spinor, weak_field_gauge
+    from .lattice.geometry import LatticeGeometry
+    from .lattice.io import load_gauge
+
+    rng = np.random.default_rng(args.seed)
+    if args.config:
+        gauge, meta = load_gauge(args.config)
+        print(f"loaded {args.config}: dims {gauge.geometry.dims}, "
+              f"plaquette {gauge.plaquette():.4f}, metadata {meta}")
+    else:
+        geo = LatticeGeometry(args.dims)
+        gauge = weak_field_gauge(geo, rng, noise=0.1)
+    source = random_spinor(gauge.geometry, rng)
+    inv = paper_invert_param(
+        args.mode, mass=args.mass, overlap_comms=not args.no_overlap
+    )
+    res = invert(gauge, source, inv, n_gpus=args.gpus, grid=args.grid)
+    ranks = args.grid[0] * args.grid[1] if args.grid else args.gpus
+    print(f"solved on {ranks} virtual GPUs "
+          f"({'grid ' + str(args.grid) if args.grid else 'time-sliced'})")
+    print(f"  converged:      {res.stats.converged}")
+    print(f"  iterations:     {res.stats.iterations} "
+          f"({res.stats.reliable_updates} reliable updates)")
+    print(f"  true residual:  {res.true_residual:.3e}")
+    print(f"  model time:     {res.stats.model_time * 1e3:.2f} ms")
+    print(f"  sustained rate: {res.stats.sustained_gflops:.1f} effective Gflops")
+    return 0 if res.stats.converged else 1
+
+
+def _cmd_generate(args) -> int:
+    from .lattice.geometry import LatticeGeometry
+    from .lattice.io import save_gauge
+    from .lattice.montecarlo import Ensemble
+
+    ens = Ensemble(
+        LatticeGeometry(args.dims),
+        beta=args.beta,
+        rng=np.random.default_rng(args.seed),
+        start=args.start,
+    )
+    for step in range(args.updates):
+        plaq = ens.update(1)
+        print(f"update {step + 1:3d}: plaquette {plaq:.5f}")
+    if args.out:
+        save_gauge(args.out, ens.gauge, metadata={
+            "beta": args.beta, "updates": args.updates, "start": args.start,
+        })
+        print(f"saved configuration to {args.out}.npz")
+    return 0
+
+
+def _cmd_spectrum(args) -> int:
+    from .core import paper_invert_param
+    from .lattice import weak_field_gauge
+    from .lattice.geometry import LatticeGeometry
+    from .lattice.io import load_gauge
+    from .lattice.measurements import compute_propagator, meson_correlator
+
+    rng = np.random.default_rng(args.seed)
+    if args.config:
+        gauge, _ = load_gauge(args.config)
+    else:
+        gauge = weak_field_gauge(LatticeGeometry(args.dims), rng, noise=0.1)
+    inv = paper_invert_param("single-half", mass=args.mass)
+    print("computing the 12 propagator columns ...")
+    prop = compute_propagator(gauge, inv, n_gpus=args.gpus)
+    channels = args.channels.split(",")
+    correlators = {ch: meson_correlator(prop, ch) for ch in channels}
+    T = gauge.geometry.dims[3]
+    header = "  t " + "".join(f"{ch:>14s}" for ch in channels)
+    print(header)
+    for t in range(T // 2):
+        row = f" {t:2d} " + "".join(
+            f"{correlators[ch][t]:14.6e}" for ch in channels
+        )
+        print(row)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench.figures import ALL_FIGURES
+
+    if args.figure not in ALL_FIGURES:
+        print(f"unknown figure {args.figure!r}; available: "
+              f"{', '.join(ALL_FIGURES)}", file=sys.stderr)
+        return 2
+    driver = ALL_FIGURES[args.figure]
+    try:
+        exp = driver(iterations=args.iterations)
+    except TypeError:
+        exp = driver()
+    print(exp.render())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .bench.profile import profile_solve, render_profile
+    from .bench.trace import render_gantt
+
+    ops = profile_solve(
+        args.dims,
+        args.mode,
+        n_gpus=args.gpus,
+        overlap=not args.no_overlap,
+        iterations=args.iterations,
+    )
+    span = max(o.end for o in ops) - min(o.start for o in ops)
+    print(
+        f"{args.iterations} iterations of {args.mode} on {args.gpus} GPUs "
+        f"({args.dims[0]}x{args.dims[1]}x{args.dims[2]}x{args.dims[3]}, "
+        f"{'overlapped' if not args.no_overlap else 'not overlapped'}): "
+        f"{span * 1e3:.2f} ms\n"
+    )
+    print(render_profile(ops))
+    if args.gantt:
+        print()
+        print(render_gantt(ops))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .bench.experiments_md import generate
+
+    with open(args.out, "w") as fh:
+        fh.write(generate(iterations=args.iterations))
+    print(f"wrote {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "generate": _cmd_generate,
+    "spectrum": _cmd_spectrum,
+    "bench": _cmd_bench,
+    "profile": _cmd_profile,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

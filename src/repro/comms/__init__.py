@@ -1,0 +1,22 @@
+"""Message-passing substrate: SimMPI threads, a QMP layer, and the
+cluster (PCIe/NUMA/InfiniBand) model of the JLab "9g" machine.
+
+mpi4py and InfiniBand hardware are unavailable in this reproduction, so
+ranks run as threads exchanging real NumPy buffers, while a LogP-style
+timestamp protocol carries simulated time across ranks (see
+:mod:`repro.comms.mpi_sim` for the details and determinism argument).
+"""
+
+from .cluster import ClusterSpec
+from .mpi_sim import Comm, MPIDeadlockError, Request, SimMPI, run_spmd
+from .qmp import QMPMachine
+
+__all__ = [
+    "ClusterSpec",
+    "SimMPI",
+    "Comm",
+    "Request",
+    "MPIDeadlockError",
+    "run_spmd",
+    "QMPMachine",
+]

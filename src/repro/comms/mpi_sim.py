@@ -1,0 +1,298 @@
+"""SimMPI: a thread-based message-passing runtime with model-time carry.
+
+``mpi4py`` (and an InfiniBand fabric) are not available in this
+environment, so the multi-GPU code runs on this substitute: each MPI rank
+is a Python thread executing the same SPMD function, and messages are
+real NumPy buffers moved through rendezvous queues.  Functionally this is
+message passing — face data genuinely crosses between ranks, collectives
+genuinely combine per-rank values — so the ghost-zone exchange of the
+parallel dslash is exercised for real.
+
+**Model time.**  Each rank may bind its :class:`~repro.gpu.streams.Timeline`
+(its host clock) and a :class:`~repro.comms.cluster.ClusterSpec` to the
+communicator.  Messages then carry the sender's model time; a receive
+completes at ``sender_post_time + network_time`` (per the cluster's
+shared-memory/InfiniBand model), advancing the receiver's clock — a
+LogP-style parallel time simulation.  Because completion times are pure
+functions of the carried timestamps, the simulated times are
+deterministic regardless of OS thread scheduling.
+
+The API deliberately mirrors the mpi4py subset the paper's communication
+patterns need: ``Send/Recv``, ``Isend/Irecv`` + ``wait``, ``Sendrecv``,
+``Allreduce``, ``Barrier``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Any, Callable
+
+import numpy as np
+
+from ..gpu.streams import Timeline
+from .cluster import ClusterSpec
+
+__all__ = ["SimMPI", "Comm", "Request", "MPIDeadlockError", "run_spmd"]
+
+#: How long (wall-clock seconds) a blocking receive waits before declaring
+#: deadlock.  Generous for slow CI machines, small enough to fail fast.
+DEADLOCK_TIMEOUT_S = 120.0
+
+
+class MPIDeadlockError(RuntimeError):
+    """A blocking operation found no matching partner in time."""
+
+
+@dataclass
+class _Envelope:
+    """One in-flight message."""
+
+    data: Any
+    nbytes: int
+    sent_at: float  # sender's model time at post
+
+
+class _SharedState:
+    """State shared by all ranks of one SimMPI world."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.queues: dict[tuple[int, int, int], Queue] = defaultdict(Queue)
+        self.queue_lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+        self.coll_lock = threading.Lock()
+        self.coll_slots: dict[int, dict[int, tuple[Any, float]]] = {}
+
+    def queue(self, src: int, dst: int, tag: int) -> Queue:
+        with self.queue_lock:
+            return self.queues[(src, dst, tag)]
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation (mpi4py ``Request`` analogue)."""
+
+    _wait: Callable[[], Any]
+    _done: bool = False
+    _result: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._result = self._wait()
+            self._done = True
+        return self._result
+
+
+@dataclass
+class Comm:
+    """One rank's view of the communicator."""
+
+    rank: int
+    size: int
+    _state: _SharedState
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    timeline: Timeline | None = None
+    _coll_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def bind_timeline(self, timeline: Timeline) -> None:
+        """Attach this rank's model clock (usually its GPU's host clock)."""
+        self.timeline = timeline
+
+    def _now(self) -> float:
+        return self.timeline.host_time if self.timeline is not None else 0.0
+
+    def _advance(self, t: float, label: str) -> None:
+        if self.timeline is not None:
+            self.timeline.host_wait_until(t, label)
+
+    def _charge(self, duration: float, label: str) -> None:
+        if self.timeline is not None and duration > 0:
+            self.timeline.host_busy(label, duration)
+
+    @staticmethod
+    def _payload(data: Any) -> tuple[Any, int]:
+        if isinstance(data, np.ndarray):
+            return data.copy(), data.nbytes
+        if isinstance(data, tuple):
+            total = sum(
+                v.nbytes for v in data if isinstance(v, np.ndarray)
+            )
+            copied = tuple(
+                v.copy() if isinstance(v, np.ndarray) else v for v in data
+            )
+            return copied, max(total, 64)
+        return data, 64  # small python object: header-sized
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"peer rank {peer} outside communicator of {self.size}")
+
+    # ------------------------------------------------------------------ #
+    # Point to point
+    # ------------------------------------------------------------------ #
+
+    def send(self, data: Any, dest: int, tag: int = 0, *, nbytes: int | None = None) -> None:
+        """Buffered send: never blocks (envelopes queue at the receiver).
+
+        ``nbytes`` overrides the wire-size accounting — required in
+        timing-only mode, where face messages carry no actual arrays but
+        must still cost their true size on the network model.
+        """
+        self._check_peer(dest)
+        self._charge(self.cluster.params.mpi_overhead_s, "MPI_Send")
+        payload, auto_bytes = self._payload(data)
+        env = _Envelope(payload, nbytes if nbytes is not None else auto_bytes, self._now())
+        self._state.queue(self.rank, dest, tag).put(env)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive; completes at the modelled arrival time."""
+        self._check_peer(source)
+        q = self._state.queue(source, self.rank, tag)
+        try:
+            env = q.get(timeout=DEADLOCK_TIMEOUT_S)
+        except Empty:
+            raise MPIDeadlockError(
+                f"rank {self.rank}: no message from rank {source} tag {tag} "
+                f"within {DEADLOCK_TIMEOUT_S}s — deadlock?"
+            ) from None
+        arrival = env.sent_at + self.cluster.message_time(
+            source, self.rank, env.nbytes
+        )
+        self._advance(arrival, f"MPI_Recv(from {source})")
+        return env.data
+
+    def isend(self, data: Any, dest: int, tag: int = 0, *, nbytes: int | None = None) -> Request:
+        """Non-blocking send (our sends are buffered, so it completes
+        immediately; the host still pays the posting overhead)."""
+        self.send(data, dest, tag, nbytes=nbytes)
+        return Request(_wait=lambda: None, _done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; ``wait()`` performs the blocking part."""
+        self._check_peer(source)
+        self._charge(self.cluster.params.mpi_overhead_s, "MPI_Irecv")
+        return Request(_wait=lambda: self.recv(source, tag))
+
+    def sendrecv(
+        self, data: Any, dest: int, source: int, *, sendtag: int = 0, recvtag: int = 0
+    ) -> Any:
+        """Combined send/receive (safe because sends never block)."""
+        self.send(data, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+
+    def _collective(self, value: Any, combine: Callable[[list[Any]], Any], nbytes: int) -> Any:
+        """Generic synchronizing collective with model-time semantics:
+        everyone leaves at ``max(entry times) + allreduce_time``."""
+        key = self._coll_count
+        self._coll_count += 1
+        with self._state.coll_lock:
+            slot = self._state.coll_slots.setdefault(key, {})
+            slot[self.rank] = (value, self._now())
+        self._state.barrier.wait()
+        entries = self._state.coll_slots[key]
+        values = [entries[r][0] for r in range(self.size)]
+        latest = max(entries[r][1] for r in range(self.size))
+        result = combine(values)
+        completion = latest + self.cluster.allreduce_time(self.size, nbytes)
+        self._advance(completion, "MPI_Allreduce")
+        self._state.barrier.wait()
+        if self.rank == 0:
+            with self._state.coll_lock:
+                del self._state.coll_slots[key]
+        return result
+
+    def allreduce(self, value: float | complex | np.ndarray) -> Any:
+        """Global sum — the only reduction the solvers need (Section VI-E)."""
+        nbytes = value.nbytes if isinstance(value, np.ndarray) else 16
+        def _sum(values: list[Any]) -> Any:
+            total = values[0]
+            for v in values[1:]:
+                total = total + v
+            return total
+
+        return self._collective(value, _sum, nbytes)
+
+    def allgather(self, value: Any) -> list[Any]:
+        nbytes = value.nbytes if isinstance(value, np.ndarray) else 64
+        return self._collective(value, lambda vs: list(vs), nbytes)
+
+    def barrier(self) -> None:
+        self._collective(None, lambda vs: None, 0)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        return self._collective(value, lambda vs: vs[root], 64)
+
+
+class SimMPI:
+    """An MPI "world": create once, then :meth:`run` an SPMD function."""
+
+    def __init__(self, size: int, cluster: ClusterSpec | None = None) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.cluster = cluster or ClusterSpec()
+        self._state = _SharedState(size)
+
+    def comm(self, rank: int) -> Comm:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside world of size {self.size}")
+        return Comm(rank=rank, size=self.size, _state=self._state, cluster=self.cluster)
+
+    def run(self, fn: Callable[[Comm], Any], *, timeout_s: float = 600.0) -> list[Any]:
+        """Run ``fn(comm)`` on every rank (threads); return per-rank results.
+
+        Any rank's exception is re-raised in the caller, annotated with
+        the rank, after all threads have been joined.
+        """
+        results: list[Any] = [None] * self.size
+        errors: list[tuple[int, BaseException]] = []
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = fn(self.comm(rank))
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors.append((rank, exc))
+                # Unblock peers stuck in barriers.
+                self._state.barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"simmpi-rank{r}")
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout_s)
+        alive = [t.name for t in threads if t.is_alive()]
+        if alive and not errors:
+            raise MPIDeadlockError(f"ranks did not finish: {alive}")
+        if errors:
+            # Prefer the root cause over BrokenBarrierError fallout from
+            # the abort that unblocked the other ranks.
+            primary = [
+                e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)
+            ] or errors
+            rank, exc = sorted(primary, key=lambda e: e[0])[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[[Comm], Any],
+    cluster: ClusterSpec | None = None,
+    **kwargs,
+) -> list[Any]:
+    """One-shot convenience: build a world and run ``fn`` on every rank."""
+    return SimMPI(size, cluster).run(fn, **kwargs)

@@ -1,0 +1,177 @@
+"""QMP-flavoured communication layer (paper Section VI-A).
+
+The paper communicates through QMP — "QCD Message Passing, an API built
+on top of MPI that provides convenient functionality for LQCD
+computations": a declared logical machine topology and persistent relay
+channels to lattice neighbours, plus global sums.
+
+This module provides that convenience layer over :mod:`repro.comms.mpi_sim`.
+The paper's production configuration is a 1-dimensional ring over the
+time axis; the multi-dimensional extension (Section VI-A future work)
+declares a 2-D ``(Z, T)`` grid instead, with neighbour relays along each
+partitioned lattice direction.  Fields carry the antiperiodic sign; the
+machine topology itself is periodic in every axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .mpi_sim import Comm, Request
+
+__all__ = ["QMPMachine"]
+
+#: Base message tags; each (lattice direction, relay orientation) pair
+#: gets its own tag, like QMP's declared channels.
+_TAG_BASE = 100
+
+
+def _tag(mu: int, direction: int) -> int:
+    return _TAG_BASE + 2 * mu + (0 if direction == -1 else 1)
+
+
+@dataclass
+class QMPMachine:
+    """A logical machine grid over the partitioned lattice directions.
+
+    Parameters
+    ----------
+    comm:
+        The rank's communicator.
+    grid:
+        Ranks per partitioned lattice direction, as a mapping
+        ``{lattice_dir: n_ranks}``.  ``None`` declares the paper's 1-D
+        time decomposition over the whole communicator: ``{3: size}``.
+        Rank order follows :meth:`LatticeGeometry.slice_grid`: lower
+        lattice directions run fastest.
+    """
+
+    comm: Comm
+    grid: dict[int, int] | None = None
+    _coords: dict[int, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.grid is None:
+            self.grid = {3: self.comm.size}
+        total = int(np.prod(list(self.grid.values())))
+        if total != self.comm.size:
+            raise ValueError(
+                f"grid {self.grid} needs {total} ranks, communicator has "
+                f"{self.comm.size}"
+            )
+        # Logical coordinates: lower lattice directions run fastest.
+        self._coords = {}
+        rank = self.comm.rank
+        for mu in sorted(self.grid):
+            n = self.grid[mu]
+            self._coords[mu] = rank % n
+            rank //= n
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def partitioned_dirs(self) -> tuple[int, ...]:
+        """Lattice directions actually split across ranks."""
+        return tuple(mu for mu in sorted(self.grid) if self.grid[mu] > 1)
+
+    @property
+    def is_partitioned(self) -> bool:
+        """Single-rank machines need no communication at all."""
+        return bool(self.partitioned_dirs)
+
+    def logical_coords(self, mu: int) -> int:
+        return self._coords[mu]
+
+    def neighbor(self, mu: int, step: int) -> int:
+        """Rank of the ``+/-mu`` neighbour in the logical grid."""
+        if mu not in self.grid:
+            raise ValueError(f"direction {mu} is not in the machine grid")
+        rank = 0
+        stride = 1
+        for nu in sorted(self.grid):
+            n = self.grid[nu]
+            c = self._coords[nu]
+            if nu == mu:
+                c = (c + step) % n
+            rank += c * stride
+            stride *= n
+        return rank
+
+    # -- legacy 1-D (temporal) accessors ---------------------------------- #
+
+    @property
+    def minus_neighbor(self) -> int:
+        return self.neighbor(3, -1)
+
+    @property
+    def plus_neighbor(self) -> int:
+        return self.neighbor(3, +1)
+
+    # ------------------------------------------------------------------ #
+    # Neighbour relays
+    # ------------------------------------------------------------------ #
+
+    def send_to(
+        self, direction: int, data: Any, *, mu: int = 3, nbytes: int | None = None
+    ) -> None:
+        """Blocking-post send to the ``-mu`` or ``+mu`` neighbour."""
+        dest, tag = self._route(mu, direction)
+        self.comm.send(data, dest, tag, nbytes=nbytes)
+
+    def recv_from(self, direction: int, *, mu: int = 3) -> Any:
+        """Blocking receive from the ``-mu`` or ``+mu`` neighbour."""
+        source, tag = self._route_recv(mu, direction)
+        return self.comm.recv(source, tag)
+
+    def start_send(
+        self, direction: int, data: Any, *, mu: int = 3, nbytes: int | None = None
+    ) -> Request:
+        """Non-blocking send (QMP_start_sending analogue)."""
+        dest, tag = self._route(mu, direction)
+        return self.comm.isend(data, dest, tag, nbytes=nbytes)
+
+    def start_recv(self, direction: int, *, mu: int = 3) -> Request:
+        """Non-blocking receive (completes on ``wait``)."""
+        source, tag = self._route_recv(mu, direction)
+        return self.comm.irecv(source, tag)
+
+    def _route(self, mu: int, direction: int) -> tuple[int, int]:
+        if direction not in (-1, +1):
+            raise ValueError(f"direction must be -1 or +1, got {direction}")
+        return self.neighbor(mu, direction), _tag(mu, direction)
+
+    def _route_recv(self, mu: int, direction: int) -> tuple[int, int]:
+        if direction not in (-1, +1):
+            raise ValueError(f"direction must be -1 or +1, got {direction}")
+        # A message "from direction -1" was sent by that neighbour toward
+        # its +mu side, hence tagged with the opposite orientation.
+        return self.neighbor(mu, direction), _tag(mu, -direction)
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+
+    def global_sum(self, value: float | complex | np.ndarray) -> Any:
+        """QMP_sum_double / QMP_sum_double_array analogue.
+
+        This is the only collective the parallel solver needs: "the only
+        other required addition to the code was the insertion of MPI
+        reductions for each of the linear algebra reduction kernels"
+        (Section VI-E).
+        """
+        if self.comm.size == 1:
+            return value
+        return self.comm.allreduce(value)
+
+    def barrier(self) -> None:
+        if self.comm.size > 1:
+            self.comm.barrier()

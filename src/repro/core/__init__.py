@@ -1,0 +1,45 @@
+"""The paper's contribution: multi-GPU QUDA.
+
+This package parallelizes the (virtual) single-GPU Wilson-clover solver
+across many GPUs by slicing the time dimension (Section VI): ghost zones
+for the gauge field live in the layout pad, spinor faces travel through
+an end zone, communication is either up-front or overlapped with the
+interior kernel, and the mixed-precision reliable-update Krylov solvers
+tie it together.  :func:`repro.core.invert` is the one-call entry point
+(QUDA's ``invertQuda`` analogue).
+"""
+
+from . import blas
+from .autotune import TuneCache, TuneResult, autotune
+from .dslash import DeviceSchurOperator
+from .interface import (
+    PRECISION_MODES,
+    QudaGaugeParam,
+    QudaInvertParam,
+    SolveStats,
+    paper_invert_param,
+)
+from .parallel_dslash import dslash_with_exchange
+from .quda import InvertResult, invert, invert_model, invert_multi
+from .solvers import bicgstab_solve, cg_solve, defect_correction_solve
+
+__all__ = [
+    "blas",
+    "autotune",
+    "TuneCache",
+    "TuneResult",
+    "DeviceSchurOperator",
+    "QudaGaugeParam",
+    "QudaInvertParam",
+    "SolveStats",
+    "PRECISION_MODES",
+    "paper_invert_param",
+    "dslash_with_exchange",
+    "invert",
+    "invert_multi",
+    "invert_model",
+    "InvertResult",
+    "bicgstab_solve",
+    "cg_solve",
+    "defect_correction_solve",
+]

@@ -1,0 +1,17 @@
+"""Device Krylov solvers: reliably-updated BiCGstab and CGNR, plus the
+defect-correction baseline the paper compares against (Section V-D)."""
+
+from .bicgstab import bicgstab_solve
+from .cg import cg_solve
+from .defect import defect_correction_solve
+from .reliable import ReliableUpdater
+from .stopping import ConvergenceState, LocalSolveInfo
+
+__all__ = [
+    "bicgstab_solve",
+    "cg_solve",
+    "defect_correction_solve",
+    "ReliableUpdater",
+    "ConvergenceState",
+    "LocalSolveInfo",
+]

@@ -1,0 +1,46 @@
+"""Convergence bookkeeping shared by the device solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ConvergenceState", "LocalSolveInfo"]
+
+
+@dataclass
+class ConvergenceState:
+    """Target tracking for one solve (relative residual convention)."""
+
+    b_norm: float
+    tol: float
+
+    @property
+    def target(self) -> float:
+        return self.tol * self.b_norm if self.b_norm > 0 else self.tol
+
+    def converged(self, rnorm: float) -> bool:
+        return rnorm <= self.target
+
+
+@dataclass
+class LocalSolveInfo:
+    """What one rank knows about a finished solve.
+
+    All ranks hold identical scalar values (every decision flows through
+    global reductions), so any rank's copy is authoritative; the harness
+    still cross-checks them in tests.
+    """
+
+    iterations: int
+    residual_norm: float
+    converged: bool
+    reliable_updates: int = 0
+    history: list[float] = field(default_factory=list)
+    #: Timeline bracketing for flop/time attribution.
+    t_start: float = 0.0
+    t_end: float = 0.0
+    flops: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        return self.t_end - self.t_start

@@ -1,0 +1,59 @@
+"""Virtual GPU substrate: the CUDA device QUDA runs on, simulated.
+
+No physical GPU is available in this reproduction, so this subpackage
+substitutes a *virtual* device that preserves what the paper's results
+actually depend on:
+
+* **Functional behaviour** — device fields really hold data (including
+  genuine int16 fixed-point storage for half precision) and the kernels
+  really compute, in NumPy; every correctness property of the CUDA code
+  is exercised for real.
+* **Structural behaviour** — the blocked/padded field layout of
+  eqs. (3)-(5), ghost zones in the pad and end zone, partition camping,
+  device-memory capacity (2 GiB GTX 285), one compute engine + one copy
+  engine, stream ordering, sync-vs-async copy latencies.
+* **Performance shape** — a calibrated bandwidth/latency roofline
+  (:mod:`repro.gpu.perfmodel`) converts the kernels' exact byte/flop
+  accounting into model time on a discrete-event timeline, reproducing
+  the scaling behaviour of the paper's figures.
+"""
+
+from .device import VirtualGPU
+from .fields import (
+    BACKWARD,
+    FORWARD,
+    DeviceCloverField,
+    DeviceGaugeField,
+    DeviceSpinorField,
+)
+from .layout import FieldLayout
+from .memory import DeviceAllocator, DeviceBuffer, DeviceOutOfMemoryError
+from .perfmodel import DEFAULT_PARAMS, PerfModelParams
+from .precision import Precision
+from .specs import GTX285, TABLE_I, XEON_E5530, CPUSpec, GPUSpec, get_gpu
+from .streams import Event, Timeline, TimelineOp
+
+__all__ = [
+    "VirtualGPU",
+    "DeviceSpinorField",
+    "DeviceGaugeField",
+    "DeviceCloverField",
+    "BACKWARD",
+    "FORWARD",
+    "FieldLayout",
+    "DeviceAllocator",
+    "DeviceBuffer",
+    "DeviceOutOfMemoryError",
+    "PerfModelParams",
+    "DEFAULT_PARAMS",
+    "Precision",
+    "GPUSpec",
+    "CPUSpec",
+    "GTX285",
+    "XEON_E5530",
+    "TABLE_I",
+    "get_gpu",
+    "Timeline",
+    "TimelineOp",
+    "Event",
+]

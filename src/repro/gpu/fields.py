@@ -1,0 +1,552 @@
+"""Device-resident field containers at any storage precision.
+
+Each device field pairs
+
+* a *logical* NumPy backing store (complex arrays for float precisions;
+  genuine ``int16`` plus ``float32`` norms for half precision, so that
+  quantization error is physically present in the numerics), with
+* a :class:`~repro.gpu.layout.FieldLayout` describing its true on-device
+  shape — blocked, padded, end-zoned per paper eqs. (4)-(5) — which is
+  what the allocator charges against the 2 GiB card and what the traffic
+  accounting of the kernels is derived from.
+
+The layout's pack/unpack bijection is tested exhaustively in
+``tests/gpu/test_layout.py``; storing the working data logically (rather
+than permuted) keeps the NumPy kernels vectorized without changing any
+observable: bytes, addresses, and numerics all follow the real layout.
+
+Ghost storage follows the paper:
+
+* **Spinor fields** carry an *end zone* holding the two transferred
+  half-spinor faces (12 real numbers per face site, Section VI-C) plus,
+  in half precision, a ``2 * faces`` norm end zone.
+* **Gauge fields** receive their ghost timeslice inside the *pad* region
+  (Section VI-B) — here a dedicated ghost array whose bytes were already
+  part of the padded allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import VirtualGPU
+from .layout import (
+    CLOVER_REALS,
+    GAUGE_REALS_COMPRESSED,
+    GAUGE_REALS_FULL,
+    SPINOR_REALS,
+    FieldLayout,
+    matrices_to_reals,
+    reals_to_matrices,
+    reals_to_spinor,
+    spinor_to_reals,
+)
+from .precision import (
+    Precision,
+    dequantize_block,
+    dequantize_normalized,
+    quantize_block,
+    quantize_normalized,
+)
+
+__all__ = [
+    "DeviceSpinorField",
+    "DeviceGaugeField",
+    "DeviceCloverField",
+    "BACKWARD",
+    "FORWARD",
+]
+
+#: Face direction labels: BACKWARD = the face at local t = 0 (received
+#: from the -t neighbor), FORWARD = the face at local t = T_loc - 1.
+BACKWARD, FORWARD = "backward", "forward"
+
+#: Reals in one projected half-spinor (2 spins x 3 colors, complex).
+HALF_SPINOR_REALS = 12
+
+
+@dataclass
+class DeviceSpinorField:
+    """A spinor field on one virtual GPU.
+
+    Parameters
+    ----------
+    sites:
+        Body sites (half volume for checkerboarded solver fields).
+    face_sites:
+        Sites per temporal ghost face (0 on a single GPU).  The end zone
+        holds ``2 * face_sites`` half-spinors: the P+4 half first, then
+        the P-4 half, matching Fig. 3.
+    pad_sites:
+        Layout pad (one spatial volume in QUDA).
+    """
+
+    gpu: VirtualGPU
+    sites: int
+    precision: Precision
+    face_sites: int = 0
+    pad_sites: int = 0
+    basis: str = "degrand_rossi"
+    label: str = "spinor"
+    #: Multi-dimensional decomposition (Section VI-A future work): map
+    #: from partitioned direction index to face sites.  Supersedes
+    #: ``face_sites`` (which remains the temporal-only shorthand).
+    faces: dict[int, int] | None = None
+    layout: FieldLayout = field(init=False)
+
+    T_DIR = 3
+
+    def __post_init__(self) -> None:
+        if self.faces is None:
+            self.faces = {self.T_DIR: self.face_sites} if self.face_sites else {}
+        self.faces = {mu: n for mu, n in self.faces.items() if n > 0}
+        self.face_sites = self.faces.get(self.T_DIR, 0)
+        total_faces = sum(self.faces.values())
+        self.layout = FieldLayout(
+            sites=self.sites,
+            internal_reals=SPINOR_REALS,
+            nvec=self.precision.vector_length,
+            pad_sites=self.pad_sites,
+            endzone_reals=2 * total_faces * HALF_SPINOR_REALS,
+        )
+        nbytes = self.layout.nbytes(self.precision)
+        ghost_keys = [
+            (mu, d) for mu in self.faces for d in (BACKWARD, FORWARD)
+        ]
+        if self.precision.needs_norm:
+            # Body norms + the 2*Vs norm end zone (Section VI-C).
+            nbytes += (self.sites + 2 * total_faces) * 4
+            self._store = self.gpu.allocator.alloc_bytes(
+                nbytes, (self.sites, SPINOR_REALS), np.int16,
+                f"{self.gpu.name}:{self.label}[half]",
+            )
+            self._norms = self.gpu.empty_like_field((self.sites,), np.float32)
+            self._ghost = {
+                key: self.gpu.empty_like_field(
+                    (self.faces[key[0]], HALF_SPINOR_REALS), np.int16
+                )
+                for key in ghost_keys
+            }
+            self._ghost_norms = {
+                key: self.gpu.empty_like_field((self.faces[key[0]],), np.float32)
+                for key in ghost_keys
+            }
+        else:
+            self._store = self.gpu.allocator.alloc_bytes(
+                nbytes,
+                (self.sites, 4, 3),
+                self.precision.complex_compute_dtype,
+                f"{self.gpu.name}:{self.label}[{self.precision.name.lower()}]",
+            )
+            self._norms = None
+            self._ghost = {
+                key: self.gpu.empty_like_field(
+                    (self.faces[key[0]], 2, 3), self.precision.complex_compute_dtype
+                )
+                for key in ghost_keys
+            }
+            self._ghost_norms = {key: None for key in ghost_keys}
+
+    # ------------------------------------------------------------------ #
+    # Body data
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nbytes(self) -> int:
+        return self._store.nbytes
+
+    @property
+    def body_bytes(self) -> int:
+        """Device bytes of the body data alone (for traffic accounting)."""
+        n = self.sites * SPINOR_REALS * self.precision.real_bytes
+        if self.precision.needs_norm:
+            n += self.sites * 4
+        return n
+
+    def set(self, data: np.ndarray) -> None:
+        """Upload complex spinor data ``(sites, 4, 3)`` (quantizing)."""
+        if not self.gpu.execute:
+            return
+        if data.shape != (self.sites, 4, 3):
+            raise ValueError(f"expected {(self.sites, 4, 3)}, got {data.shape}")
+        if self.precision.needs_norm:
+            reals = spinor_to_reals(data)
+            self._store.array[...], self._norms[...] = quantize_block(reals)
+        else:
+            self._store.array[...] = data
+
+    def get(self) -> np.ndarray:
+        """Download as complex128 ``(sites, 4, 3)`` (dequantizing)."""
+        self._require_execute()
+        if self.precision.needs_norm:
+            reals = dequantize_block(self._store.array, self._norms)
+            return reals_to_spinor(reals.astype(np.float64))
+        return self._store.array.astype(np.complex128)
+
+    def working(self) -> np.ndarray:
+        """The array kernels compute on: complex, in compute dtype.
+
+        For half precision this performs the texture-style decode; results
+        written back must go through :meth:`set_working`.
+        """
+        self._require_execute()
+        if self.precision.needs_norm:
+            reals = dequantize_block(self._store.array, self._norms)
+            return reals_to_spinor(reals).astype(np.complex64)
+        return self._store.array
+
+    def set_working(self, data: np.ndarray) -> None:
+        """Store kernel output (re-quantizing for half precision)."""
+        self.set(data)
+
+    def zero(self) -> None:
+        if not self.gpu.execute:
+            return
+        self._store.array[...] = 0
+        if self._norms is not None:
+            self._norms[...] = 0
+
+    def copy_from(self, other: "DeviceSpinorField") -> None:
+        """Precision-converting copy (the mixed-precision solver's tool)."""
+        if other.sites != self.sites:
+            raise ValueError("site count mismatch in spinor copy")
+        if not self.gpu.execute:
+            return
+        self.set(other.get())
+
+    # ------------------------------------------------------------------ #
+    # Ghost end zone
+    # ------------------------------------------------------------------ #
+
+    def set_ghost(
+        self,
+        direction: str,
+        halves: np.ndarray,
+        norms: np.ndarray | None = None,
+        mu: int = T_DIR,
+    ) -> None:
+        """Store a received face into the end zone.
+
+        ``halves``: complex half-spinors ``(faces[mu], 2, 3)``.  For half
+        precision the face was transferred quantized; pass its norms.
+        ``mu`` selects the partitioned direction (temporal by default).
+        """
+        if not self.gpu.execute:
+            return
+        n = self.faces[mu]
+        key = (mu, direction)
+        if halves.shape != (n, 2, 3):
+            raise ValueError(f"expected {(n, 2, 3)}, got {halves.shape}")
+        if self.precision.needs_norm:
+            reals = matrices_to_reals(halves)
+            if norms is None:
+                self._ghost[key][...], self._ghost_norms[key][...] = quantize_block(
+                    reals
+                )
+            else:
+                safe = np.where(norms == 0.0, 1.0, norms).astype(np.float32)
+                scaled = reals / safe[:, None] * 32767.0
+                self._ghost[key][...] = np.round(scaled).astype(np.int16)
+                self._ghost_norms[key][...] = norms
+        else:
+            self._ghost[key][...] = halves
+
+    def get_ghost(self, direction: str, mu: int = T_DIR) -> np.ndarray:
+        """Read a face from the end zone as complex compute-dtype data."""
+        self._require_execute()
+        key = (mu, direction)
+        if self.precision.needs_norm:
+            reals = dequantize_block(self._ghost[key], self._ghost_norms[key])
+            return reals_to_matrices(reals, 2, 3).astype(np.complex64)
+        return self._ghost[key]
+
+    def face_message_bytes(self, mu: int = T_DIR) -> int:
+        """Wire size of one face: 12 reals/site (+ norms in half)."""
+        sites = self.faces.get(mu, 0)
+        n = sites * HALF_SPINOR_REALS * self.precision.real_bytes
+        if self.precision.needs_norm:
+            n += sites * 4
+        return n
+
+    def _require_execute(self) -> None:
+        if not self.gpu.execute:
+            raise RuntimeError(
+                "field data is not materialized in timing-only mode"
+            )
+
+    def release(self) -> None:
+        self.gpu.free(self._store)
+
+
+@dataclass
+class DeviceGaugeField:
+    """The link field on one virtual GPU.
+
+    ``compressed`` selects 2-row (12-real) storage with in-kernel
+    reconstruction (Section V-C1) — QUDA's default, and the paper's
+    operation-count convention excludes the reconstruction flops.
+
+    The temporal ghost slice (``U_t`` links of the previous rank's last
+    timeslice, ``ghost_sites`` of them) lives in the pad region per
+    Section VI-B; it is transferred once at initialization because "the
+    link matrices are constant throughout the execution of the linear
+    solver".
+    """
+
+    gpu: VirtualGPU
+    sites: int
+    precision: Precision
+    compressed: bool = True
+    ghost_sites: int = 0
+    pad_sites: int = 0
+    label: str = "gauge"
+    #: Multi-dimensional decomposition: map from partitioned direction to
+    #: ghost-slice sites.  Supersedes ``ghost_sites`` (temporal shorthand).
+    #: The temporal ghost hides in the pad (Section VI-B); additional
+    #: directions need dedicated buffers, accounted explicitly.
+    ghosts: dict[int, int] | None = None
+    layout: FieldLayout = field(init=False)
+
+    T_DIR = 3
+
+    def __post_init__(self) -> None:
+        if self.ghosts is None:
+            self.ghosts = {self.T_DIR: self.ghost_sites} if self.ghost_sites else {}
+        self.ghosts = {mu: n for mu, n in self.ghosts.items() if n > 0}
+        self.ghost_sites = self.ghosts.get(self.T_DIR, 0)
+        reals = GAUGE_REALS_COMPRESSED if self.compressed else GAUGE_REALS_FULL
+        if self.pad_sites < self.ghosts.get(self.T_DIR, 0):
+            # QUDA's pad (one spatial volume) is "exactly the correct size
+            # to store the additional gauge field slice".
+            raise ValueError(
+                f"gauge ghost ({self.ghosts[self.T_DIR]} sites) does not fit "
+                f"in the pad ({self.pad_sites} sites)"
+            )
+        self.layout = FieldLayout(
+            sites=self.sites,
+            internal_reals=reals,
+            nvec=self.precision.vector_length
+            if reals % self.precision.vector_length == 0
+            else 2,
+            pad_sites=self.pad_sites,
+        )
+        rows = 2 if self.compressed else 3
+        nbytes = 4 * self.layout.nbytes(self.precision)  # one block set per mu
+        # Non-temporal ghosts live outside the pad: account their bytes.
+        for mu, n in self.ghosts.items():
+            if mu != self.T_DIR:
+                nbytes += n * reals * self.precision.real_bytes
+        dtype = (
+            np.int16 if self.precision.needs_norm else self.precision.complex_compute_dtype
+        )
+        shape = (
+            (4, self.sites, rows * 6)
+            if self.precision.needs_norm
+            else (4, self.sites, rows, 3)
+        )
+        self._store = self.gpu.allocator.alloc_bytes(
+            nbytes, shape, dtype, f"{self.gpu.name}:{self.label}"
+        )
+        self._ghost = {
+            mu: self.gpu.empty_like_field(
+                (n, rows * 6) if self.precision.needs_norm else (n, rows, 3), dtype
+            )
+            for mu, n in self.ghosts.items()
+        }
+
+    @property
+    def nbytes(self) -> int:
+        return self._store.nbytes
+
+    def matvec_link_bytes(self) -> int:
+        """Bytes of one link matrix as stored (traffic accounting)."""
+        reals = GAUGE_REALS_COMPRESSED if self.compressed else GAUGE_REALS_FULL
+        return reals * self.precision.real_bytes
+
+    # ------------------------------------------------------------------ #
+
+    def _encode(self, matrices: np.ndarray) -> np.ndarray:
+        """Complex link matrices -> stored representation."""
+        from ..lattice import su3
+
+        rows = su3.compress_rows(matrices) if self.compressed else matrices
+        if self.precision.needs_norm:
+            # Unitarity bounds every element by 1: direct fixed point.
+            flat = matrices_to_reals(rows.reshape(rows.shape[0], -1, 3))
+            return quantize_normalized(flat)
+        return rows.astype(self.precision.complex_compute_dtype)
+
+    def _decode(self, stored: np.ndarray) -> np.ndarray:
+        """Stored representation -> full complex link matrices."""
+        from ..lattice import su3
+
+        rows_n = 2 if self.compressed else 3
+        if self.precision.needs_norm:
+            reals = dequantize_normalized(stored)
+            rows = reals_to_matrices(reals, rows_n, 3).astype(np.complex64)
+        else:
+            rows = stored
+        return su3.reconstruct_rows(rows) if self.compressed else rows
+
+    def set(self, data: np.ndarray) -> None:
+        """Upload links ``(4, sites, 3, 3)`` complex."""
+        if not self.gpu.execute:
+            return
+        if data.shape != (4, self.sites, 3, 3):
+            raise ValueError(f"expected {(4, self.sites, 3, 3)}, got {data.shape}")
+        for mu in range(4):
+            self._store.array[mu] = self._encode(data[mu])
+
+    def links(self, mu: int) -> np.ndarray:
+        """Full (reconstructed, decoded) link matrices for direction mu."""
+        self._require_execute()
+        return self._decode(self._store.array[mu])
+
+    def set_ghost(self, links: np.ndarray, mu: int = T_DIR) -> None:
+        """Store the ``mu`` gauge ghost slice (done once at init)."""
+        if not self.gpu.execute:
+            return
+        n = self.ghosts[mu]
+        if links.shape != (n, 3, 3):
+            raise ValueError(f"expected {(n, 3, 3)}, got {links.shape}")
+        self._ghost[mu][...] = self._encode(links)
+
+    def ghost_links(self, mu: int = T_DIR) -> np.ndarray:
+        """The decoded ghost slice (U_mu of the -mu neighbor's last slice)."""
+        self._require_execute()
+        return self._decode(self._ghost[mu])
+
+    def ghost_message_bytes(self, mu: int = T_DIR) -> int:
+        reals = GAUGE_REALS_COMPRESSED if self.compressed else GAUGE_REALS_FULL
+        return self.ghosts.get(mu, 0) * reals * self.precision.real_bytes
+
+    def _require_execute(self) -> None:
+        if not self.gpu.execute:
+            raise RuntimeError("field data is not materialized in timing-only mode")
+
+    def release(self) -> None:
+        self.gpu.free(self._store)
+
+
+@dataclass
+class DeviceCloverField:
+    """Per-site chiral 6x6 blocks (the clover term or its inverse).
+
+    Stored as the packed 72 reals per site (paper footnote 1); half
+    precision quantizes the packed block with a shared per-site norm, as
+    QUDA does.
+    """
+
+    gpu: VirtualGPU
+    sites: int
+    precision: Precision
+    label: str = "clover"
+    layout: FieldLayout = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.layout = FieldLayout(
+            sites=self.sites,
+            internal_reals=CLOVER_REALS,
+            nvec=self.precision.vector_length,
+        )
+        nbytes = self.layout.nbytes(self.precision)
+        if self.precision.needs_norm:
+            nbytes += self.sites * 4
+            self._store = self.gpu.allocator.alloc_bytes(
+                nbytes, (self.sites, CLOVER_REALS), np.int16,
+                f"{self.gpu.name}:{self.label}[half]",
+            )
+            self._norms = self.gpu.empty_like_field((self.sites,), np.float32)
+        else:
+            self._store = self.gpu.allocator.alloc_bytes(
+                nbytes,
+                (self.sites, 2, 6, 6),
+                self.precision.complex_compute_dtype,
+                f"{self.gpu.name}:{self.label}[{self.precision.name.lower()}]",
+            )
+            self._norms = None
+
+    @property
+    def nbytes(self) -> int:
+        return self._store.nbytes
+
+    def site_bytes(self) -> int:
+        n = CLOVER_REALS * self.precision.real_bytes
+        if self.precision.needs_norm:
+            n += 4
+        return n
+
+    def set(self, blocks: np.ndarray) -> None:
+        """Upload chiral blocks ``(sites, 2, 6, 6)`` complex."""
+        if not self.gpu.execute:
+            return
+        if blocks.shape != (self.sites, 2, 6, 6):
+            raise ValueError(f"expected {(self.sites, 2, 6, 6)}, got {blocks.shape}")
+        if self.precision.needs_norm:
+            packed = _pack_blocks(blocks)
+            self._store.array[...], self._norms[...] = quantize_block(packed)
+        else:
+            self._store.array[...] = blocks
+
+    def blocks(self) -> np.ndarray:
+        """Decoded chiral blocks in compute dtype."""
+        self._require_execute()
+        if self.precision.needs_norm:
+            packed = dequantize_block(self._store.array, self._norms)
+            return _unpack_blocks(packed.astype(np.float64)).astype(np.complex64)
+        return self._store.array
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        """Blockwise apply to spinor data ``(sites, 4, 3)``."""
+        from ..lattice.fields import apply_chiral_blocks
+
+        return apply_chiral_blocks(self.blocks(), psi)
+
+    def apply_rows(self, psi_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Apply the blocks of a site subset to matching spinor rows.
+
+        Used by the fused dslash kernels, whose region may cover only the
+        interior or boundary rows.
+        """
+        from ..lattice.fields import apply_chiral_blocks
+
+        return apply_chiral_blocks(self.blocks()[rows], psi_rows)
+
+    def _require_execute(self) -> None:
+        if not self.gpu.execute:
+            raise RuntimeError("field data is not materialized in timing-only mode")
+
+    def release(self) -> None:
+        self.gpu.free(self._store)
+
+
+def _pack_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Chiral blocks ``(V, 2, 6, 6)`` -> 72 reals/site (Hermitian packing)."""
+    v = blocks.shape[0]
+    out = np.empty((v, CLOVER_REALS), dtype=np.float64)
+    tri = np.tril_indices(6, k=-1)
+    for c in range(2):
+        base = 36 * c
+        out[:, base : base + 6] = np.real(blocks[:, c, np.arange(6), np.arange(6)])
+        lower = blocks[:, c, tri[0], tri[1]]
+        out[:, base + 6 : base + 36 : 2] = lower.real
+        out[:, base + 7 : base + 36 : 2] = lower.imag
+    return out
+
+
+def _unpack_blocks(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_pack_blocks`."""
+    v = packed.shape[0]
+    blocks = np.zeros((v, 2, 6, 6), dtype=np.complex128)
+    tri = np.tril_indices(6, k=-1)
+    for c in range(2):
+        base = 36 * c
+        blocks[:, c, np.arange(6), np.arange(6)] = packed[:, base : base + 6]
+        lower = packed[:, base + 6 : base + 36 : 2] + 1j * packed[
+            :, base + 7 : base + 36 : 2
+        ]
+        blocks[:, c, tri[0], tri[1]] = lower
+        blocks[:, c, tri[1], tri[0]] = np.conj(lower)
+    return blocks

@@ -1,0 +1,154 @@
+"""Storage precisions, including 16-bit fixed-point "half" (Section V-C3).
+
+QUDA accelerates its bandwidth-bound kernels by *precision truncation*:
+fields may be stored in 16-bit fixed point ("half precision") and expanded
+to 32-bit floats on read via the texture unit's
+``cudaReadModeNormalizedFloat`` mode, which maps a signed int16 to a float
+in [-1, 1].
+
+* **Gauge links** fit the format directly: unitarity bounds every element
+  by 1 in magnitude.
+* **Spinors** need a scale: QUDA stores each color-spinor as 6 ``short4``
+  vectors plus a single ``float`` normalization shared by all 24 real
+  components ("a spinor is stored as 6 short4 arrays and a single float
+  normalization array").  The shared norm is justified because the matrix
+  mixes all spin/color components of a site (paper footnote 2).
+
+This module implements the encode/decode pair and quantization-error
+bounds; the texture-cache read path is modelled in
+:mod:`repro.gpu.texture`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "Precision",
+    "HALF_SCALE",
+    "quantize_normalized",
+    "dequantize_normalized",
+    "quantize_block",
+    "dequantize_block",
+    "half_roundtrip_bound",
+]
+
+#: Largest representable magnitude of a signed 16-bit normalized value.
+HALF_SCALE = 32767.0
+
+
+class Precision(enum.Enum):
+    """Field storage precision.
+
+    ``value`` is the storage bytes per real number.  Note ``HALF`` is fixed
+    point, not IEEE fp16: the decode is ``int16 / 32767 -> [-1, 1]`` as in
+    CUDA's normalized texture reads.
+    """
+
+    DOUBLE = 8
+    SINGLE = 4
+    HALF = 2
+
+    @property
+    def real_bytes(self) -> int:
+        return self.value
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        return {
+            Precision.DOUBLE: np.dtype(np.float64),
+            Precision.SINGLE: np.dtype(np.float32),
+            Precision.HALF: np.dtype(np.int16),
+        }[self]
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """Arithmetic dtype: half-precision fields compute in float32."""
+        return {
+            Precision.DOUBLE: np.dtype(np.float64),
+            Precision.SINGLE: np.dtype(np.float32),
+            Precision.HALF: np.dtype(np.float32),
+        }[self]
+
+    @property
+    def complex_compute_dtype(self) -> np.dtype:
+        return {
+            Precision.DOUBLE: np.dtype(np.complex128),
+            Precision.SINGLE: np.dtype(np.complex64),
+            Precision.HALF: np.dtype(np.complex64),
+        }[self]
+
+    @property
+    def needs_norm(self) -> bool:
+        """Whether spinor/clover storage carries a per-site norm array."""
+        return self is Precision.HALF
+
+    @property
+    def vector_length(self) -> int:
+        """Optimal short-vector length ``Nvec`` (Section V-B).
+
+        QUDA found float4 optimal in single and double2 in double — both 16
+        bytes; half uses short4 (8 bytes, paired with the norm array).
+        """
+        return {Precision.DOUBLE: 2, Precision.SINGLE: 4, Precision.HALF: 4}[self]
+
+    @classmethod
+    def parse(cls, name: "str | Precision") -> "Precision":
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown precision {name!r}; expected double/single/half"
+            ) from None
+
+
+def quantize_normalized(values: np.ndarray) -> np.ndarray:
+    """Encode reals in [-1, 1] as int16 (CUDA normalized-read convention).
+
+    Used for gauge links, whose elements are bounded by unitarity.  Values
+    that stray infinitesimally outside [-1, 1] from roundoff are clipped.
+    """
+    scaled = np.clip(values, -1.0, 1.0) * HALF_SCALE
+    return np.round(scaled).astype(np.int16)
+
+
+def dequantize_normalized(stored: np.ndarray) -> np.ndarray:
+    """Decode int16 to float32 in [-1, 1]."""
+    return stored.astype(np.float32) / np.float32(HALF_SCALE)
+
+
+def quantize_block(
+    reals: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode per-site blocks of reals with a shared per-site norm.
+
+    ``reals`` has shape ``(sites, n)``; returns ``(int16 (sites, n),
+    float32 norms (sites,))`` with ``decoded = int16 / 32767 * norm``.
+    Sites that are exactly zero get norm 0 (and decode to exact zeros).
+    """
+    if reals.ndim != 2:
+        raise ValueError(f"expected (sites, n) reals, got shape {reals.shape}")
+    norms = np.max(np.abs(reals), axis=1).astype(np.float32)
+    safe = np.where(norms == 0.0, np.float32(1.0), norms)
+    scaled = reals / safe[:, None] * HALF_SCALE
+    return np.round(scaled).astype(np.int16), norms
+
+
+def dequantize_block(stored: np.ndarray, norms: np.ndarray) -> np.ndarray:
+    """Decode ``quantize_block`` output back to float32."""
+    return stored.astype(np.float32) * (
+        norms.astype(np.float32) / np.float32(HALF_SCALE)
+    )[:, None]
+
+
+def half_roundtrip_bound(norms: np.ndarray) -> float:
+    """Worst-case absolute error of one encode/decode pass.
+
+    Rounding to the nearest of 2*32767 levels of ``[-norm, norm]`` gives
+    ``|err| <= norm / (2 * 32767)`` per component.
+    """
+    return float(np.max(norms)) / (2.0 * HALF_SCALE)

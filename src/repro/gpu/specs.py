@@ -1,0 +1,139 @@
+"""Hardware specifications: paper Table I plus GT200 architectural limits.
+
+The six representative NVIDIA cards of Table I are reproduced verbatim as
+:data:`TABLE_I`; the test bed card (GeForce GTX 285) carries the extra
+GT200 architecture constants from Section III that the occupancy model and
+the partition-camping model need:
+
+* 240 cores in 30 multiprocessors of 8 cores each; warp size 32; up to
+  1024 resident threads per multiprocessor,
+* 16,384 single-precision registers (8,192 in double precision) and
+  16 KiB of shared memory per multiprocessor,
+* a 512-bit memory bus split into 8 partitions of 256-byte granularity
+  (the origin of partition camping), and
+* a single copy engine — overlapped PCIe transfers serialize, and
+  bidirectional transfer is a Fermi feature (paper footnote 4).
+
+The CPU reference (dual Intel Xeon E5530 "Nehalem" as in the JLab 9g/9q
+nodes) is included for the Section VII-C comparison: "we obtained 255
+Gflops in single precision using highly optimized SSE routines, which
+corresponds to approximately 2 Gflops per CPU core".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GPUSpec", "CPUSpec", "TABLE_I", "GTX285", "XEON_E5530", "get_gpu"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Specification of one graphics card (paper Table I row).
+
+    Bandwidths are GB/s, compute rates Gflops, memory GiB — exactly the
+    units of Table I.
+    """
+
+    name: str
+    cores: int
+    bandwidth_gbs: float
+    gflops_sp: float
+    gflops_dp: float | None  # N/A for pre-GT200 cards
+    ram_gib: float
+
+    # Architecture constants (defaults are GT200-generation values).
+    multiprocessors: int = 30
+    warp_size: int = 32
+    max_threads_per_mp: int = 1024
+    max_blocks_per_mp: int = 8
+    registers_per_mp_sp: int = 16384
+    registers_per_mp_dp: int = 8192
+    shared_memory_bytes: int = 16 * 1024
+    constant_cache_bytes: int = 8 * 1024
+    memory_partitions: int = 8
+    partition_width_bytes: int = 256
+    copy_engines: int = 1
+    bidirectional_pcie: bool = False
+
+    @property
+    def ram_bytes(self) -> int:
+        return int(self.ram_gib * 2**30)
+
+    def peak_flops(self, precision_bytes: int) -> float:
+        """Peak Gflops for a given arithmetic width (half runs at SP rate)."""
+        if precision_bytes == 8:
+            if self.gflops_dp is None:
+                raise ValueError(f"{self.name} has no double-precision support")
+            return self.gflops_dp
+        return self.gflops_sp
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A conventional CPU node, for the Section VII-C comparison."""
+
+    name: str
+    cores_per_node: int
+    gflops_per_core_sustained: float
+    memory_gib: float = 48.0  # the 9g/9q node main-memory size
+
+    def sustained_gflops(self, n_nodes: int) -> float:
+        return n_nodes * self.cores_per_node * self.gflops_per_core_sustained
+
+
+def _card(name, cores, bw, sp, dp, ram, **kw) -> GPUSpec:
+    return GPUSpec(name, cores, bw, sp, dp, ram, **kw)
+
+
+#: Paper Table I, verbatim.  GTX 285 RAM is listed as "1.0 - 2.0"; the 9g
+#: cluster cards have 2 GiB (Section VII-A), which is what we record.
+TABLE_I: dict[str, GPUSpec] = {
+    s.name: s
+    for s in (
+        _card("GeForce 8800 GTX", 128, 86.4, 518.0, None, 0.75, multiprocessors=16),
+        _card("Tesla C870", 128, 76.8, 518.0, None, 1.5, multiprocessors=16),
+        _card("GeForce GTX 285", 240, 159.0, 1062.0, 88.0, 2.0),
+        _card("Tesla C1060", 240, 102.0, 933.0, 78.0, 4.0),
+        _card(
+            "GeForce GTX 480",
+            480,
+            177.0,
+            1345.0,
+            168.0,
+            1.5,
+            multiprocessors=15,
+            max_threads_per_mp=1536,
+            copy_engines=1,
+            bidirectional_pcie=True,
+        ),
+        _card(
+            "Tesla C2050",
+            448,
+            144.0,
+            1030.0,
+            515.0,
+            3.0,
+            multiprocessors=14,
+            max_threads_per_mp=1536,
+            copy_engines=2,
+            bidirectional_pcie=True,
+        ),
+    )
+}
+
+#: The paper's test bed card: 2 GiB GeForce GTX 285 (Section VII-A).
+GTX285 = TABLE_I["GeForce GTX 285"]
+
+#: The 9g/9q node CPU: two quad-core Xeon E5530 at 2.4 GHz; the paper's
+#: measured sustained LQCD rate is ~2 Gflops/core with SSE.
+XEON_E5530 = CPUSpec("2x Intel Xeon E5530", cores_per_node=8, gflops_per_core_sustained=2.0)
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a Table I card by name."""
+    try:
+        return TABLE_I[name]
+    except KeyError:
+        known = ", ".join(TABLE_I)
+        raise KeyError(f"unknown GPU {name!r}; Table I lists: {known}") from None

@@ -1,0 +1,61 @@
+"""Texture-unit read emulation (Section V-C3).
+
+QUDA reads gauge and spinor fields through the read-only texture cache,
+using ``cudaReadModeNormalizedFloat``: "a signed 16-bit (or even 8-bit)
+integer read in from device memory will be automatically converted to a
+32-bit floating point number in the range [-1, 1]".  This module provides
+that decode path — the one functional behaviour of the texture unit the
+half-precision implementation relies on — plus the element-type read mode
+for float fields.
+
+The *performance* effects of the texture cache are folded into the
+per-precision bandwidth-efficiency factors of
+:mod:`repro.gpu.perfmodel`; here we care about numerics only.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .precision import dequantize_normalized
+
+__all__ = ["ReadMode", "texture_read"]
+
+
+class ReadMode(enum.Enum):
+    """CUDA texture read modes (the two the paper's kernels use)."""
+
+    ELEMENT_TYPE = "cudaReadModeElementType"
+    NORMALIZED_FLOAT = "cudaReadModeNormalizedFloat"
+
+
+def texture_read(
+    stored: np.ndarray,
+    mode: ReadMode,
+    *,
+    norms: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fetch field data "through the texture unit".
+
+    ``ELEMENT_TYPE`` returns float data unchanged (float32/float64
+    textures); ``NORMALIZED_FLOAT`` decodes int16 to float32 in [-1, 1]
+    and, when a per-site ``norms`` array is supplied (the spinor case),
+    applies the shared rescaling — the texture unit's "rescaling
+    capability" of Section III.
+    """
+    if mode is ReadMode.ELEMENT_TYPE:
+        if stored.dtype == np.int16:
+            raise TypeError("int16 storage requires NORMALIZED_FLOAT read mode")
+        return stored
+    if stored.dtype != np.int16:
+        raise TypeError(
+            f"NORMALIZED_FLOAT decodes int16 storage, got {stored.dtype}"
+        )
+    decoded = dequantize_normalized(stored)
+    if norms is not None:
+        decoded = decoded * norms.astype(np.float32).reshape(
+            norms.shape + (1,) * (decoded.ndim - norms.ndim)
+        )
+    return decoded

@@ -1,0 +1,214 @@
+"""Even-odd (red-black) preconditioning of the Wilson-clover system.
+
+"Even-odd (also known as red-black) preconditioning is used to accelerate
+the solution finding process, where the nearest neighbor property of the
+D matrix is exploited to solve the Schur complement system" (paper
+Section II).  Writing ``M = A' - (1/2) D`` with sitewise-diagonal
+``A' = (4 + m + A)`` and ordering sites even-first,
+
+    M = [  A'_e      -1/2 D_eo ]
+        [ -1/2 D_oe   A'_o     ]
+
+the Schur complement on the even sublattice is
+
+    Mhat = A'_e - (1/4) D_eo A'_o^{-1} D_oe .
+
+Solving ``Mhat x_e = b_e + (1/2) D_eo A'_o^{-1} b_o`` and reconstructing
+``x_o = A'_o^{-1} (b_o + (1/2) D_oe x_e)`` gives the full solution at half
+the Krylov-space size and roughly twice the solver speed.  "This has no
+effect on the overall efficiency since the fields are reordered such that
+all components of a given parity are contiguous."
+
+This module provides the parity-restricted hopping term and the Schur
+operator as the host reference; the device / multi-GPU implementations are
+validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .geometry import NDIM, LatticeGeometry
+from . import gamma as _gamma
+from . import su3
+from .fields import CloverField, GaugeField, SpinorField, apply_chiral_blocks
+
+__all__ = [
+    "dslash_parity",
+    "SchurOperator",
+    "full_to_parity",
+    "parity_to_full",
+]
+
+EVEN, ODD = 0, 1
+
+
+def full_to_parity(geometry: LatticeGeometry, data: np.ndarray, parity: int) -> np.ndarray:
+    """Extract the ``parity`` checkerboard of a full field (leading axis V)."""
+    return data[geometry.sites_of_parity[parity]]
+
+
+def parity_to_full(
+    geometry: LatticeGeometry,
+    even: np.ndarray,
+    odd: np.ndarray,
+) -> np.ndarray:
+    """Interleave even/odd checkerboards back into full-lattice ordering."""
+    out = np.empty((geometry.volume,) + even.shape[1:], dtype=even.dtype)
+    e_sites, o_sites = geometry.sites_of_parity
+    out[e_sites] = even
+    out[o_sites] = odd
+    return out
+
+
+def dslash_parity(
+    gauge: GaugeField,
+    psi_cb: np.ndarray,
+    target_parity: int,
+    *,
+    basis: str = _gamma.DEGRAND_ROSSI,
+    dagger: bool = False,
+) -> np.ndarray:
+    """Parity-restricted hopping term ``D_{target <- source}``.
+
+    ``psi_cb`` holds the checkerboard of parity ``1 - target_parity``
+    (shape ``(V/2, 4, 3)``); the result lives on ``target_parity`` sites.
+    This is the kernel QUDA actually runs: the even-odd solver only ever
+    applies ``D_eo`` and ``D_oe``.
+    """
+    geo = gauge.geometry
+    target_sites = geo.sites_of_parity[target_parity]
+    nbr_fwd = geo.eo_neighbor_fwd[target_parity]
+    nbr_bwd = geo.eo_neighbor_bwd[target_parity]
+    ph_fwd = geo.boundary_phase_fwd[:, target_sites]
+    ph_bwd = geo.boundary_phase_bwd[:, target_sites]
+    u = gauge.data
+    full_bwd = geo.neighbor_bwd
+    out = np.zeros((target_sites.size,) + psi_cb.shape[1:], dtype=psi_cb.dtype)
+    sgn = -1 if dagger else +1
+    for mu in range(NDIM):
+        p_minus = _gamma.projector(mu, -sgn, basis)
+        p_plus = _gamma.projector(mu, +sgn, basis)
+        # Forward: U_mu at the target site itself.
+        psi_f = psi_cb[nbr_fwd[mu]] * ph_fwd[mu][:, None, None]
+        u_psi = np.einsum("xab,xsb->xsa", u[mu][target_sites], psi_f)
+        out += np.einsum("st,xta->xsa", p_minus, u_psi)
+        # Backward: U_mu stored at the source site x - mu_hat.
+        psi_b = psi_cb[nbr_bwd[mu]] * ph_bwd[mu][:, None, None]
+        u_back = su3.adjoint(u[mu][full_bwd[mu][target_sites]])
+        u_psi = np.einsum("xab,xsb->xsa", u_back, psi_b)
+        out += np.einsum("st,xta->xsa", p_plus, u_psi)
+    return out
+
+
+@dataclass
+class SchurOperator:
+    """The even-odd preconditioned Wilson-clover operator ``Mhat``.
+
+    Precomputes the checkerboarded diagonal blocks ``A' = (4 + m) + A`` and
+    the inverse of the opposite-parity block (6x6 chiral-block inverses, as
+    QUDA does once per configuration).  ``solve_parity`` selects which
+    checkerboard carries the preconditioned system (QUDA's MATPC_EVEN_EVEN
+    vs MATPC_ODD_ODD).
+    """
+
+    gauge: GaugeField
+    mass: float
+    clover: CloverField | None = None
+    basis: str = _gamma.DEGRAND_ROSSI
+    #: Parity the preconditioned system lives on (QUDA's MATPC choice):
+    #: EVEN gives Mhat = A'_ee - (1/4) D_eo A'_oo^{-1} D_oe, ODD the
+    #: mirror image.  Both reconstruct the same full solution.
+    solve_parity: int = EVEN
+    _diag: list[np.ndarray] = field(init=False, repr=False)
+    _diag_inv: list[np.ndarray | None] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        geo = self.gauge.geometry
+        coeff = 4.0 + self.mass
+        eye = np.zeros((1, 2, 6, 6), dtype=np.complex128)
+        eye[0, :, np.arange(6), np.arange(6)] = 1.0
+        self._diag = []
+        self._diag_inv = [None, None]
+        for parity in (EVEN, ODD):
+            sites = geo.sites_of_parity[parity]
+            block = np.broadcast_to(coeff * eye, (sites.size, 2, 6, 6)).copy()
+            if self.clover is not None:
+                block += self.clover.data[sites]
+            self._diag.append(block)
+
+    @property
+    def geometry(self) -> LatticeGeometry:
+        return self.gauge.geometry
+
+    @property
+    def half_volume(self) -> int:
+        return self.geometry.half_volume
+
+    def diag_apply(self, psi_cb: np.ndarray, parity: int) -> np.ndarray:
+        """Apply ``A'`` on one checkerboard."""
+        return apply_chiral_blocks(self._diag[parity], psi_cb)
+
+    def diag_inverse_apply(self, psi_cb: np.ndarray, parity: int) -> np.ndarray:
+        """Apply ``A'^{-1}`` on one checkerboard (inverse cached)."""
+        if self._diag_inv[parity] is None:
+            self._diag_inv[parity] = np.linalg.inv(self._diag[parity])
+        return apply_chiral_blocks(self._diag_inv[parity], psi_cb)
+
+    def apply(self, psi_p: np.ndarray, *, dagger: bool = False) -> np.ndarray:
+        """``Mhat psi`` (or its dagger) on the solve-parity checkerboard."""
+        p = self.solve_parity
+        q = 1 - p
+        # Mhat^dag uses the daggered hopping term; the diagonal blocks and
+        # their inverses are Hermitian blockwise.
+        d_qp = dslash_parity(self.gauge, psi_p, q, basis=self.basis, dagger=dagger)
+        tmp = self.diag_inverse_apply(d_qp, q)
+        d_pq = dslash_parity(self.gauge, tmp, p, basis=self.basis, dagger=dagger)
+        return self.diag_apply(psi_p, p) - 0.25 * d_pq
+
+    # ------------------------------------------------------------------ #
+    # Source preparation / solution reconstruction
+    # ------------------------------------------------------------------ #
+
+    def prepare_source(self, b: SpinorField) -> tuple[np.ndarray, np.ndarray]:
+        """Split ``b`` and fold the other parity into the solve source.
+
+        Returns ``(b_hat, b_q)`` with (for the even-parity default)
+        ``b_hat = b_e + (1/2) D_eo A'_o^{-1} b_o``.
+        """
+        geo = self.geometry
+        p = self.solve_parity
+        q = 1 - p
+        b_p = full_to_parity(geo, b.data, p)
+        b_q = full_to_parity(geo, b.data, q)
+        tmp = self.diag_inverse_apply(b_q, q)
+        b_hat = b_p + 0.5 * dslash_parity(self.gauge, tmp, p, basis=self.basis)
+        return b_hat, b_q
+
+    def reconstruct(self, x_p: np.ndarray, b_q: np.ndarray) -> SpinorField:
+        """Rebuild the full solution from the preconditioned solve:
+        ``x_q = A'_q^{-1} (b_q + (1/2) D_qp x_p)``."""
+        p = self.solve_parity
+        q = 1 - p
+        d_qp = dslash_parity(self.gauge, x_p, q, basis=self.basis)
+        x_q = self.diag_inverse_apply(b_q + 0.5 * d_qp, q)
+        pair = (x_p, x_q) if p == EVEN else (x_q, x_p)
+        full = parity_to_full(self.geometry, *pair)
+        return SpinorField(self.geometry, full, self.basis)
+
+    # -- flat-vector interface --------------------------------------------
+
+    def as_linear_operator(self, *, dagger: bool = False, normal: bool = False):
+        """``f(vec) -> vec`` over flattened even-checkerboard data."""
+
+        def matvec(v: np.ndarray) -> np.ndarray:
+            x = v.reshape(-1, 4, 3)
+            if normal:
+                y = self.apply(self.apply(x), dagger=True)
+            else:
+                y = self.apply(x, dagger=dagger)
+            return y.reshape(-1)
+
+        return matvec

@@ -1,0 +1,180 @@
+"""Host-side (plain NumPy) Krylov solvers — the algorithmic references.
+
+The paper's production solvers (Section V, VI-E) run on the device in the
+core package; these are the textbook versions used to validate them:
+
+* :func:`cg` — Conjugate Gradients (Hestenes & Stiefel) for Hermitian
+  positive-definite operators.
+* :func:`cgne` / :func:`cgnr` — CG on the normal equations, usable on the
+  non-Hermitian Wilson-clover matrix (paper Section II).
+* :func:`bicgstab` — van der Vorst's BiCGstab, "more commonly, the system
+  is solved directly using a non-symmetric method".
+
+Each returns a :class:`SolveResult` with the iterate, iteration count, and
+the full residual-norm history (handy for solver-behavior tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["SolveResult", "ConvergenceError", "cg", "cgne", "cgnr", "bicgstab"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when a solver exhausts ``maxiter`` without reaching ``tol``."""
+
+    def __init__(self, message: str, result: "SolveResult") -> None:
+        super().__init__(message)
+        self.result = result
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a Krylov solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    history: list[float] = field(default_factory=list, repr=False)
+
+
+def _finish(
+    x: np.ndarray,
+    iters: int,
+    rnorm: float,
+    target: float,
+    history: list[float],
+    raise_on_fail: bool,
+    name: str,
+) -> SolveResult:
+    converged = rnorm <= target
+    result = SolveResult(x, iters, rnorm, converged, history)
+    if not converged and raise_on_fail:
+        raise ConvergenceError(
+            f"{name} stalled at |r| = {rnorm:.3e} (target {target:.3e}) "
+            f"after {iters} iterations",
+            result,
+        )
+    return result
+
+
+def cg(
+    apply_a: Operator,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    maxiter: int = 10_000,
+    raise_on_fail: bool = True,
+) -> SolveResult:
+    """Conjugate gradients for Hermitian positive-definite ``A``.
+
+    ``tol`` is relative: the solve stops when ``|r| <= tol * |b|``.
+    """
+    b = np.asarray(b)
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    r = b - apply_a(x) if x0 is not None else b.copy()
+    p = r.copy()
+    rr = np.vdot(r, r).real
+    bnorm = float(np.linalg.norm(b))
+    target = tol * bnorm if bnorm > 0 else tol
+    history = [float(np.sqrt(rr))]
+    if history[0] <= target:
+        return SolveResult(x, 0, history[0], True, history)
+    for it in range(1, maxiter + 1):
+        ap = apply_a(p)
+        alpha = rr / np.vdot(p, ap).real
+        x += alpha * p
+        r -= alpha * ap
+        rr_new = np.vdot(r, r).real
+        history.append(float(np.sqrt(rr_new)))
+        if np.sqrt(rr_new) <= target:
+            return SolveResult(x, it, float(np.sqrt(rr_new)), True, history)
+        beta = rr_new / rr
+        p = r + beta * p
+        rr = rr_new
+    return _finish(x, maxiter, history[-1], target, history, raise_on_fail, "CG")
+
+
+def cgne(
+    apply_a: Operator,
+    apply_a_dag: Operator,
+    b: np.ndarray,
+    **kwargs,
+) -> SolveResult:
+    """CG on the normal equations ``A A^dag y = b``, ``x = A^dag y`` (CGNE)."""
+    result = cg(lambda v: apply_a(apply_a_dag(v)), b, **kwargs)
+    result.x = apply_a_dag(result.x)
+    return result
+
+
+def cgnr(
+    apply_a: Operator,
+    apply_a_dag: Operator,
+    b: np.ndarray,
+    **kwargs,
+) -> SolveResult:
+    """CG on the normal residual equations ``A^dag A x = A^dag b`` (CGNR)."""
+    return cg(lambda v: apply_a_dag(apply_a(v)), apply_a_dag(b), **kwargs)
+
+
+def bicgstab(
+    apply_a: Operator,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    maxiter: int = 10_000,
+    raise_on_fail: bool = True,
+) -> SolveResult:
+    """BiCGstab (van der Vorst) for general non-Hermitian ``A``.
+
+    This is the solver the paper benchmarks ("the reliably updated BiCGstab
+    solver discussed in [4]"); the reliable-update mixed-precision wrapper
+    lives in :mod:`repro.core.solvers.reliable`.
+    """
+    b = np.asarray(b)
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    r = b - apply_a(x) if x0 is not None else b.copy()
+    r0 = r.copy()
+    rho = alpha = omega = 1.0 + 0.0j
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    bnorm = float(np.linalg.norm(b))
+    target = tol * bnorm if bnorm > 0 else tol
+    rnorm = float(np.linalg.norm(r))
+    history = [rnorm]
+    if rnorm <= target:
+        return SolveResult(x, 0, rnorm, True, history)
+    for it in range(1, maxiter + 1):
+        rho_new = np.vdot(r0, r)
+        if rho_new == 0:  # breakdown; restart from current residual
+            r0 = r.copy()
+            rho_new = np.vdot(r0, r)
+        beta = (rho_new / rho) * (alpha / omega)
+        p = r + beta * (p - omega * v)
+        v = apply_a(p)
+        alpha = rho_new / np.vdot(r0, v)
+        s = r - alpha * v
+        snorm = float(np.linalg.norm(s))
+        if snorm <= target:
+            x += alpha * p
+            history.append(snorm)
+            return SolveResult(x, it, snorm, True, history)
+        t = apply_a(s)
+        omega = np.vdot(t, s) / np.vdot(t, t)
+        x += alpha * p + omega * s
+        r = s - omega * t
+        rho = rho_new
+        rnorm = float(np.linalg.norm(r))
+        history.append(rnorm)
+        if rnorm <= target:
+            return SolveResult(x, it, rnorm, True, history)
+    return _finish(x, maxiter, rnorm, target, history, raise_on_fail, "BiCGstab")

@@ -1,0 +1,216 @@
+"""Physics observables: the analysis-phase payload of the LQCD workflow.
+
+The paper's introduction frames the whole enterprise: configurations are
+generated, then "the solution vectors are used to compute the final
+observables of interest".  This module implements the standard observable
+toolkit on top of the solver:
+
+* **Quark propagators** — all 12 (spin, color) point-source columns,
+  computed through :func:`repro.core.invert_multi` so the device setup is
+  amortized exactly as in production (Section VIII).
+* **Meson two-point functions** with arbitrary gamma-matrix insertions
+  (pion, rho, scalar, axial), via the gamma5-hermiticity trick
+  ``S(0, x) = gamma_5 S(x, 0)^dag gamma_5``.
+* **Wilson loops** and the **Polyakov loop** — pure-gauge observables
+  (they need no solves) used to verify generated ensembles; at strong
+  coupling the Wilson loop obeys the area law ``W(R, T) ~ (beta/18)^RT``,
+  which the tests check against the Monte Carlo module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import gamma as _gamma
+from . import su3
+from .fields import GaugeField, SpinorField
+from .geometry import LatticeGeometry, T_DIR
+from .random_fields import point_source
+
+__all__ = [
+    "Propagator",
+    "compute_propagator",
+    "meson_correlator",
+    "MESON_CHANNELS",
+    "wilson_loop",
+    "polyakov_loop",
+]
+
+
+@dataclass
+class Propagator:
+    """A point-to-all quark propagator.
+
+    ``data[x, s, c, s0, c0]`` is the amplitude from source component
+    ``(s0, c0)`` at ``source_site`` to ``(s, c)`` at site ``x``.
+    """
+
+    geometry: LatticeGeometry
+    data: np.ndarray
+    source_site: int = 0
+
+    def __post_init__(self) -> None:
+        expected = (self.geometry.volume, 4, 3, 4, 3)
+        if self.data.shape != expected:
+            raise ValueError(f"expected shape {expected}, got {self.data.shape}")
+
+    def column(self, spin: int, color: int) -> np.ndarray:
+        """One source component's solution, shape ``(V, 4, 3)``."""
+        return self.data[:, :, :, spin, color]
+
+
+def compute_propagator(
+    gauge: GaugeField,
+    inv,
+    *,
+    source_site: int = 0,
+    n_gpus: int = 1,
+    grid: tuple[int, int] | None = None,
+    **invert_kwargs,
+) -> Propagator:
+    """Solve for all 12 source components (one ``invert_multi`` call).
+
+    ``inv`` is a :class:`repro.core.QudaInvertParam`; extra keyword
+    arguments pass through to :func:`repro.core.invert_multi`.
+    """
+    from ..core import invert_multi
+
+    geometry = gauge.geometry
+    sources = [
+        point_source(geometry, site=source_site, spin=s, color=c)
+        for s in range(4)
+        for c in range(3)
+    ]
+    results = invert_multi(
+        gauge, sources, inv, n_gpus=n_gpus, grid=grid, **invert_kwargs
+    )
+    data = np.zeros((geometry.volume, 4, 3, 4, 3), dtype=np.complex128)
+    k = 0
+    for s in range(4):
+        for c in range(3):
+            if not results[k].stats.converged:
+                raise RuntimeError(f"column (spin {s}, color {c}) did not converge")
+            data[:, :, :, s, c] = results[k].solution.data
+            k += 1
+    return Propagator(geometry, data, source_site)
+
+
+#: Interpolating-operator gamma structures for the common meson channels.
+def _channels() -> dict[str, np.ndarray]:
+    g = _gamma.gamma_matrices(_gamma.DEGRAND_ROSSI)
+    g5 = np.asarray(_gamma.gamma5(_gamma.DEGRAND_ROSSI))
+    eye = np.eye(4, dtype=complex)
+    return {
+        "pion": g5,  # pseudoscalar: gamma_5
+        "scalar": eye,  # scalar: 1
+        "rho_x": np.asarray(g[0]),
+        "rho_y": np.asarray(g[1]),
+        "rho_z": np.asarray(g[2]),
+        "a1_x": np.asarray(g5 @ g[0]),  # axial vector
+    }
+
+
+MESON_CHANNELS = _channels()
+
+
+def meson_correlator(prop: Propagator, channel: str = "pion") -> np.ndarray:
+    """The zero-momentum meson two-point function ``C(t)``.
+
+    With interpolating operator ``qbar Gamma q``, a point source at
+    timeslice 0, and the gamma5-hermiticity backward line
+    ``S(0, x) = gamma_5 S(x, 0)^dag gamma_5``,
+
+        C(t) = sum_x Tr[ Gamma S(x,0) Gamma gamma_5 S(x,0)^dag gamma_5 ]
+
+    (the same ``Gamma`` at source and sink — Chroma's convention, which
+    makes the physical channels come out positive); for the pion this
+    reduces to ``sum |S|^2``.  Returns the length-``T`` array of ``C(t)``.
+    """
+    try:
+        gam = MESON_CHANNELS[channel]
+    except KeyError:
+        raise ValueError(
+            f"unknown channel {channel!r}; known: {sorted(MESON_CHANNELS)}"
+        ) from None
+    geo = prop.geometry
+    g5 = np.asarray(_gamma.gamma5(_gamma.DEGRAND_ROSSI))
+    corr_site = _meson_contract(prop.data, gam, gam, g5)
+    vs = geo.spatial_volume
+    T = geo.dims[T_DIR]
+    return corr_site.reshape(T, vs).sum(axis=1).real
+
+
+def _meson_contract(s: np.ndarray, gam: np.ndarray, gbar: np.ndarray, g5: np.ndarray) -> np.ndarray:
+    """Per-site meson contraction via 12x12 (spin x color) matrices:
+
+        C(x) = Tr[ Gamma S(x) Gammabar gamma_5 S(x)^dag gamma_5 ] .
+    """
+    v = s.shape[0]
+    s_mat = s.reshape(v, 12, 12)
+    gam12 = np.kron(gam, np.eye(3))
+    gbar12 = np.kron(gbar, np.eye(3))
+    g512 = np.kron(g5, np.eye(3))
+    m = gam12 @ s_mat @ gbar12 @ g512 @ np.conj(np.swapaxes(s_mat, 1, 2)) @ g512
+    return np.trace(m, axis1=1, axis2=2)
+
+
+def wilson_loop(gauge: GaugeField, r: int, t: int) -> float:
+    """The R x T planar Wilson loop, averaged over sites and the three
+    (spatial, temporal) plane orientations.
+
+    ``W(1, 1)`` is the plaquette; at strong coupling ``W(R, T) ~
+    (beta/18)^(RT)`` (the area law), at ``beta -> inf`` every loop is 1.
+    """
+    if r < 1 or t < 1:
+        raise ValueError("loop extents must be >= 1")
+    geo = gauge.geometry
+    total = 0.0
+    for i in range(3):  # spatial directions
+        line_r = _line(gauge, i, r)  # product of r links in direction i
+        line_t = _line(gauge, T_DIR, t)
+        # Loop: line_r(x) line_t(x + r i) line_r(x + t T)^dag line_t(x)^dag
+        shift_r = _shift_sites(geo, i, r)
+        shift_t = _shift_sites(geo, T_DIR, t)
+        loop = (
+            line_r
+            @ line_t[shift_r]
+            @ su3.adjoint(line_r[shift_t])
+            @ su3.adjoint(line_t)
+        )
+        total += float(np.mean(su3.trace(loop).real)) / 3.0
+    return total / 3.0
+
+
+def _line(gauge: GaugeField, mu: int, length: int) -> np.ndarray:
+    """Path-ordered product of ``length`` links in direction ``mu``:
+    ``U_mu(x) U_mu(x+mu) ... U_mu(x+(length-1)mu)``, shape (V, 3, 3)."""
+    geo = gauge.geometry
+    fwd = geo.neighbor_fwd[mu]
+    prod = gauge.data[mu].copy()
+    shift = fwd
+    for _ in range(length - 1):
+        prod = prod @ gauge.data[mu][shift]
+        shift = fwd[shift]
+    return prod
+
+
+def _shift_sites(geo: LatticeGeometry, mu: int, n: int) -> np.ndarray:
+    """Site index map for a shift of ``n`` steps in direction ``mu``."""
+    fwd = geo.neighbor_fwd[mu]
+    out = np.arange(geo.volume)
+    for _ in range(n):
+        out = fwd[out]
+    return out
+
+
+def polyakov_loop(gauge: GaugeField) -> complex:
+    """The volume-averaged Polyakov loop: the trace of the temporal link
+    product winding around the lattice — 1 on the free field, near zero
+    in the confined phase of a thermalized ensemble."""
+    geo = gauge.geometry
+    T = geo.dims[T_DIR]
+    vs = geo.spatial_volume
+    loop = _line(gauge, T_DIR, T)[:vs]  # starting points on timeslice 0
+    return complex(np.mean(su3.trace(loop)) / 3.0)

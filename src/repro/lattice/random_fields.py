@@ -1,0 +1,117 @@
+"""Synthetic gauge configurations, sources, and gauge transformations.
+
+The paper's scaling study used *weak-field configurations*: "Such
+configurations are made by starting with all link matrices set to the
+identity, mixing in a small amount of random noise, and re-unitarizing the
+links to bring the links back to the SU(3) manifold" (Section VII-A).  We
+implement exactly that recipe, plus fully random configurations (for
+stress-testing correctness), point sources (the propagator workload), and
+random gauge transformations (for covariance tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import NDIM, LatticeGeometry
+from . import su3
+from .fields import GaugeField, SpinorField
+from .gamma import DEGRAND_ROSSI, NSPIN
+from .su3 import NCOLOR
+
+__all__ = [
+    "unit_gauge",
+    "weak_field_gauge",
+    "random_gauge",
+    "random_spinor",
+    "point_source",
+    "random_gauge_transform",
+    "transform_gauge",
+    "transform_spinor",
+]
+
+
+def unit_gauge(geometry: LatticeGeometry) -> GaugeField:
+    """The free field: every link the identity (plaquette exactly 1)."""
+    data = su3.identity((NDIM, geometry.volume))
+    return GaugeField(geometry, data)
+
+
+def weak_field_gauge(
+    geometry: LatticeGeometry,
+    rng: np.random.Generator,
+    noise: float = 0.1,
+) -> GaugeField:
+    """A weak-field configuration per the paper's recipe (Section VII-A).
+
+    ``U = reunitarize(1 + noise * G)`` with ``G`` complex Gaussian.  The
+    links stay close to the identity, so solvers converge quickly, but the
+    matrix is a genuine (non-trivial) Wilson-clover operator; the paper
+    emphasizes that the physical parameters "control only the number of
+    iterations to convergence", not the execution rate.
+    """
+    shape = (NDIM, geometry.volume)
+    g = rng.standard_normal(shape + (NCOLOR, NCOLOR)) + 1j * rng.standard_normal(
+        shape + (NCOLOR, NCOLOR)
+    )
+    data = su3.reunitarize(su3.identity(shape) + noise * g)
+    return GaugeField(geometry, data)
+
+
+def random_gauge(geometry: LatticeGeometry, rng: np.random.Generator) -> GaugeField:
+    """A completely random SU(3) configuration (maximally disordered)."""
+    return GaugeField(geometry, su3.random_su3(rng, (NDIM, geometry.volume)))
+
+
+def random_spinor(
+    geometry: LatticeGeometry,
+    rng: np.random.Generator,
+    basis: str = DEGRAND_ROSSI,
+) -> SpinorField:
+    """Gaussian random source spinor, unit-normalized."""
+    shape = (geometry.volume, NSPIN, NCOLOR)
+    data = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    data /= np.sqrt(np.vdot(data, data).real)
+    return SpinorField(geometry, data, basis)
+
+
+def point_source(
+    geometry: LatticeGeometry,
+    site: int = 0,
+    spin: int = 0,
+    color: int = 0,
+    basis: str = DEGRAND_ROSSI,
+) -> SpinorField:
+    """A delta-function source: 1 at one (site, spin, color), else 0.
+
+    The propagator workload of the paper's measurements performs "6 linear
+    solves for each test (one for each of the 3 color components of the
+    upper 2 spin components)" — i.e. six point sources.
+    """
+    data = np.zeros((geometry.volume, NSPIN, NCOLOR), dtype=np.complex128)
+    data[site, spin, color] = 1.0
+    return SpinorField(geometry, data, basis)
+
+
+def random_gauge_transform(
+    geometry: LatticeGeometry, rng: np.random.Generator
+) -> np.ndarray:
+    """A random local gauge rotation ``g(x)``, shape ``(V, 3, 3)``."""
+    return su3.random_su3(rng, (geometry.volume,))
+
+
+def transform_gauge(gauge: GaugeField, g: np.ndarray) -> GaugeField:
+    """Apply a gauge transformation: ``U_mu(x) -> g(x) U_mu(x) g(x+mu)^dag``."""
+    geo = gauge.geometry
+    fwd = geo.neighbor_fwd
+    out = np.empty_like(gauge.data)
+    g_adj = su3.adjoint(g)
+    for mu in range(NDIM):
+        out[mu] = g @ gauge.data[mu] @ g_adj[fwd[mu]]
+    return GaugeField(geo, out)
+
+
+def transform_spinor(psi: SpinorField, g: np.ndarray) -> SpinorField:
+    """Apply a gauge transformation to a spinor: ``psi(x) -> g(x) psi(x)``."""
+    data = np.einsum("xab,xsb->xsa", g, psi.data)
+    return SpinorField(psi.geometry, data, psi.basis)

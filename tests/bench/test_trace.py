@@ -1,0 +1,62 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.bench.trace import render_gantt
+from repro.gpu import VirtualGPU
+from repro.gpu.precision import Precision
+
+
+@pytest.fixture
+def gpu():
+    return VirtualGPU(enforce_memory=False)
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert "empty" in render_gantt([])
+
+    def test_streams_become_rows(self, gpu):
+        gpu.launch("k", Precision.SINGLE, bytes_moved=10**7, flops=0, stream=0)
+        gpu.memcpy("c", "d2h", 10**6, stream=1, asynchronous=True)
+        text = render_gantt(gpu.timeline.ops)
+        assert "stream 0" in text and "stream 1" in text
+        assert "#" in text and "<" in text
+
+    def test_host_row_optional(self, gpu):
+        gpu.timeline.host_busy("mpi", 1e-4)
+        gpu.launch("k", Precision.SINGLE, bytes_moved=10**6, flops=0)
+        def row_labels(text):
+            return [l.split("|")[0].strip() for l in text.splitlines() if "|" in l]
+
+        assert "host" in row_labels(render_gantt(gpu.timeline.ops))
+        assert "host" not in row_labels(
+            render_gantt(gpu.timeline.ops, include_host=False)
+        )
+
+    def test_concurrency_visible(self, gpu):
+        """Kernel and async copy overlap => glyphs share time columns."""
+        gpu.launch("big", Precision.SINGLE, bytes_moved=10**8, flops=0, stream=0)
+        gpu.memcpy("face", "d2h", 10**6, stream=1, asynchronous=True)
+        text = render_gantt(gpu.timeline.ops, width=60)
+        rows = {
+            line.split("|")[0].strip(): line.split("|")[1]
+            for line in text.splitlines()
+            if "|" in line
+        }
+        overlap_cols = [
+            i
+            for i, (a, b) in enumerate(zip(rows["stream 0"], rows["stream 1"]))
+            if a == "#" and b == "<"
+        ]
+        assert overlap_cols  # they really ran at the same time
+
+    def test_short_ops_still_visible(self, gpu):
+        gpu.launch("long", Precision.SINGLE, bytes_moved=10**9, flops=0)
+        gpu.memcpy("tiny", "h2d", 8, stream=2, asynchronous=True)
+        text = render_gantt(gpu.timeline.ops, width=80)
+        assert ">" in text  # min one column
+
+    def test_axis_label_has_duration(self, gpu):
+        gpu.launch("k", Precision.SINGLE, bytes_moved=10**6, flops=0)
+        assert "us" in render_gantt(gpu.timeline.ops).splitlines()[0]

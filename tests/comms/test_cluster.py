@@ -1,0 +1,118 @@
+"""Tests for the cluster (placement/NUMA/network) model."""
+
+import pytest
+
+from repro.comms import ClusterSpec
+
+
+class TestPlacement:
+    def test_two_gpus_per_node(self):
+        """The 9g IB partition: 16 nodes x 2 GPUs (Section VII-A)."""
+        c = ClusterSpec(gpus_per_node=2)
+        assert c.node_of(0) == c.node_of(1) == 0
+        assert c.node_of(2) == 1
+        assert c.nodes_for(32) == 16
+
+    def test_same_node(self):
+        c = ClusterSpec(gpus_per_node=2)
+        assert c.same_node(0, 1)
+        assert not c.same_node(1, 2)
+
+    def test_link_kind(self):
+        c = ClusterSpec(gpus_per_node=2)
+        assert c.link_kind(0, 1) == "shm"
+        assert c.link_kind(0, 2) == "ib"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="gpus_per_node"):
+            ClusterSpec(gpus_per_node=0)
+        with pytest.raises(ValueError, match="numa_policy"):
+            ClusterSpec(numa_policy="sideways")
+
+
+class TestNUMA:
+    def test_correct_policy(self):
+        c = ClusterSpec(numa_policy="correct")
+        assert all(c.numa_ok(r) for r in range(8))
+
+    def test_wrong_policy(self):
+        """The deliberately-bad binding of Fig. 5(a)."""
+        c = ClusterSpec(numa_policy="wrong")
+        assert not any(c.numa_ok(r) for r in range(8))
+
+    def test_unpinned_is_mixed(self):
+        c = ClusterSpec(numa_policy="unpinned")
+        oks = [c.numa_ok(r) for r in range(8)]
+        assert any(oks) and not all(oks)
+
+
+class TestNetworkTiming:
+    def test_ib_slower_than_shm(self):
+        c = ClusterSpec(gpus_per_node=2)
+        assert c.message_time(0, 2, 2**20) > c.message_time(0, 1, 2**20)
+
+    def test_latency_floor(self):
+        c = ClusterSpec()
+        t = c.message_time(0, 2, 0)
+        assert t >= c.params.ib_latency_s
+
+    def test_ib_bandwidth_below_pcie(self):
+        """Section III: QDR IB bandwidth is below x16 PCI-E."""
+        c = ClusterSpec()
+        assert c.params.ib_bw < c.params.pcie_bw_h2d
+
+    def test_allreduce_scales_logarithmically(self):
+        c = ClusterSpec()
+        t2, t4, t32 = (c.allreduce_time(n) for n in (2, 4, 32))
+        assert t2 < t4 < t32
+        assert t32 == pytest.approx(5 * t2, rel=0.01)
+
+    def test_allreduce_single_rank_free(self):
+        assert ClusterSpec().allreduce_time(1) == 0.0
+
+
+class TestQMP:
+    def test_neighbor_relays(self):
+        from repro.comms import QMPMachine, run_spmd
+
+        def fn(comm):
+            qmp = QMPMachine(comm)
+            # Send my rank forward (+t); receive from -t neighbour.
+            qmp.send_to(+1, qmp.rank)
+            got = qmp.recv_from(-1)
+            return got
+
+        assert run_spmd(4, fn) == [3, 0, 1, 2]
+
+    def test_nonblocking_relays(self):
+        from repro.comms import QMPMachine, run_spmd
+
+        def fn(comm):
+            qmp = QMPMachine(comm)
+            r = qmp.start_recv(+1)
+            qmp.start_send(-1, qmp.rank * 10)
+            return r.wait()
+
+        assert run_spmd(3, fn) == [10, 20, 0]
+
+    def test_global_sum(self):
+        from repro.comms import QMPMachine, run_spmd
+
+        def fn(comm):
+            return QMPMachine(comm).global_sum(float(comm.rank))
+
+        assert run_spmd(4, fn) == [6.0] * 4
+
+    def test_single_rank_sum_is_identity(self):
+        from repro.comms import QMPMachine, run_spmd
+
+        assert run_spmd(1, lambda c: QMPMachine(c).global_sum(3.5)) == [3.5]
+
+    def test_direction_validated(self):
+        from repro.comms import QMPMachine, run_spmd
+
+        def fn(comm):
+            QMPMachine(comm).send_to(0, 1)
+
+        with pytest.raises(RuntimeError, match="direction"):
+            run_spmd(2, fn)

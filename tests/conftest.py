@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import LatticeGeometry, make_clover, weak_field_gauge
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20101029)  # arXiv submission date of the paper
+
+
+@pytest.fixture
+def geo44() -> LatticeGeometry:
+    """A small 4^4 lattice — big enough to exercise every code path."""
+    return LatticeGeometry((4, 4, 4, 4))
+
+
+@pytest.fixture
+def geo_asym() -> LatticeGeometry:
+    """An asymmetric lattice (distinct extents catch index-order bugs)."""
+    return LatticeGeometry((4, 6, 2, 8))
+
+
+@pytest.fixture
+def weak_gauge(geo44, rng):
+    return weak_field_gauge(geo44, rng, noise=0.15)
+
+
+@pytest.fixture
+def weak_clover(weak_gauge):
+    return make_clover(weak_gauge, c_sw=1.0)

@@ -1,0 +1,84 @@
+"""Tests for the QUDA-style parameter interface."""
+
+import pytest
+
+from repro.core import PRECISION_MODES, QudaGaugeParam, QudaInvertParam, paper_invert_param
+from repro.core.interface import SolveStats
+from repro.gpu import Precision
+
+
+class TestInvertParam:
+    def test_defaults(self):
+        p = QudaInvertParam()
+        assert p.solver == "bicgstab"
+        assert p.precision_sloppy is p.precision
+        assert not p.mixed_precision
+
+    def test_mixed(self):
+        p = QudaInvertParam(precision="single", precision_sloppy="half")
+        assert p.mixed_precision
+
+    def test_string_precisions_parsed(self):
+        p = QudaInvertParam(precision="double")
+        assert p.precision is Precision.DOUBLE
+
+    def test_sloppy_cannot_exceed_full(self):
+        with pytest.raises(ValueError, match="sloppy"):
+            QudaInvertParam(precision="half", precision_sloppy="double")
+
+    def test_solver_validated(self):
+        with pytest.raises(ValueError, match="solver"):
+            QudaInvertParam(solver="gmres")
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError, match="delta"):
+            QudaInvertParam(delta=0.0)
+
+
+class TestPaperModes:
+    def test_all_four_modes(self):
+        assert set(PRECISION_MODES) == {"single", "double", "single-half", "double-half"}
+
+    def test_section_viia_run_parameters(self):
+        """tol and delta per precision mode, Section VII-A verbatim."""
+        cases = {
+            "single": (1e-7, 1e-3),
+            "single-half": (1e-7, 1e-1),
+            "double": (1e-14, 1e-5),
+            "double-half": (1e-14, 1e-2),
+        }
+        for mode, (tol, delta) in cases.items():
+            p = paper_invert_param(mode)
+            assert p.tol == tol and p.delta == delta, mode
+
+    def test_mode_precisions(self):
+        p = paper_invert_param("double-half")
+        assert p.precision is Precision.DOUBLE
+        assert p.precision_sloppy is Precision.HALF
+
+    def test_overrides(self):
+        p = paper_invert_param("single", mass=0.5, overlap_comms=False)
+        assert p.mass == 0.5 and not p.overlap_comms
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown precision mode"):
+            paper_invert_param("quad-half")
+
+
+class TestGaugeParam:
+    def test_defaults_match_quda(self):
+        p = QudaGaugeParam()
+        assert p.reconstruct_12 and p.pad_spatial_volume
+
+
+class TestSolveStats:
+    def test_sustained_gflops(self):
+        s = SolveStats(
+            iterations=10, residual_norm=1e-8, converged=True,
+            model_time=2.0, total_flops=8e12,
+        )
+        assert s.sustained_gflops == pytest.approx(4000.0)
+
+    def test_zero_time_guard(self):
+        s = SolveStats(1, 0.0, True, 0.0, 100.0)
+        assert s.sustained_gflops == 0.0

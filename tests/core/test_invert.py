@@ -1,0 +1,190 @@
+"""End-to-end tests of the top-level invert interface."""
+
+import numpy as np
+import pytest
+
+from repro.comms import ClusterSpec
+from repro.core import QudaInvertParam, invert, invert_model, paper_invert_param
+from repro.gpu import Precision
+from repro.gpu.memory import DeviceOutOfMemoryError
+from repro.lattice import (
+    LatticeGeometry,
+    WilsonCloverOperator,
+    make_clover,
+    point_source,
+    random_spinor,
+    weak_field_gauge,
+)
+
+MASS = 0.2
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(31)
+    geo = LatticeGeometry((4, 4, 4, 8))
+    gauge = weak_field_gauge(geo, rng, noise=0.15)
+    src = random_spinor(geo, rng)
+    return geo, gauge, src
+
+
+class TestFunctionalSolves:
+    @pytest.mark.parametrize("mode", ["single", "single-half"])
+    @pytest.mark.parametrize("n_gpus", [1, 2, 4])
+    def test_converges_to_paper_tolerance(self, problem, mode, n_gpus):
+        _, gauge, src = problem
+        inv = paper_invert_param(mode, mass=MASS)
+        res = invert(gauge, src, inv, n_gpus=n_gpus)
+        assert res.stats.converged
+        assert res.true_residual < 5e-6  # vs tol 1e-7 on the e-o system
+
+    @pytest.mark.parametrize("mode", ["double", "double-half"])
+    def test_deep_tolerance_modes(self, problem, mode):
+        _, gauge, src = problem
+        inv = paper_invert_param(mode, mass=MASS)
+        res = invert(gauge, src, inv, n_gpus=2)
+        assert res.stats.converged
+        assert res.true_residual < 1e-11
+
+    def test_solution_satisfies_full_operator(self, problem):
+        geo, gauge, src = problem
+        inv = paper_invert_param("double", mass=MASS)
+        res = invert(gauge, src, inv, n_gpus=2)
+        clover = make_clover(gauge)
+        op = WilsonCloverOperator(gauge, MASS, clover)
+        r = src.data - op.apply(res.solution).data
+        assert np.linalg.norm(r) / np.linalg.norm(src.data) < 1e-11
+
+    def test_gpu_counts_agree(self, problem):
+        """The same solution irrespective of decomposition."""
+        _, gauge, src = problem
+        inv = paper_invert_param("double", mass=MASS)
+        sols = [
+            invert(gauge, src, inv, n_gpus=n).solution.data for n in (1, 2, 4)
+        ]
+        np.testing.assert_allclose(sols[0], sols[1], atol=1e-10)
+        np.testing.assert_allclose(sols[0], sols[2], atol=1e-10)
+
+    def test_overlap_strategies_agree(self, problem):
+        _, gauge, src = problem
+        sols = []
+        for overlap in (True, False):
+            inv = paper_invert_param("double", mass=MASS, overlap_comms=overlap)
+            sols.append(invert(gauge, src, inv, n_gpus=4).solution.data)
+        np.testing.assert_array_equal(sols[0], sols[1])
+
+    def test_cg_solver(self, problem):
+        _, gauge, src = problem
+        inv = paper_invert_param("double", mass=MASS, solver="cg")
+        res = invert(gauge, src, inv, n_gpus=2)
+        assert res.stats.converged
+        assert res.true_residual < 1e-10
+
+    def test_point_source_propagator_component(self, problem):
+        """The paper's measurement workload: a point-source solve."""
+        geo, gauge, _ = problem
+        src = point_source(geo, site=0, spin=0, color=0)
+        inv = paper_invert_param("single-half", mass=MASS)
+        res = invert(gauge, src, inv, n_gpus=2)
+        assert res.stats.converged
+
+    def test_wilson_no_clover(self, problem):
+        _, gauge, src = problem
+        inv = QudaInvertParam(
+            mass=MASS, clover_coeff=0.0, precision="double", tol=1e-10, delta=1e-5
+        )
+        res = invert(gauge, src, inv, n_gpus=2)
+        assert res.stats.converged
+        # Verify against the host Wilson (no clover) operator.
+        op = WilsonCloverOperator(gauge, MASS, None)
+        r = src.data - op.apply(res.solution).data
+        assert np.linalg.norm(r) / np.linalg.norm(src.data) < 1e-9
+
+    def test_indivisible_gpu_count_rejected(self, problem):
+        _, gauge, src = problem
+        inv = paper_invert_param("single", mass=MASS)
+        with pytest.raises(ValueError, match="not divisible"):
+            invert(gauge, src, inv, n_gpus=3)
+
+
+class TestStats:
+    def test_reliable_updates_counted(self, problem):
+        _, gauge, src = problem
+        inv = paper_invert_param("single-half", mass=MASS)
+        res = invert(gauge, src, inv, n_gpus=1)
+        assert res.stats.reliable_updates >= 1
+
+    def test_mixed_precision_increases_footprint(self):
+        """Section VII-C: "the mixed precision solver must store data for
+        both the single and half precision solves" — measured at a
+        paper-like volume where gauge + clover dominate."""
+        dims = (24, 24, 24, 32)
+        uniform = invert_model(
+            dims, paper_invert_param("single", fixed_iterations=1),
+            n_gpus=1, enforce_memory=False,
+        )
+        mixed = invert_model(
+            dims, paper_invert_param("single-half", fixed_iterations=1),
+            n_gpus=1, enforce_memory=False,
+        )
+        assert mixed.peak_device_bytes > 1.2 * uniform.peak_device_bytes
+
+    def test_sustained_gflops_positive(self, problem):
+        _, gauge, src = problem
+        res = invert(gauge, src, paper_invert_param("single", mass=MASS), n_gpus=2)
+        assert res.stats.sustained_gflops > 0
+
+    def test_per_rank_scalars_agree(self, problem):
+        _, gauge, src = problem
+        res = invert(gauge, src, paper_invert_param("single", mass=MASS), n_gpus=4)
+        assert len({i.iterations for i in res.per_rank}) == 1
+        assert len({round(i.residual_norm, 12) for i in res.per_rank}) == 1
+
+
+class TestTimingOnly:
+    def test_runs_without_data(self):
+        inv = paper_invert_param("single-half", fixed_iterations=5)
+        res = invert_model((8, 8, 8, 16), inv, n_gpus=2, enforce_memory=False)
+        assert res.solution is None
+        assert res.stats.iterations == 5
+        assert res.stats.model_time > 0
+        assert res.stats.sustained_gflops > 0
+
+    def test_deterministic(self):
+        inv = paper_invert_param("single", fixed_iterations=5)
+        a = invert_model((8, 8, 8, 16), inv, n_gpus=4, enforce_memory=False)
+        b = invert_model((8, 8, 8, 16), inv, n_gpus=4, enforce_memory=False)
+        assert a.stats.model_time == b.stats.model_time
+
+    def test_weak_scaling_rate_grows(self):
+        """More GPUs on a per-GPU-constant problem => more total Gflops."""
+        inv = paper_invert_param("single", fixed_iterations=5)
+        g2 = invert_model((8, 8, 8, 8 * 2), inv, n_gpus=2, enforce_memory=False)
+        g8 = invert_model((8, 8, 8, 8 * 8), inv, n_gpus=8, enforce_memory=False)
+        assert g8.stats.sustained_gflops > 2.5 * g2.stats.sustained_gflops
+
+    def test_paper_scale_memory_constraint(self):
+        """Section VII-C: mixed precision on 32^3 x 256 needs >= 8 GPUs
+        of 2 GiB; uniform single fits on 4."""
+        dims = (32, 32, 32, 256)
+        mixed = paper_invert_param("single-half", fixed_iterations=1)
+        with pytest.raises(RuntimeError) as err:
+            invert_model(dims, mixed, n_gpus=4)
+        assert isinstance(err.value.__cause__, DeviceOutOfMemoryError)
+        res = invert_model(dims, mixed, n_gpus=8)  # fits
+        assert res.stats.model_time > 0
+        single = paper_invert_param("single", fixed_iterations=1)
+        res4 = invert_model(dims, single, n_gpus=4)  # fits already on 4
+        assert res4.stats.model_time > 0
+
+    def test_numa_policy_slows_transfers(self):
+        inv = paper_invert_param("single", fixed_iterations=10)
+        good = invert_model(
+            (8, 8, 8, 32), inv, n_gpus=4, enforce_memory=False,
+            cluster=ClusterSpec(numa_policy="correct"),
+        )
+        bad = invert_model(
+            (8, 8, 8, 32), inv, n_gpus=4, enforce_memory=False,
+            cluster=ClusterSpec(numa_policy="wrong"),
+        )
+        assert bad.stats.model_time > good.stats.model_time

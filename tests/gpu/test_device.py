@@ -1,0 +1,90 @@
+"""Tests for the VirtualGPU facade (device + allocator + timeline)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GTX285, Precision, VirtualGPU, get_gpu
+from repro.gpu.memory import DeviceOutOfMemoryError
+
+
+class TestConstruction:
+    def test_defaults_to_test_bed_card(self):
+        gpu = VirtualGPU()
+        assert gpu.spec is GTX285
+        assert gpu.allocator.capacity_bytes == GTX285.ram_bytes
+
+    def test_memory_enforcement_optional(self):
+        gpu = VirtualGPU(enforce_memory=False)
+        assert gpu.allocator.available_bytes is None
+
+    def test_copy_engines_follow_spec(self):
+        gt200 = VirtualGPU()
+        fermi = VirtualGPU(spec=get_gpu("Tesla C2050"), enforce_memory=False)
+        assert gt200.timeline.copy_engines == 1
+        assert fermi.timeline.copy_engines == 2
+
+
+class TestLaunchAndCopy:
+    def test_launch_duration_scales_with_bytes(self):
+        gpu = VirtualGPU(enforce_memory=False)
+        a = gpu.launch("a", Precision.SINGLE, bytes_moved=10**6, flops=0)
+        b = gpu.launch("b", Precision.SINGLE, bytes_moved=10**8, flops=0)
+        assert b.duration > 10 * a.duration
+
+    def test_numa_misbinding_slows_copies(self):
+        good = VirtualGPU(enforce_memory=False, numa_ok=True)
+        bad = VirtualGPU(enforce_memory=False, numa_ok=False)
+        n = 2**20
+        t_good = good.memcpy("c", "h2d", n).duration
+        t_bad = bad.memcpy("c", "h2d", n).duration
+        assert t_bad > 1.3 * t_good
+
+    def test_camping_flag_passthrough(self):
+        gpu = VirtualGPU(enforce_memory=False)
+        fast = gpu.launch("a", Precision.SINGLE, bytes_moved=10**7, flops=0)
+        slow = gpu.launch(
+            "b", Precision.SINGLE, bytes_moved=10**7, flops=0, camping=True
+        )
+        assert slow.duration > 1.5 * fast.duration
+
+    def test_elapsed_tracks_host(self):
+        gpu = VirtualGPU(enforce_memory=False)
+        gpu.launch("k", Precision.SINGLE, bytes_moved=10**8, flops=0)
+        before = gpu.elapsed
+        gpu.device_synchronize()
+        assert gpu.elapsed > before
+
+
+class TestComputeHelper:
+    def test_runs_in_functional_mode(self):
+        gpu = VirtualGPU(enforce_memory=False)
+        assert gpu.compute(lambda: 42) == 42
+
+    def test_skipped_in_timing_mode(self):
+        gpu = VirtualGPU(enforce_memory=False, execute=False)
+        assert gpu.compute(lambda: 42) is None
+
+    def test_scratch_allocation_mode(self):
+        functional = VirtualGPU(enforce_memory=False)
+        timing = VirtualGPU(enforce_memory=False, execute=False)
+        assert functional.empty_like_field((4, 4), np.float64).shape == (4, 4)
+        assert timing.empty_like_field((4, 4), np.float64).size == 0
+
+
+class TestMemoryFacade:
+    def test_alloc_labels_carry_device_name(self):
+        gpu = VirtualGPU(enforce_memory=False, name="gpu7")
+        buf = gpu.alloc((16,), np.float64, "scratch")
+        assert "gpu7" in buf.label
+
+    def test_oom_through_facade(self):
+        gpu = VirtualGPU(execute=False)
+        with pytest.raises(DeviceOutOfMemoryError):
+            gpu.alloc((2**30,), np.float64, "too big")  # 8 GiB on a 2 GiB card
+
+    def test_free_through_facade(self):
+        gpu = VirtualGPU(enforce_memory=False)
+        buf = gpu.alloc((16,), np.float64, "scratch")
+        used = gpu.allocator.used_bytes
+        gpu.free(buf)
+        assert gpu.allocator.used_bytes < used

@@ -1,0 +1,155 @@
+"""Tests for the device field layout (paper eqs. (3)-(5), Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.layout import (
+    FieldLayout,
+    matrices_to_reals,
+    reals_to_matrices,
+    reals_to_spinor,
+    spinor_to_reals,
+)
+from repro.gpu.precision import Precision
+from repro.gpu.specs import GTX285
+
+
+class TestIndexFormula:
+    def test_eq5_by_hand(self):
+        """Spot-check eq. (5) against a hand evaluation."""
+        lay = FieldLayout(sites=10, internal_reals=24, nvec=4, pad_sites=2)
+        # i = Nvec * (stride * floor(n/Nvec) + x) + n % Nvec, stride = 12
+        assert lay.index(0, 0) == 0
+        assert lay.index(0, 3) == 3
+        assert lay.index(0, 4) == 4 * 12  # second block
+        assert lay.index(7, 5) == 4 * (12 * 1 + 7) + 1
+
+    def test_no_pad_reduces_to_blocked(self):
+        lay = FieldLayout(sites=8, internal_reals=24, nvec=4)
+        assert lay.stride == 8
+        assert lay.total_reals == 8 * 24
+
+    def test_bounds_checked(self):
+        lay = FieldLayout(sites=8, internal_reals=24, nvec=4)
+        with pytest.raises(IndexError):
+            lay.index(8, 0)
+        with pytest.raises(IndexError):
+            lay.index(0, 24)
+
+    def test_nvec_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            FieldLayout(sites=8, internal_reals=18, nvec=4)
+
+    def test_block_count(self):
+        """Fig. 2: a single-precision spinor needs 6 float4 blocks."""
+        lay = FieldLayout(sites=8, internal_reals=24, nvec=4)
+        assert lay.n_blocks == 6
+        # 2-row gauge in float4: 3 blocks per direction.
+        assert FieldLayout(sites=8, internal_reals=12, nvec=4).n_blocks == 3
+
+
+@pytest.mark.parametrize("nvec", [1, 2, 4])
+@pytest.mark.parametrize("pad", [0, 16])
+@pytest.mark.parametrize("nint", [12, 24, 72])
+class TestPackUnpack:
+    def test_roundtrip(self, rng, nvec, pad, nint):
+        lay = FieldLayout(sites=48, internal_reals=nint, nvec=nvec, pad_sites=pad)
+        host = rng.standard_normal((48, nint))
+        np.testing.assert_array_equal(lay.unpack(lay.pack(host)), host)
+
+    def test_bijection(self, rng, nvec, pad, nint):
+        """Every host real lands in a distinct device slot."""
+        lay = FieldLayout(sites=48, internal_reals=nint, nvec=nvec, pad_sites=pad)
+        idx = lay._scatter_index
+        assert np.unique(idx).size == idx.size
+        assert idx.max() < lay.body_reals
+
+    def test_coalescing_property(self, rng, nvec, pad, nint):
+        """Adjacent sites are Nvec reals apart within a block — successive
+        threads read successive short vectors (Section V-B)."""
+        lay = FieldLayout(sites=48, internal_reals=nint, nvec=nvec, pad_sites=pad)
+        for n in range(0, nint, nvec):
+            assert lay.index(1, n) - lay.index(0, n) == nvec
+
+
+class TestPadRegion:
+    def test_ghost_fits_exactly(self, rng):
+        """Section VI-B: the pad is exactly one ghost timeslice."""
+        vs = 16
+        lay = FieldLayout(sites=64, internal_reals=12, nvec=4, pad_sites=vs)
+        flat = lay.pack(rng.standard_normal((64, 12)))
+        ghost = rng.standard_normal((vs, 12))
+        lay.write_pad(flat, ghost)
+        np.testing.assert_array_equal(lay.read_pad(flat), ghost)
+
+    def test_pad_does_not_disturb_body(self, rng):
+        lay = FieldLayout(sites=64, internal_reals=12, nvec=4, pad_sites=16)
+        host = rng.standard_normal((64, 12))
+        flat = lay.pack(host)
+        lay.write_pad(flat, rng.standard_normal((16, 12)))
+        np.testing.assert_array_equal(lay.unpack(flat), host)
+
+    def test_pad_indexing_continues_body(self):
+        """Ghost site k is addressed exactly like body site V + k — the
+        'array indices are set to the padded region' trick."""
+        lay = FieldLayout(sites=10, internal_reals=12, nvec=4, pad_sites=3)
+        pad_idx = lay._pad_index
+        for k in range(3):
+            for n in range(12):
+                expected = lay.nvec * (lay.stride * (n // 4) + 10 + k) + n % 4
+                assert pad_idx[k, n] == expected
+
+    def test_shape_validated(self, rng):
+        lay = FieldLayout(sites=10, internal_reals=12, nvec=4, pad_sites=3)
+        flat = lay.pack(rng.standard_normal((10, 12)))
+        with pytest.raises(ValueError, match="ghost shape"):
+            lay.write_pad(flat, np.zeros((4, 12)))
+
+
+class TestEndZone:
+    def test_endzone_after_body(self, rng):
+        lay = FieldLayout(sites=10, internal_reals=24, nvec=4, endzone_reals=48)
+        flat = lay.pack(rng.standard_normal((10, 24)))
+        ez = lay.endzone(flat)
+        assert ez.size == 48
+        ez[...] = 7.0
+        # End-zone writes never alias the body.
+        assert np.count_nonzero(lay.unpack(flat) == 7.0) == 0
+
+    def test_empty_endzone(self, rng):
+        lay = FieldLayout(sites=10, internal_reals=24, nvec=4)
+        flat = lay.pack(rng.standard_normal((10, 24)))
+        assert lay.endzone(flat).size == 0
+
+
+class TestPartitionCamping:
+    def test_aligned_stride_camps(self):
+        """A block stride that is a multiple of 8 x 256 B hits the same
+        partition every block."""
+        # 512 sites * 4 reals * 4 bytes = 8192 B = 4 * 2048: camps.
+        lay = FieldLayout(sites=512, internal_reals=24, nvec=4, pad_sites=0)
+        assert lay.partition_camping(Precision.SINGLE, GTX285)
+
+    def test_padding_breaks_camping(self):
+        lay = FieldLayout(sites=512, internal_reals=24, nvec=4, pad_sites=16)
+        assert not lay.partition_camping(Precision.SINGLE, GTX285)
+
+    def test_odd_volume_does_not_camp(self):
+        lay = FieldLayout(sites=500, internal_reals=24, nvec=4, pad_sites=0)
+        assert not lay.partition_camping(Precision.SINGLE, GTX285)
+
+
+class TestConversions:
+    def test_spinor_roundtrip(self, rng):
+        data = rng.standard_normal((10, 4, 3)) + 1j * rng.standard_normal((10, 4, 3))
+        np.testing.assert_array_equal(reals_to_spinor(spinor_to_reals(data)), data)
+
+    def test_spinor_is_24_reals(self, rng):
+        data = rng.standard_normal((10, 4, 3)) + 0j
+        assert spinor_to_reals(data).shape == (10, 24)
+
+    def test_matrix_roundtrip(self, rng):
+        data = rng.standard_normal((10, 2, 3)) + 1j * rng.standard_normal((10, 2, 3))
+        np.testing.assert_array_equal(
+            reals_to_matrices(matrices_to_reals(data), 2, 3), data
+        )

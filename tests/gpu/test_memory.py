@@ -1,0 +1,103 @@
+"""Tests for device memory accounting and OOM behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import DeviceAllocator, DeviceOutOfMemoryError
+
+
+class TestBasicAllocation:
+    def test_alloc_and_use(self):
+        alloc = DeviceAllocator()
+        buf = alloc.alloc((4, 4), np.float64, "scratch")
+        assert buf.array.shape == (4, 4)
+        assert alloc.used_bytes >= 128
+
+    def test_alignment(self):
+        alloc = DeviceAllocator()
+        buf = alloc.alloc((1,), np.float32, "tiny")
+        assert buf.nbytes == 256  # aligned up
+
+    def test_free_returns_memory(self):
+        alloc = DeviceAllocator()
+        buf = alloc.alloc((1024,), np.float64, "a")
+        used = alloc.used_bytes
+        alloc.free(buf)
+        assert alloc.used_bytes == used - buf.nbytes
+
+    def test_peak_tracked(self):
+        alloc = DeviceAllocator()
+        a = alloc.alloc((1024,), np.float64, "a")
+        alloc.free(a)
+        alloc.alloc((16,), np.float64, "b")
+        assert alloc.peak_bytes >= 1024 * 8
+
+    def test_double_free_raises(self):
+        alloc = DeviceAllocator()
+        buf = alloc.alloc((4,), np.float64, "a")
+        alloc.free(buf)
+        with pytest.raises(RuntimeError, match="use-after-free"):
+            alloc.free(buf)
+
+    def test_alloc_bytes_accounts_layout_size(self):
+        """Logical backing may be smaller than the accounted GPU bytes."""
+        alloc = DeviceAllocator()
+        buf = alloc.alloc_bytes(10_000, (4,), np.float64, "padded field")
+        assert buf.nbytes >= 10_000
+        assert buf.array.shape == (4,)
+
+
+class TestCapacity:
+    def test_oom_raised(self):
+        alloc = DeviceAllocator(capacity_bytes=2**20, reserved_bytes=0)
+        alloc.alloc((2**17,), np.float64, "big")  # 1 MiB exactly
+        with pytest.raises(DeviceOutOfMemoryError, match="cannot allocate"):
+            alloc.alloc((1024,), np.float64, "straw")
+
+    def test_oom_message_lists_allocations(self):
+        alloc = DeviceAllocator(capacity_bytes=2**20, reserved_bytes=0)
+        alloc.alloc((2**16,), np.float64, "gauge field")
+        with pytest.raises(DeviceOutOfMemoryError, match="gauge field"):
+            alloc.alloc((2**17,), np.float64, "spinor")
+
+    def test_reserved_memory_respected(self):
+        alloc = DeviceAllocator(capacity_bytes=2**20, reserved_bytes=2**19)
+        assert alloc.available_bytes == 2**19
+        with pytest.raises(DeviceOutOfMemoryError):
+            alloc.alloc((2**17,), np.float64, "too big with reservation")
+
+    def test_free_then_fits(self):
+        alloc = DeviceAllocator(capacity_bytes=2**20, reserved_bytes=0)
+        a = alloc.alloc((2**17,), np.float64, "a")
+        alloc.free(a)
+        alloc.alloc((2**17,), np.float64, "b")  # fits again
+
+    def test_unlimited_by_default(self):
+        alloc = DeviceAllocator()
+        assert alloc.available_bytes is None
+        alloc.alloc((2**20,), np.float64, "huge")  # no complaint
+
+
+class TestTimingOnlyMode:
+    def test_no_backing_store(self):
+        alloc = DeviceAllocator(execute=False)
+        buf = alloc.alloc((2**20,), np.float64, "paper-scale field")
+        assert buf.array.size == 0
+        assert buf.nbytes == 2**20 * 8  # still fully accounted
+
+    def test_oom_still_enforced(self):
+        alloc = DeviceAllocator(capacity_bytes=2**20, reserved_bytes=0, execute=False)
+        with pytest.raises(DeviceOutOfMemoryError):
+            alloc.alloc((2**20,), np.float64, "too big")
+
+
+class TestReport:
+    def test_report_sorted_by_size(self):
+        alloc = DeviceAllocator()
+        alloc.alloc((16,), np.float64, "small")
+        alloc.alloc((4096,), np.float64, "large")
+        report = alloc.report()
+        assert report.index("large") < report.index("small")
+
+    def test_empty_report(self):
+        assert "(none)" in DeviceAllocator().report()

@@ -1,0 +1,58 @@
+"""Tests for the Table I hardware registry."""
+
+import pytest
+
+from repro.gpu.specs import GTX285, TABLE_I, XEON_E5530, get_gpu
+
+
+class TestTableI:
+    def test_all_six_cards_present(self):
+        assert len(TABLE_I) == 6
+        for name in (
+            "GeForce 8800 GTX",
+            "Tesla C870",
+            "GeForce GTX 285",
+            "Tesla C1060",
+            "GeForce GTX 480",
+            "Tesla C2050",
+        ):
+            assert name in TABLE_I
+
+    def test_gtx285_row(self):
+        """The test-bed card matches Table I exactly."""
+        assert GTX285.cores == 240
+        assert GTX285.bandwidth_gbs == 159.0
+        assert GTX285.gflops_sp == 1062.0
+        assert GTX285.gflops_dp == 88.0
+        assert GTX285.ram_gib == 2.0  # the 9g cluster's 2 GiB variant
+
+    def test_pre_gt200_has_no_double(self):
+        assert TABLE_I["GeForce 8800 GTX"].gflops_dp is None
+        with pytest.raises(ValueError, match="double"):
+            TABLE_I["Tesla C870"].peak_flops(8)
+
+    def test_fermi_cards_allow_bidirectional(self):
+        assert TABLE_I["Tesla C2050"].bidirectional_pcie
+        assert not GTX285.bidirectional_pcie
+
+    def test_gt200_architecture_constants(self):
+        """Section III: 30 MPs of 8 cores, warp 32, 16K registers, 16 KiB
+        shared memory, 8 memory partitions, 8 KiB constant cache."""
+        assert GTX285.multiprocessors * 8 == GTX285.cores
+        assert GTX285.warp_size == 32
+        assert GTX285.registers_per_mp_sp == 16384
+        assert GTX285.registers_per_mp_dp == 8192
+        assert GTX285.shared_memory_bytes == 16 * 1024
+        assert GTX285.memory_partitions == 8
+        assert GTX285.constant_cache_bytes == 8 * 1024
+
+    def test_lookup(self):
+        assert get_gpu("Tesla C1060").bandwidth_gbs == 102.0
+        with pytest.raises(KeyError, match="Table I"):
+            get_gpu("GeForce RTX 4090")
+
+
+class TestCPUBaseline:
+    def test_9q_partition_rate(self):
+        """Section VII-C: 16 nodes x 8 cores x 2 Gflops = 256 ~ 255."""
+        assert XEON_E5530.sustained_gflops(16) == pytest.approx(256.0)

@@ -1,0 +1,126 @@
+"""Tests for the stream/engine discrete-event timeline."""
+
+import pytest
+
+from repro.gpu.perfmodel import PerfModelParams
+from repro.gpu.streams import Timeline
+
+#: A parameter set with zero host-side overheads, so tests can reason
+#: about pure engine scheduling.
+CLEAN = PerfModelParams(submit_overhead_s=0.0, kernel_overhead_s=0.0)
+
+
+@pytest.fixture
+def tl():
+    return Timeline(params=CLEAN)
+
+
+class TestKernelScheduling:
+    def test_same_stream_serializes(self, tl):
+        a = tl.submit_kernel("a", 1.0, stream=0)
+        b = tl.submit_kernel("b", 1.0, stream=0)
+        assert b.start == pytest.approx(a.end)
+
+    def test_different_streams_still_serialize_on_compute(self, tl):
+        """GT200 has no concurrent kernels: one compute engine."""
+        a = tl.submit_kernel("a", 1.0, stream=1)
+        b = tl.submit_kernel("b", 1.0, stream=2)
+        assert b.start == pytest.approx(a.end)
+
+    def test_launch_is_asynchronous(self, tl):
+        tl.submit_kernel("a", 5.0)
+        assert tl.host_time < 1.0  # host did not wait
+
+    def test_submit_overhead_charged(self):
+        tl = Timeline(params=PerfModelParams(submit_overhead_s=3e-6))
+        tl.submit_kernel("a", 1.0)
+        assert tl.host_time == pytest.approx(3e-6)
+
+
+class TestCopyScheduling:
+    def test_sync_copy_blocks_host(self, tl):
+        op = tl.submit_copy("c", "d2h", 100, 2.0, asynchronous=False)
+        assert tl.host_time == pytest.approx(op.end)
+
+    def test_async_copy_returns_immediately(self, tl):
+        tl.submit_copy("c", "d2h", 100, 2.0, stream=1, asynchronous=True)
+        assert tl.host_time < 1.0
+
+    def test_single_copy_engine(self, tl):
+        """Async copies on different streams still serialize (pre-Fermi:
+        one copy engine, no bidirectional transfer — footnote 4)."""
+        a = tl.submit_copy("a", "d2h", 100, 1.0, stream=1, asynchronous=True)
+        b = tl.submit_copy("b", "h2d", 100, 1.0, stream=2, asynchronous=True)
+        assert b.start == pytest.approx(a.end)
+
+    def test_sync_copy_waits_for_stream(self, tl):
+        tl.submit_kernel("k", 4.0, stream=0)
+        op = tl.submit_copy("c", "d2h", 100, 1.0, stream=0, asynchronous=False)
+        assert op.start == pytest.approx(4.0)
+
+    def test_bad_direction_rejected(self, tl):
+        with pytest.raises(ValueError, match="direction"):
+            tl.submit_copy("c", "sideways", 100, 1.0)
+
+
+class TestOverlap:
+    def test_kernel_overlaps_async_copy(self, tl):
+        """The whole point of Section VI-D2: interior kernel on stream 0
+        concurrent with face copies on stream 1."""
+        k = tl.submit_kernel("interior", 10.0, stream=0)
+        c = tl.submit_copy("face", "d2h", 100, 2.0, stream=1, asynchronous=True)
+        assert c.start < k.end  # they overlap
+        tl.stream_synchronize(1)
+        assert tl.host_time == pytest.approx(c.end)
+        assert tl.host_time < k.end
+
+    def test_boundary_kernel_after_interior(self, tl):
+        tl.submit_kernel("interior", 10.0, stream=0)
+        b = tl.submit_kernel("boundary", 1.0, stream=0)
+        assert b.start == pytest.approx(10.0)
+
+
+class TestSynchronization:
+    def test_stream_synchronize(self, tl):
+        tl.submit_kernel("k", 3.0, stream=2)
+        tl.stream_synchronize(2)
+        assert tl.host_time == pytest.approx(3.0)
+
+    def test_device_synchronize(self, tl):
+        tl.submit_kernel("k", 3.0, stream=1)
+        tl.submit_copy("c", "h2d", 10, 5.0, stream=2, asynchronous=True)
+        tl.device_synchronize()
+        assert tl.host_time == pytest.approx(5.0)
+
+    def test_events_order_streams(self, tl):
+        tl.submit_kernel("producer", 4.0, stream=1)
+        ev = tl.record_event(stream=1)
+        tl.stream_wait_event(2, ev)
+        op = tl.submit_copy("consumer", "d2h", 10, 1.0, stream=2, asynchronous=True)
+        assert op.start == pytest.approx(4.0)
+
+    def test_host_wait_until(self, tl):
+        tl.host_wait_until(7.0)
+        assert tl.host_time == pytest.approx(7.0)
+        tl.host_wait_until(3.0)  # never moves backwards
+        assert tl.host_time == pytest.approx(7.0)
+
+
+class TestAccounting:
+    def test_ops_recorded(self, tl):
+        tl.submit_kernel("k", 1.0, nbytes=100, flops=50)
+        tl.submit_copy("c", "d2h", 10, 0.5)
+        assert [op.kind for op in tl.ops] == ["kernel", "d2h"]
+        assert tl.busy_time("kernel") == pytest.approx(1.0)
+        assert tl.busy_time("d2h") == pytest.approx(0.5)
+
+    def test_host_busy(self, tl):
+        tl.host_busy("mpi", 0.25)
+        assert tl.host_time == pytest.approx(0.25)
+
+    def test_reset(self, tl):
+        tl.submit_kernel("k", 1.0)
+        tl.device_synchronize()
+        tl.reset_clock()
+        assert tl.host_time == 0.0
+        assert tl.ops == []

@@ -1,0 +1,106 @@
+"""Tests for clover-term construction and 72-real packing."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import make_clover, pack_clover, unpack_clover, unit_gauge
+from repro.lattice.clover import CLOVER_REALS_PER_SITE, field_strength
+from repro.lattice.fields import CloverField
+from repro.lattice.random_fields import (
+    random_gauge,
+    random_gauge_transform,
+    transform_gauge,
+    weak_field_gauge,
+)
+from repro.lattice import su3
+
+
+class TestFieldStrength:
+    def test_zero_on_free_field(self, geo44):
+        f = field_strength(unit_gauge(geo44), 0, 1)
+        np.testing.assert_allclose(f, 0.0, atol=1e-14)
+
+    def test_hermitian(self, weak_gauge):
+        for mu, nu in [(0, 1), (1, 3), (2, 3)]:
+            f = field_strength(weak_gauge, mu, nu)
+            np.testing.assert_allclose(f, su3.adjoint(f), atol=1e-13)
+
+    def test_antisymmetric(self, weak_gauge):
+        f01 = field_strength(weak_gauge, 0, 1)
+        f10 = field_strength(weak_gauge, 1, 0)
+        np.testing.assert_allclose(f01, -f10, atol=1e-13)
+
+    def test_gauge_covariant(self, geo44, rng):
+        gauge = weak_field_gauge(geo44, rng, noise=0.2)
+        rot = random_gauge_transform(geo44, rng)
+        f = field_strength(gauge, 1, 2)
+        f_t = field_strength(transform_gauge(gauge, rot), 1, 2)
+        expected = rot @ f @ su3.adjoint(rot)
+        np.testing.assert_allclose(f_t, expected, atol=1e-12)
+
+    def test_small_for_weak_field(self, geo44, rng):
+        gauge = weak_field_gauge(geo44, rng, noise=0.01)
+        f = field_strength(gauge, 0, 3)
+        assert np.max(np.abs(f)) < 0.2
+
+
+class TestCloverTerm:
+    def test_hermitian_blocks(self, weak_clover):
+        assert weak_clover.hermiticity_violation() < 1e-13
+
+    def test_zero_on_free_field(self, geo44):
+        clover = make_clover(unit_gauge(geo44))
+        np.testing.assert_allclose(clover.data, 0.0, atol=1e-14)
+
+    def test_csw_scaling(self, weak_gauge):
+        c1 = make_clover(weak_gauge, c_sw=1.0)
+        c2 = make_clover(weak_gauge, c_sw=2.0)
+        np.testing.assert_allclose(c2.data, 2.0 * c1.data, atol=1e-13)
+
+    def test_apply_matches_blocks(self, weak_clover, geo44, rng):
+        psi = rng.standard_normal((geo44.volume, 4, 3)) + 1j * rng.standard_normal(
+            (geo44.volume, 4, 3)
+        )
+        out = weak_clover.apply(psi)
+        # Manual blockwise application on one site.
+        site = 7
+        upper = weak_clover.data[site, 0] @ psi[site, 0:2].reshape(6)
+        lower = weak_clover.data[site, 1] @ psi[site, 2:4].reshape(6)
+        np.testing.assert_allclose(out[site, 0:2].reshape(6), upper, atol=1e-13)
+        np.testing.assert_allclose(out[site, 2:4].reshape(6), lower, atol=1e-13)
+
+    def test_apply_inverse_roundtrip(self, geo44, rng):
+        gauge = random_gauge(geo44, rng)
+        clover = make_clover(gauge)
+        # Shift to make blocks well-conditioned, as in A' = (4+m) + A.
+        shifted = CloverField(geo44, clover.data + 4.0 * np.eye(6))
+        psi = rng.standard_normal((geo44.volume, 4, 3)) + 0j
+        back = shifted.apply(shifted.apply_inverse(psi))
+        np.testing.assert_allclose(back, psi, atol=1e-11)
+
+    def test_apply_hermitian(self, weak_clover, geo44, rng):
+        a = rng.standard_normal((geo44.volume, 4, 3)) + 1j * rng.standard_normal(
+            (geo44.volume, 4, 3)
+        )
+        b = rng.standard_normal((geo44.volume, 4, 3)) + 1j * rng.standard_normal(
+            (geo44.volume, 4, 3)
+        )
+        lhs = np.vdot(b, weak_clover.apply(a))
+        rhs = np.vdot(weak_clover.apply(b), a)
+        assert lhs == pytest.approx(rhs, abs=1e-11)
+
+
+class TestPacking:
+    def test_72_reals(self, weak_clover):
+        packed = pack_clover(weak_clover)
+        assert packed.shape == (weak_clover.geometry.volume, CLOVER_REALS_PER_SITE)
+        assert packed.dtype == np.float64
+
+    def test_roundtrip(self, weak_clover, geo44):
+        packed = pack_clover(weak_clover)
+        back = unpack_clover(geo44, packed)
+        np.testing.assert_allclose(back.data, weak_clover.data, atol=1e-13)
+
+    def test_unpack_validates_shape(self, geo44):
+        with pytest.raises(ValueError, match="72"):
+            unpack_clover(geo44, np.zeros((geo44.volume, 71)))

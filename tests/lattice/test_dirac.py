@@ -1,0 +1,147 @@
+"""Tests for the reference Wilson-clover operator (paper eq. (2))."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    LatticeGeometry,
+    SpinorField,
+    WilsonCloverOperator,
+    apply_gamma5,
+    make_clover,
+    random_spinor,
+    unit_gauge,
+    weak_field_gauge,
+)
+from repro.lattice.random_fields import (
+    random_gauge,
+    random_gauge_transform,
+    transform_gauge,
+    transform_spinor,
+)
+from repro.lattice import gamma as g
+
+
+@pytest.fixture
+def op(weak_gauge, weak_clover):
+    return WilsonCloverOperator(weak_gauge, mass=0.1, clover=weak_clover)
+
+
+class TestBasicStructure:
+    def test_linearity(self, op, geo44, rng):
+        a, b = random_spinor(geo44, rng), random_spinor(geo44, rng)
+        lhs = op.apply(
+            SpinorField(geo44, 2.0 * a.data + (1 - 2j) * b.data)
+        ).data
+        rhs = 2.0 * op.apply(a).data + (1 - 2j) * op.apply(b).data
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_mass_shifts_diagonal(self, weak_gauge, weak_clover, geo44, rng):
+        psi = random_spinor(geo44, rng)
+        m1 = WilsonCloverOperator(weak_gauge, 0.0, weak_clover).apply(psi)
+        m2 = WilsonCloverOperator(weak_gauge, 0.5, weak_clover).apply(psi)
+        np.testing.assert_allclose(m2.data - m1.data, 0.5 * psi.data, atol=1e-12)
+
+    def test_mismatched_lattices_rejected(self, weak_gauge, rng):
+        other = LatticeGeometry((4, 4, 4, 8))
+        psi = random_spinor(other, rng)
+        with pytest.raises(ValueError, match="different lattices"):
+            WilsonCloverOperator(weak_gauge, 0.1).apply(psi)
+
+
+class TestGamma5Hermiticity:
+    """gamma_5 M gamma_5 = M^dag — the fundamental symmetry of Wilson-type
+    operators; catches nearly any sign/index bug."""
+
+    def test_wilson(self, weak_gauge, geo44, rng):
+        self._check(WilsonCloverOperator(weak_gauge, 0.1), geo44, rng)
+
+    def test_wilson_clover(self, op, geo44, rng):
+        self._check(op, geo44, rng)
+
+    def test_random_gauge(self, geo44, rng):
+        gauge = random_gauge(geo44, rng)
+        clover = make_clover(gauge, c_sw=1.3)
+        self._check(WilsonCloverOperator(gauge, 0.2, clover), geo44, rng)
+
+    @staticmethod
+    def _check(op, geo, rng):
+        x, y = random_spinor(geo, rng), random_spinor(geo, rng)
+        # <y, g5 M g5 x> must equal <M y, x> = <y, M^dag x>.
+        lhs = apply_gamma5(op.apply(apply_gamma5(x))).dot(y)
+        rhs = op.apply(x, dagger=True).dot(y)
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+    def test_dagger_adjoint_identity(self, op, geo44, rng):
+        x, y = random_spinor(geo44, rng), random_spinor(geo44, rng)
+        assert y.dot(op.apply(x)) == pytest.approx(
+            op.apply(y, dagger=True).dot(x), abs=1e-12
+        )
+
+
+class TestFreeField:
+    def test_plane_wave_eigenvalue(self):
+        """On the free field, plane waves diagonalize the hopping term:
+        M e^{ipx} u = [4 + m - sum_mu cos p_mu + i sum_mu gamma_mu sin p_mu] u.
+        Antiperiodic time quantizes p_t = (2n+1) pi / T."""
+        geo = LatticeGeometry((4, 4, 4, 8))
+        gauge = unit_gauge(geo)
+        mass = 0.3
+        op = WilsonCloverOperator(gauge, mass)
+        c = geo.coords
+        momenta = [(0, 0, 0, 0), (1, 0, 0, 0), (1, 2, 0, 3)]
+        for n in momenta:
+            p = np.array(
+                [
+                    2 * np.pi * n[0] / 4,
+                    2 * np.pi * n[1] / 4,
+                    2 * np.pi * n[2] / 4,
+                    (2 * n[3] + 1) * np.pi / 8,
+                ]
+            )
+            phase = np.exp(1j * (c @ p))
+            gam = g.gamma_matrices()
+            mat = (
+                (4 + mass - np.cos(p).sum()) * np.eye(4)
+                + 1j * np.einsum("m,mst->st", np.sin(p), gam)
+            )
+            for u_vec in np.eye(4):
+                spinor = np.einsum("x,s,c->xsc", phase, u_vec, np.array([1.0, 0, 0]))
+                psi = SpinorField(geo, spinor.astype(complex))
+                out = op.apply(psi).data
+                expected = np.einsum(
+                    "st,xtc->xsc", mat, psi.data
+                )
+                np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_clover_vanishes_on_free_field(self):
+        geo = LatticeGeometry((4, 4, 4, 4))
+        clover = make_clover(unit_gauge(geo))
+        assert np.max(np.abs(clover.data)) < 1e-14
+
+
+class TestGaugeCovariance:
+    def test_operator_covariant(self, geo44, rng):
+        """g(x) (M psi)(x) = (M' psi')(x) with primed = gauge transformed.
+        Verifies every index/conjugation in the stencil at once."""
+        gauge = weak_field_gauge(geo44, rng, noise=0.2)
+        clover = make_clover(gauge)
+        op = WilsonCloverOperator(gauge, 0.15, clover)
+        psi = random_spinor(geo44, rng)
+        rot = random_gauge_transform(geo44, rng)
+        gauge_t = transform_gauge(gauge, rot)
+        clover_t = make_clover(gauge_t)
+        op_t = WilsonCloverOperator(gauge_t, 0.15, clover_t)
+        lhs = transform_spinor(op.apply(psi), rot).data
+        rhs = op_t.apply(transform_spinor(psi, rot)).data
+        np.testing.assert_allclose(lhs, rhs, atol=1e-11)
+
+
+class TestFlopAccounting:
+    def test_paper_convention(self, op, weak_gauge):
+        """Section VII-A: effective flops exclude row reconstruction;
+        Wilson-clover is 3696 flops per site."""
+        assert op.flops_per_site() == 3696
+        assert op.flops_per_site(effective=False) > 3696
+        wilson = WilsonCloverOperator(weak_gauge, 0.1)
+        assert wilson.flops_per_site() < op.flops_per_site()

@@ -1,0 +1,85 @@
+"""Tests for field containers and basic invariants."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    GaugeField,
+    LatticeGeometry,
+    SpinorField,
+    random_spinor,
+    unit_gauge,
+    zeros_spinor,
+)
+from repro.lattice import gamma as g
+from repro.lattice.random_fields import (
+    random_gauge_transform,
+    transform_gauge,
+    weak_field_gauge,
+)
+
+
+class TestSpinorField:
+    def test_shape_validated(self, geo44):
+        with pytest.raises(ValueError, match="trailing shape"):
+            SpinorField(geo44, np.zeros((geo44.volume, 3, 4), dtype=complex))
+
+    def test_volume_validated(self, geo44):
+        with pytest.raises(ValueError, match="volume"):
+            SpinorField(geo44, np.zeros((10, 4, 3), dtype=complex))
+
+    def test_complex_required(self, geo44):
+        with pytest.raises(TypeError, match="complex"):
+            SpinorField(geo44, np.zeros((geo44.volume, 4, 3)))
+
+    def test_norm_and_dot(self, geo44, rng):
+        a = random_spinor(geo44, rng)
+        assert a.norm2() == pytest.approx(1.0)
+        assert a.dot(a).real == pytest.approx(a.norm2())
+
+    def test_axpy(self, geo44, rng):
+        a = random_spinor(geo44, rng)
+        b = random_spinor(geo44, rng)
+        expected = a.data + 2j * b.data
+        a.axpy(2j, b)
+        np.testing.assert_allclose(a.data, expected)
+
+    def test_basis_mismatch_rejected(self, geo44, rng):
+        a = random_spinor(geo44, rng, basis=g.DEGRAND_ROSSI)
+        b = random_spinor(geo44, rng, basis=g.NONRELATIVISTIC)
+        with pytest.raises(ValueError, match="basis"):
+            a.dot(b)
+
+    def test_basis_rotation_roundtrip(self, geo44, rng):
+        a = random_spinor(geo44, rng)
+        back = a.to_basis(g.NONRELATIVISTIC).to_basis(g.DEGRAND_ROSSI)
+        np.testing.assert_allclose(back.data, a.data, atol=1e-13)
+
+    def test_basis_rotation_preserves_norm(self, geo44, rng):
+        a = random_spinor(geo44, rng)
+        assert a.to_basis(g.NONRELATIVISTIC).norm2() == pytest.approx(a.norm2())
+
+    def test_zeros(self, geo44):
+        z = zeros_spinor(geo44)
+        assert z.norm2() == 0.0
+
+
+class TestGaugeField:
+    def test_unit_gauge_plaquette(self, geo44):
+        assert unit_gauge(geo44).plaquette() == pytest.approx(1.0)
+
+    def test_weak_field_plaquette_near_one(self, geo44, rng):
+        gauge = weak_field_gauge(geo44, rng, noise=0.05)
+        p = gauge.plaquette()
+        assert 0.9 < p < 1.0
+
+    def test_plaquette_gauge_invariant(self, geo44, rng):
+        gauge = weak_field_gauge(geo44, rng, noise=0.2)
+        rot = random_gauge_transform(geo44, rng)
+        assert transform_gauge(gauge, rot).plaquette() == pytest.approx(
+            gauge.plaquette(), abs=1e-12
+        )
+
+    def test_shape_validated(self, geo44):
+        with pytest.raises(ValueError, match="direction"):
+            GaugeField(geo44, np.zeros((3, geo44.volume, 3, 3), dtype=complex))

@@ -1,0 +1,151 @@
+"""Tests for gamma matrices, projectors, and the non-relativistic basis."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import gamma as g
+
+
+@pytest.mark.parametrize("basis", g.BASES)
+class TestCliffordAlgebra:
+    def test_anticommutation(self, basis):
+        mats = g.gamma_matrices(basis)
+        for mu in range(4):
+            for nu in range(4):
+                anti = mats[mu] @ mats[nu] + mats[nu] @ mats[mu]
+                expected = 2.0 * np.eye(4) if mu == nu else np.zeros((4, 4))
+                np.testing.assert_allclose(anti, expected, atol=1e-14)
+
+    def test_hermitian(self, basis):
+        mats = g.gamma_matrices(basis)
+        for mu in range(4):
+            np.testing.assert_allclose(mats[mu], np.conj(mats[mu].T), atol=1e-14)
+
+    def test_gamma5_squares_to_one(self, basis):
+        g5 = g.gamma5(basis)
+        np.testing.assert_allclose(g5 @ g5, np.eye(4), atol=1e-14)
+
+    def test_gamma5_anticommutes(self, basis):
+        g5 = g.gamma5(basis)
+        mats = g.gamma_matrices(basis)
+        for mu in range(4):
+            np.testing.assert_allclose(
+                g5 @ mats[mu] + mats[mu] @ g5, np.zeros((4, 4)), atol=1e-14
+            )
+
+
+class TestDeGrandRossi:
+    def test_gamma5_diagonal_chiral(self):
+        g5 = g.gamma5(g.DEGRAND_ROSSI)
+        np.testing.assert_allclose(g5 - np.diag(np.diag(g5)), 0, atol=1e-14)
+        diag = np.real(np.diag(g5))
+        assert sorted(diag) == [-1, -1, 1, 1]
+
+    def test_temporal_projector_structure(self):
+        """P(+/-)4 in the DR basis match paper eq. (6), left-hand side."""
+        p_plus = g.projector(3, +1, g.DEGRAND_ROSSI)
+        expected = np.array(
+            [[1, 0, 1, 0], [0, 1, 0, 1], [1, 0, 1, 0], [0, 1, 0, 1]], dtype=complex
+        )
+        np.testing.assert_allclose(p_plus, expected, atol=1e-14)
+
+
+class TestNonRelativisticBasis:
+    def test_transform_unitary(self):
+        s = g.nr_transform()
+        np.testing.assert_allclose(s @ np.conj(s.T), np.eye(4), atol=1e-14)
+
+    def test_p4_diagonal(self):
+        """Paper eq. (6): P+4 -> diag(2,2,0,0), P-4 -> diag(0,0,2,2)."""
+        p_plus = g.projector(3, +1, g.NONRELATIVISTIC)
+        p_minus = g.projector(3, -1, g.NONRELATIVISTIC)
+        np.testing.assert_allclose(p_plus, np.diag([2, 2, 0, 0]), atol=1e-14)
+        np.testing.assert_allclose(p_minus, np.diag([0, 0, 2, 2]), atol=1e-14)
+
+    def test_consistency_with_dr(self):
+        """gamma_nr = S gamma_dr S^dag for every direction."""
+        s = g.nr_transform()
+        dr = g.gamma_matrices(g.DEGRAND_ROSSI)
+        nr = g.gamma_matrices(g.NONRELATIVISTIC)
+        for mu in range(4):
+            np.testing.assert_allclose(nr[mu], s @ dr[mu] @ np.conj(s.T), atol=1e-14)
+
+
+@pytest.mark.parametrize("basis", g.BASES)
+@pytest.mark.parametrize("mu", range(4))
+@pytest.mark.parametrize("sign", [+1, -1])
+class TestProjectors:
+    def test_complementary(self, basis, mu, sign):
+        """P+ + P- = 2 (QUDA normalization) and P+ P- = 0."""
+        p = g.projector(mu, sign, basis)
+        q = g.projector(mu, -sign, basis)
+        np.testing.assert_allclose(p + q, 2 * np.eye(4), atol=1e-14)
+        np.testing.assert_allclose(p @ q, np.zeros((4, 4)), atol=1e-13)
+
+    def test_scaled_idempotent(self, basis, mu, sign):
+        """(P/2)^2 = P/2 — P has eigenvalues {0, 2}."""
+        p = g.projector(mu, sign, basis)
+        np.testing.assert_allclose(p @ p, 2 * p, atol=1e-13)
+
+    def test_decomposition_exact(self, basis, mu, sign):
+        """The half-spinor factorization: P = R @ Q with Q 2x4, R 4x2."""
+        q, r = g.projector_decomposition(mu, sign, basis)
+        assert q.shape == (2, 4) and r.shape == (4, 2)
+        np.testing.assert_allclose(r @ q, g.projector(mu, sign, basis), atol=1e-12)
+
+    def test_half_spinor_is_12_reals(self, basis, mu, sign, rng):
+        """A projected face site carries 2 spins x 3 colors = 12 real numbers
+        (paper footnote 3)."""
+        q, _ = g.projector_decomposition(mu, sign, basis)
+        psi = rng.standard_normal((4, 3)) + 1j * rng.standard_normal((4, 3))
+        half = q @ psi
+        assert half.size * 2 == 12
+
+
+class TestNRTemporalDecomposition:
+    def test_q_is_scaled_selection(self):
+        """In the NR basis the temporal Q is literally '2 x copy two spin
+        components' — zero projection arithmetic (Section V-C2)."""
+        q_plus, _ = g.projector_decomposition(3, +1, g.NONRELATIVISTIC)
+        q_minus, _ = g.projector_decomposition(3, -1, g.NONRELATIVISTIC)
+        np.testing.assert_allclose(
+            q_plus, np.array([[2, 0, 0, 0], [0, 2, 0, 0]]), atol=1e-14
+        )
+        np.testing.assert_allclose(
+            q_minus, np.array([[0, 0, 2, 0], [0, 0, 0, 2]]), atol=1e-14
+        )
+
+
+class TestSigma:
+    def test_hermitian(self):
+        for mu in range(4):
+            for nu in range(mu + 1, 4):
+                s = g.sigma_munu(mu, nu)
+                np.testing.assert_allclose(s, np.conj(s.T), atol=1e-14)
+
+    def test_antisymmetric_in_indices(self):
+        np.testing.assert_allclose(
+            g.sigma_munu(0, 1), -np.asarray(g.sigma_munu(1, 0)), atol=1e-14
+        )
+
+    def test_chiral_block_diagonal(self):
+        """sigma commutes with the diagonal gamma5 => 2x2 spin blocks."""
+        for mu in range(4):
+            for nu in range(mu + 1, 4):
+                s = np.asarray(g.sigma_munu(mu, nu, g.DEGRAND_ROSSI))
+                assert np.max(np.abs(s[0:2, 2:4])) < 1e-14
+                assert np.max(np.abs(s[2:4, 0:2])) < 1e-14
+
+
+class TestValidation:
+    def test_unknown_basis_rejected(self):
+        with pytest.raises(ValueError, match="unknown spin basis"):
+            g.gamma_matrices("dirac_pauli")
+
+    def test_bad_sign_rejected(self):
+        with pytest.raises(ValueError, match="sign"):
+            g.projector(0, 2)
+
+    def test_matrices_read_only(self):
+        with pytest.raises(ValueError):
+            g.gamma_matrices()[0][0, 0] = 5.0

@@ -1,0 +1,110 @@
+"""Tests for the host-side Krylov solvers."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.hostsolve import ConvergenceError, bicgstab, cg, cgne, cgnr
+
+
+def _random_spd(rng, n=40):
+    a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    return a @ np.conj(a.T) + n * np.eye(n)
+
+
+def _random_general(rng, n=40):
+    """Well-conditioned but genuinely non-Hermitian."""
+    return np.eye(n) * (n / 4) + rng.standard_normal((n, n)) + 1j * rng.standard_normal(
+        (n, n)
+    )
+
+
+class TestCG:
+    def test_solves_spd(self, rng):
+        a = _random_spd(rng)
+        b = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        res = cg(lambda v: a @ v, b, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-9)
+
+    def test_exact_in_n_iterations(self, rng):
+        a = _random_spd(rng, n=12)
+        b = rng.standard_normal(12) + 0j
+        res = cg(lambda v: a @ v, b, tol=1e-12)
+        assert res.iterations <= 12
+
+    def test_initial_guess(self, rng):
+        a = _random_spd(rng)
+        b = rng.standard_normal(40) + 0j
+        exact = np.linalg.solve(a, b)
+        res = cg(lambda v: a @ v, b, x0=exact, tol=1e-10)
+        assert res.iterations <= 1
+
+    def test_history_monotone_target(self, rng):
+        a = _random_spd(rng)
+        b = rng.standard_normal(40) + 0j
+        res = cg(lambda v: a @ v, b, tol=1e-10)
+        assert res.history[0] >= res.history[-1]
+        assert len(res.history) == res.iterations + 1
+
+    def test_raises_on_stall(self, rng):
+        a = _random_spd(rng)
+        b = rng.standard_normal(40) + 0j
+        with pytest.raises(ConvergenceError) as err:
+            cg(lambda v: a @ v, b, tol=1e-14, maxiter=2)
+        assert err.value.result.iterations == 2
+
+    def test_no_raise_option(self, rng):
+        a = _random_spd(rng)
+        b = rng.standard_normal(40) + 0j
+        res = cg(lambda v: a @ v, b, tol=1e-14, maxiter=2, raise_on_fail=False)
+        assert not res.converged
+
+
+class TestNormalEquations:
+    def test_cgne(self, rng):
+        a = _random_general(rng)
+        b = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        res = cgne(lambda v: a @ v, lambda v: np.conj(a.T) @ v, b, tol=1e-12)
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-7)
+
+    def test_cgnr(self, rng):
+        a = _random_general(rng)
+        b = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        res = cgnr(lambda v: a @ v, lambda v: np.conj(a.T) @ v, b, tol=1e-12)
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-7)
+
+
+class TestBiCGstab:
+    def test_solves_nonhermitian(self, rng):
+        a = _random_general(rng)
+        b = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        res = bicgstab(lambda v: a @ v, b, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-8)
+
+    def test_faster_than_normal_equations(self, rng):
+        """On a well-conditioned system BiCGstab needs fewer matvec-pairs
+        than CGNR — the reason it is the production solver (Section II)."""
+        a = _random_general(rng, n=64)
+        b = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        res_b = bicgstab(lambda v: a @ v, b, tol=1e-10)
+        res_n = cgnr(lambda v: a @ v, lambda v: np.conj(a.T) @ v, b, tol=1e-10)
+        assert res_b.iterations <= res_n.iterations
+
+    def test_initial_guess(self, rng):
+        a = _random_general(rng)
+        b = rng.standard_normal(40) + 0j
+        exact = np.linalg.solve(a, b)
+        res = bicgstab(lambda v: a @ v, b, x0=exact, tol=1e-10)
+        assert res.iterations <= 1
+
+    def test_raises_on_stall(self, rng):
+        a = _random_general(rng)
+        b = rng.standard_normal(40) + 0j
+        with pytest.raises(ConvergenceError):
+            bicgstab(lambda v: a @ v, b, tol=1e-15, maxiter=1)
+
+    def test_zero_rhs(self, rng):
+        a = _random_general(rng)
+        res = bicgstab(lambda v: a @ v, np.zeros(40, dtype=complex), tol=1e-10)
+        np.testing.assert_allclose(res.x, 0.0)

@@ -1,0 +1,176 @@
+"""Tests for the physics observables (propagators, mesons, loops)."""
+
+import numpy as np
+import pytest
+
+from repro.core import paper_invert_param
+from repro.lattice import LatticeGeometry, unit_gauge, weak_field_gauge
+from repro.lattice.measurements import (
+    MESON_CHANNELS,
+    Propagator,
+    compute_propagator,
+    meson_correlator,
+    polyakov_loop,
+    wilson_loop,
+)
+from repro.lattice.random_fields import random_gauge_transform, transform_gauge
+
+
+@pytest.fixture(scope="module")
+def setup():
+    geo = LatticeGeometry((4, 4, 4, 8))
+    rng = np.random.default_rng(3)
+    gauge = weak_field_gauge(geo, rng, 0.1)
+    inv = paper_invert_param("single-half", mass=0.3)
+    prop = compute_propagator(gauge, inv, n_gpus=2)
+    return geo, gauge, prop
+
+
+class TestPropagator:
+    def test_all_columns_present(self, setup):
+        geo, _, prop = setup
+        assert prop.data.shape == (geo.volume, 4, 3, 4, 3)
+
+    def test_column_accessor(self, setup):
+        _, _, prop = setup
+        col = prop.column(1, 2)
+        np.testing.assert_array_equal(col, prop.data[:, :, :, 1, 2])
+
+    def test_source_dominates_at_origin(self, setup):
+        """The propagator peaks at the (point) source."""
+        geo, _, prop = setup
+        mag = np.sum(np.abs(prop.data) ** 2, axis=(1, 2, 3, 4))
+        assert np.argmax(mag) == prop.source_site
+
+    def test_shape_validated(self):
+        geo = LatticeGeometry((4, 4, 4, 4))
+        with pytest.raises(ValueError, match="shape"):
+            Propagator(geo, np.zeros((geo.volume, 4, 3)))
+
+
+class TestMesonCorrelators:
+    def test_pion_equals_propagator_norm(self, setup):
+        """For Gamma = gamma_5 the contraction collapses to sum |S|^2."""
+        geo, _, prop = setup
+        pion = meson_correlator(prop, "pion")
+        direct = (
+            np.sum(np.abs(prop.data) ** 2, axis=(1, 2, 3, 4))
+            .reshape(geo.dims[3], -1)
+            .sum(axis=1)
+        )
+        np.testing.assert_allclose(pion, direct, rtol=1e-10)
+
+    def test_physical_channels_positive_and_decaying(self, setup):
+        geo, _, prop = setup
+        half = geo.dims[3] // 2
+        for channel in ("pion", "rho_x", "rho_y", "rho_z"):
+            c = meson_correlator(prop, channel)
+            assert np.all(c > 0), channel
+            assert np.all(np.diff(c[:half]) < 0), channel
+
+    def test_pion_rho_nearly_degenerate_on_weak_field(self, setup):
+        """On a weak-field (nearly free) configuration with a heavy quark
+        the pion and rho are almost degenerate — their effective masses
+        must agree to ~10% (the splitting is an interaction effect)."""
+        geo, _, prop = setup
+        pion = meson_correlator(prop, "pion")
+        rho = meson_correlator(prop, "rho_x")
+        t = 2
+        m_pi = np.log(pion[t] / pion[t + 1])
+        m_rho = np.log(rho[t] / rho[t + 1])
+        assert abs(m_pi - m_rho) / m_pi < 0.10
+
+    def test_rho_components_degenerate(self, setup):
+        """Cubic symmetry: the three rho polarizations agree closely."""
+        _, _, prop = setup
+        cx = meson_correlator(prop, "rho_x")
+        cy = meson_correlator(prop, "rho_y")
+        cz = meson_correlator(prop, "rho_z")
+        for a, b in ((cx, cy), (cx, cz)):
+            assert np.max(np.abs(a - b) / np.abs(a)) < 0.35
+
+    def test_unknown_channel(self, setup):
+        _, _, prop = setup
+        with pytest.raises(ValueError, match="unknown channel"):
+            meson_correlator(prop, "glueball")
+
+    def test_channel_registry(self):
+        assert {"pion", "scalar", "rho_x"} <= set(MESON_CHANNELS)
+
+
+class TestWilsonLoops:
+    def test_free_field_loops_are_one(self):
+        geo = LatticeGeometry((4, 4, 4, 8))
+        gauge = unit_gauge(geo)
+        for r, t in ((1, 1), (2, 2), (1, 3)):
+            assert wilson_loop(gauge, r, t) == pytest.approx(1.0, abs=1e-12)
+
+    def test_w11_is_the_plaquette_st_average(self):
+        """W(1,1) averages the three (spatial, temporal) plaquettes."""
+        geo = LatticeGeometry((4, 4, 4, 4))
+        rng = np.random.default_rng(5)
+        gauge = weak_field_gauge(geo, rng, 0.2)
+        w11 = wilson_loop(gauge, 1, 1)
+        assert 0 < w11 < 1.0
+
+    def test_gauge_invariant(self):
+        geo = LatticeGeometry((4, 4, 4, 4))
+        rng = np.random.default_rng(6)
+        gauge = weak_field_gauge(geo, rng, 0.2)
+        rot = random_gauge_transform(geo, rng)
+        rotated = transform_gauge(gauge, rot)
+        assert wilson_loop(rotated, 2, 2) == pytest.approx(
+            wilson_loop(gauge, 2, 2), abs=1e-10
+        )
+
+    def test_larger_loops_smaller(self):
+        geo = LatticeGeometry((4, 4, 4, 8))
+        rng = np.random.default_rng(7)
+        gauge = weak_field_gauge(geo, rng, 0.25)
+        assert wilson_loop(gauge, 1, 1) > wilson_loop(gauge, 2, 2) > wilson_loop(
+            gauge, 2, 3
+        )
+
+    def test_extent_validated(self):
+        geo = LatticeGeometry((4, 4, 4, 4))
+        with pytest.raises(ValueError, match=">= 1"):
+            wilson_loop(unit_gauge(geo), 0, 1)
+
+    def test_strong_coupling_area_law(self):
+        """W(R, T) ~ (beta/18)^(RT) at strong coupling — measured on a
+        heatbath-thermalized ensemble at beta = 1."""
+        from repro.lattice.montecarlo import Ensemble
+
+        geo = LatticeGeometry((4, 4, 4, 4))
+        ens = Ensemble(geo, beta=1.0, rng=np.random.default_rng(8), start="hot")
+        ens.update(8)
+        w11 = np.mean([wilson_loop(ens.gauge, 1, 1)])
+        w12 = wilson_loop(ens.gauge, 1, 2)
+        # Area law: log W proportional to area; W(1,2) ~ W(1,1)^2.
+        assert abs(w11 - 1.0 / 18.0) < 0.02
+        assert abs(w12 - w11**2) < 0.02
+
+
+class TestPolyakovLoop:
+    def test_free_field(self):
+        geo = LatticeGeometry((4, 4, 4, 8))
+        assert polyakov_loop(unit_gauge(geo)) == pytest.approx(1.0 + 0j)
+
+    def test_gauge_invariant(self):
+        geo = LatticeGeometry((4, 4, 4, 4))
+        rng = np.random.default_rng(9)
+        gauge = weak_field_gauge(geo, rng, 0.2)
+        rot = random_gauge_transform(geo, rng)
+        assert polyakov_loop(transform_gauge(gauge, rot)) == pytest.approx(
+            polyakov_loop(gauge), abs=1e-10
+        )
+
+    def test_confined_phase_small(self):
+        """In the strong-coupling (confined) phase the Polyakov loop is
+        near zero — the confinement order parameter."""
+        from repro.lattice.montecarlo import Ensemble
+
+        geo = LatticeGeometry((4, 4, 4, 4))
+        ens = Ensemble(geo, beta=1.0, rng=np.random.default_rng(10), start="hot")
+        ens.update(8)
+        assert abs(polyakov_loop(ens.gauge)) < 0.2

@@ -1,0 +1,165 @@
+"""Tests for the pure-gauge Monte Carlo (the generation-phase extension)."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import LatticeGeometry, su3
+from repro.lattice.montecarlo import (
+    Ensemble,
+    _quat_mul,
+    _su2_embed,
+    _su2_extract,
+    heatbath_sweep,
+    overrelaxation_sweep,
+    staple_sum,
+    su2_heatbath,
+    wilson_action,
+)
+from repro.lattice.random_fields import unit_gauge, weak_field_gauge
+
+
+@pytest.fixture
+def geo():
+    return LatticeGeometry((4, 4, 4, 4))
+
+
+class TestQuaternionAlgebra:
+    def test_embedding_is_homomorphism(self, rng):
+        for i, j in ((0, 1), (0, 2), (1, 2)):
+            p = rng.standard_normal((6, 4))
+            q = rng.standard_normal((6, 4))
+            p /= np.linalg.norm(p, axis=1, keepdims=True)
+            q /= np.linalg.norm(q, axis=1, keepdims=True)
+            lhs = _su2_embed(p, i, j, 6) @ _su2_embed(q, i, j, 6)
+            rhs = _su2_embed(_quat_mul(p, q), i, j, 6)
+            np.testing.assert_allclose(lhs, rhs, atol=1e-13)
+
+    def test_embedded_unit_quaternion_is_su3(self, rng):
+        q = rng.standard_normal((8, 4))
+        q /= np.linalg.norm(q, axis=1, keepdims=True)
+        u = _su2_embed(q, 0, 2, 8)
+        assert su3.max_unitarity_violation(u) < 1e-13
+        np.testing.assert_allclose(su3.det(u), 1.0, atol=1e-13)
+
+    def test_extract_recovers_embedded(self, rng):
+        q = rng.standard_normal((8, 4))
+        q /= np.linalg.norm(q, axis=1, keepdims=True)
+        w = _su2_embed(q, 1, 2, 8)
+        quat, k = _su2_extract(w, 1, 2)
+        np.testing.assert_allclose(k, 1.0, atol=1e-12)
+        np.testing.assert_allclose(quat, q, atol=1e-12)
+
+
+class TestStaples:
+    def test_unit_gauge_staples(self, geo):
+        """On the free field every staple is the identity: A = 6."""
+        staples = staple_sum(unit_gauge(geo), 0)
+        np.testing.assert_allclose(staples, 6.0 * su3.identity((geo.volume,)), atol=1e-13)
+
+    def test_action_consistency(self, geo, rng):
+        """Summing Re tr[U A]/ (something) reproduces the plaquette-based
+        action: each plaquette is counted once per link x 4 links / ...
+        We check the identity  sum_mu Re tr[U_mu A_mu] = 12 * sum_P Re tr P
+        / ... via the plaquette directly."""
+        gauge = weak_field_gauge(geo, rng, noise=0.2)
+        total = 0.0
+        for mu in range(4):
+            a = staple_sum(gauge, mu)
+            total += float(np.sum(su3.trace(gauge.data[mu] @ a).real))
+        # Each plaquette appears twice per link pair = 4x in the sum.
+        n_plaq = 6 * geo.volume
+        plaq_sum = gauge.plaquette() * n_plaq * 3.0
+        assert total == pytest.approx(4.0 * plaq_sum, rel=1e-10)
+
+    def test_wilson_action_zero_on_free_field(self, geo):
+        assert wilson_action(unit_gauge(geo), beta=6.0) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSU2Heatbath:
+    def test_samples_in_range(self, rng):
+        k = rng.uniform(0.5, 5.0, size=500)
+        quat = su2_heatbath(k, 2.0, rng)
+        norms = np.linalg.norm(quat, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+        assert np.all(np.abs(quat[:, 0]) <= 1.0)
+
+    def test_large_coupling_pushes_a0_to_one(self, rng):
+        """At strong coupling the distribution peaks sharply at a0 = 1."""
+        quat = su2_heatbath(np.full(500, 30.0), 2.0, rng)
+        assert np.mean(quat[:, 0]) > 0.95
+
+    def test_weak_coupling_nearly_uniform(self, rng):
+        quat = su2_heatbath(np.full(2000, 1e-6), 2.0, rng)
+        # Uniform on S^3: <a0> = 0.
+        assert abs(np.mean(quat[:, 0])) < 0.1
+
+
+class TestSweeps:
+    def test_heatbath_preserves_group(self, geo, rng):
+        ens = Ensemble(geo, beta=5.7, rng=rng, start="hot")
+        ens.update(2)
+        assert su3.max_unitarity_violation(ens.gauge.data) < 1e-10
+
+    def test_overrelaxation_nearly_preserves_action(self, geo, rng):
+        gauge = weak_field_gauge(geo, rng, noise=0.3)
+        before = wilson_action(gauge, beta=6.0)
+        overrelaxation_sweep(gauge, rng)
+        after = wilson_action(gauge, beta=6.0)
+        # Microcanonical up to subgroup sequencing: small relative drift.
+        assert abs(after - before) / before < 0.05
+
+    def test_overrelaxation_moves_the_links(self, geo, rng):
+        gauge = weak_field_gauge(geo, rng, noise=0.3)
+        before = gauge.data.copy()
+        overrelaxation_sweep(gauge, rng)
+        assert np.max(np.abs(gauge.data - before)) > 0.01
+
+
+class TestThermalization:
+    """The physics checks: known SU(3) plaquette values."""
+
+    def test_strong_coupling_expansion(self, geo):
+        """At small beta, <P> ~ beta/18 (leading strong coupling)."""
+        ens = Ensemble(geo, beta=1.0, rng=np.random.default_rng(2), start="hot")
+        ens.update(10)
+        p = np.mean(ens.plaquette_history[-5:])
+        assert abs(p - 1.0 / 18.0) < 0.02
+
+    def test_weak_coupling_expansion(self, geo):
+        """At large beta, <P> ~ 1 - 2/beta (leading weak coupling)."""
+        ens = Ensemble(geo, beta=12.0, rng=np.random.default_rng(3), start="cold")
+        ens.update(10)
+        p = np.mean(ens.plaquette_history[-5:])
+        assert abs(p - (1.0 - 2.0 / 12.0)) < 0.03
+
+    def test_hot_and_cold_starts_meet(self, geo):
+        """Equilibration: opposite starts converge to the same plaquette."""
+        beta = 5.7
+        hot = Ensemble(geo, beta=beta, rng=np.random.default_rng(4), start="hot")
+        cold = Ensemble(geo, beta=beta, rng=np.random.default_rng(5), start="cold")
+        hot.update(15)
+        cold.update(15)
+        p_hot = np.mean(hot.plaquette_history[-5:])
+        p_cold = np.mean(cold.plaquette_history[-5:])
+        assert abs(p_hot - p_cold) < 0.03
+
+    def test_bad_start_rejected(self, geo, rng):
+        with pytest.raises(ValueError, match="start"):
+            Ensemble(geo, beta=6.0, rng=rng, start="lukewarm")
+
+
+class TestGeneratedConfigsAreUsable:
+    def test_solver_runs_on_generated_configuration(self, geo):
+        """The full two-phase workflow: generate, then analyze."""
+        from repro.core import invert, paper_invert_param
+        from repro.lattice import random_spinor
+
+        ens = Ensemble(geo, beta=9.0, rng=np.random.default_rng(6), start="cold")
+        ens.update(6)
+        rng = np.random.default_rng(7)
+        src = random_spinor(geo, rng)
+        res = invert(
+            ens.gauge, src, paper_invert_param("single-half", mass=0.3), n_gpus=2
+        )
+        assert res.stats.converged
+        assert res.true_residual < 1e-5

@@ -1,0 +1,173 @@
+"""Tests for the adaptive multigrid extension (paper future work, [24])."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    LatticeGeometry,
+    WilsonCloverOperator,
+    make_clover,
+    random_spinor,
+    weak_field_gauge,
+)
+from repro.lattice.multigrid import AdaptiveMultigrid, BlockGeometry, fgmres
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(5)
+    geo = LatticeGeometry((4, 4, 4, 4))
+    gauge = weak_field_gauge(geo, rng, noise=0.2)
+    clover = make_clover(gauge)
+    op = WilsonCloverOperator(gauge, mass=-0.2, clover=clover)
+    return geo, op
+
+
+@pytest.fixture(scope="module")
+def mg(problem):
+    _, op = problem
+    return AdaptiveMultigrid(op, block_dims=(2, 2, 2, 2), n_nullvecs=3, setup_iters=25)
+
+
+class TestBlockGeometry:
+    def test_tiling(self):
+        geo = LatticeGeometry((4, 4, 4, 8))
+        blocks = BlockGeometry(geo, (2, 2, 2, 4))
+        assert blocks.n_blocks == 2 * 2 * 2 * 2
+        assert blocks.sites_per_block == 2 * 2 * 2 * 4
+
+    def test_block_sites_partition_lattice(self):
+        geo = LatticeGeometry((4, 4, 4, 4))
+        blocks = BlockGeometry(geo, (2, 2, 2, 2))
+        sites = np.concatenate(blocks.block_sites())
+        assert np.array_equal(np.sort(sites), np.arange(geo.volume))
+
+    def test_sites_share_block_coordinates(self):
+        geo = LatticeGeometry((4, 4, 4, 4))
+        blocks = BlockGeometry(geo, (2, 2, 2, 2))
+        for sites in blocks.block_sites():
+            coords = geo.coords[sites] // np.array((2, 2, 2, 2))
+            assert len(np.unique(coords, axis=0)) == 1
+
+    def test_non_tiling_rejected(self):
+        geo = LatticeGeometry((4, 4, 4, 4))
+        with pytest.raises(ValueError, match="tile"):
+            BlockGeometry(geo, (3, 2, 2, 2))
+
+
+class TestFGMRES:
+    def test_solves_dense_system(self, rng):
+        a = np.eye(30) * 8 + rng.standard_normal((30, 30)) + 1j * rng.standard_normal((30, 30))
+        b = rng.standard_normal(30) + 0j
+        res = fgmres(lambda v: a @ v, b, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-7)
+
+    def test_preconditioner_reduces_iterations(self, rng):
+        a = np.diag(np.linspace(1, 500, 60)) + rng.standard_normal((60, 60)) * 0.1
+        b = rng.standard_normal(60) + 0j
+        plain = fgmres(lambda v: a @ v, b, tol=1e-8, maxiter=300)
+        inv = np.linalg.inv(a)
+        precond = fgmres(
+            lambda v: a @ v, b, preconditioner=lambda v: inv @ v, tol=1e-8
+        )
+        assert precond.iterations < plain.iterations
+
+    def test_restart_path(self, rng):
+        a = np.diag(np.linspace(1, 80, 50)).astype(complex)
+        b = rng.standard_normal(50) + 0j
+        res = fgmres(lambda v: a @ v, b, tol=1e-10, restart=5, maxiter=300)
+        assert res.converged
+
+    def test_zero_rhs(self):
+        res = fgmres(lambda v: 2 * v, np.zeros(10, dtype=complex), tol=1e-10)
+        assert res.converged and res.iterations == 0
+
+
+class TestGridTransfers:
+    def test_restrict_prolong_identity(self, mg, rng):
+        """Blockwise orthonormality: P^dag P = 1 on the coarse space."""
+        c = rng.standard_normal(mg.coarse_dim) + 1j * rng.standard_normal(mg.coarse_dim)
+        np.testing.assert_allclose(mg.restrict(mg.prolong(c)), c, atol=1e-12)
+
+    def test_prolong_restrict_is_projection(self, mg, rng):
+        """P P^dag is an orthogonal projector on the fine space."""
+        geo = mg.op.geometry
+        v = rng.standard_normal(geo.volume * 12) + 1j * rng.standard_normal(geo.volume * 12)
+        pv = mg.prolong(mg.restrict(v))
+        ppv = mg.prolong(mg.restrict(pv))
+        np.testing.assert_allclose(ppv, pv, atol=1e-11)
+
+    def test_chirality_split_doubles_columns(self, mg):
+        assert mg.coarse_dim == mg.blocks.n_blocks * 2 * mg.n_nullvecs
+
+    def test_null_vectors_in_range_of_p(self, mg, rng):
+        """The coarse space must (approximately) contain the near-null
+        vectors it was built from: |(1 - P P^dag) v| small relative to
+        the vectors' already-small |M v|."""
+        vecs = mg._adaptive_setup()
+        v = vecs[:, 0]
+        leak = np.linalg.norm(v - mg.prolong(mg.restrict(v)))
+        assert leak < 1e-8  # exact containment by construction
+
+    def test_galerkin_property(self, mg, rng):
+        """A_c c == P^dag M P c for random coarse vectors."""
+        c = rng.standard_normal(mg.coarse_dim) + 1j * rng.standard_normal(mg.coarse_dim)
+        direct = mg._coarse_matrix @ c
+        via_fine = mg.restrict(mg._matvec(mg.prolong(c)))
+        np.testing.assert_allclose(direct, via_fine, atol=1e-10)
+
+
+class TestVCycle:
+    def test_reduces_residual(self, mg, rng):
+        geo = mg.op.geometry
+        b = rng.standard_normal(geo.volume * 12) + 1j * rng.standard_normal(geo.volume * 12)
+        e = mg.vcycle(b)
+        r_after = b - mg._matvec(e)
+        assert np.linalg.norm(r_after) < 0.9 * np.linalg.norm(b)
+
+
+class TestMGSolve:
+    def test_converges_and_verifies(self, problem, mg, rng):
+        geo, op = problem
+        b = random_spinor(geo, rng)
+        res = mg.solve(b, tol=1e-9)
+        assert res.converged
+        r = b.data.reshape(-1) - mg._matvec(res.x)
+        assert np.linalg.norm(r) < 1e-8
+
+    def test_beats_unpreconditioned_fgmres(self, problem, mg, rng):
+        geo, op = problem
+        b = random_spinor(geo, rng)
+        plain = fgmres(mg._matvec, b.data.reshape(-1), tol=1e-8, maxiter=500)
+        precond = mg.solve(b, tol=1e-8)
+        assert precond.iterations < 0.7 * plain.iterations
+
+    def test_tames_critical_slowing_down(self, rng):
+        """The point of [24]: toward the critical mass, the Krylov count
+        explodes while the MG count grows far more slowly."""
+        from repro.lattice import bicgstab
+
+        geo = LatticeGeometry((4, 4, 4, 4))
+        gauge = weak_field_gauge(geo, np.random.default_rng(5), noise=0.2)
+        clover = make_clover(gauge)
+        growth = {}
+        for solver in ("bicgstab", "mg"):
+            counts = []
+            for mass in (0.0, -0.75):
+                op = WilsonCloverOperator(gauge, mass, clover)
+                b = random_spinor(geo, np.random.default_rng(9))
+                if solver == "bicgstab":
+                    res = bicgstab(
+                        op.as_linear_operator(), b.data.reshape(-1),
+                        tol=1e-8, maxiter=20000, raise_on_fail=False,
+                    )
+                else:
+                    mg = AdaptiveMultigrid(
+                        op, block_dims=(2, 2, 2, 2), n_nullvecs=4, setup_iters=30
+                    )
+                    res = mg.solve(b, tol=1e-8)
+                assert res.converged
+                counts.append(res.iterations)
+            growth[solver] = counts[1] / counts[0]
+        assert growth["mg"] < 0.6 * growth["bicgstab"]

@@ -1,0 +1,91 @@
+"""Tests for SU(3) algebra and 12-number gauge compression."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import su3
+
+
+@pytest.fixture
+def batch(rng):
+    return su3.random_su3(rng, (64,))
+
+
+class TestGroupProperties:
+    def test_unitarity(self, batch):
+        assert su3.max_unitarity_violation(batch) < 1e-12
+
+    def test_special(self, batch):
+        np.testing.assert_allclose(su3.det(batch), 1.0, atol=1e-12)
+
+    def test_closure_under_multiplication(self, batch, rng):
+        other = su3.random_su3(rng, (64,))
+        prod = su3.multiply(batch, other)
+        assert su3.max_unitarity_violation(prod) < 1e-11
+        np.testing.assert_allclose(su3.det(prod), 1.0, atol=1e-11)
+
+    def test_adjoint_is_inverse(self, batch):
+        prod = batch @ su3.adjoint(batch)
+        np.testing.assert_allclose(prod, su3.identity((64,)), atol=1e-12)
+
+    def test_trace_of_identity(self):
+        assert su3.trace(su3.identity((5,))).real == pytest.approx([3.0] * 5)
+
+
+class TestReunitarize:
+    def test_projects_noisy_matrices(self, rng):
+        noisy = su3.identity((32,)) + 0.3 * (
+            rng.standard_normal((32, 3, 3)) + 1j * rng.standard_normal((32, 3, 3))
+        )
+        fixed = su3.reunitarize(noisy)
+        assert su3.max_unitarity_violation(fixed) < 1e-12
+        np.testing.assert_allclose(su3.det(fixed), 1.0, atol=1e-12)
+
+    def test_idempotent_on_su3(self, batch):
+        again = su3.reunitarize(batch)
+        np.testing.assert_allclose(again, batch, atol=1e-12)
+
+    def test_small_noise_stays_close_to_identity(self, rng):
+        noisy = su3.identity((32,)) + 0.01 * rng.standard_normal((32, 3, 3))
+        fixed = su3.reunitarize(noisy)
+        assert np.max(np.abs(fixed - su3.identity((32,)))) < 0.1
+
+
+class TestCompression:
+    def test_roundtrip_exact(self, batch):
+        c = su3.compress_rows(batch)
+        assert c.shape == (64, 2, 3)
+        rec = su3.reconstruct_rows(c)
+        np.testing.assert_allclose(rec, batch, atol=1e-12)
+
+    def test_compression_is_copy(self, batch):
+        c = su3.compress_rows(batch)
+        c[...] = 0
+        assert su3.max_unitarity_violation(batch) < 1e-12  # original untouched
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="trailing shape"):
+            su3.reconstruct_rows(np.zeros((4, 3, 3), dtype=complex))
+
+    def test_storage_saving(self, batch):
+        """12 vs 18 real numbers per link (Section V-C1)."""
+        c = su3.compress_rows(batch)
+        assert c[0].size * 2 == 12
+        assert batch[0].size * 2 == 18
+
+
+class TestAlgebra:
+    def test_random_algebra_traceless_hermitian(self, rng):
+        h = su3.random_algebra(rng, (16,))
+        np.testing.assert_allclose(h, su3.adjoint(h), atol=1e-12)
+        np.testing.assert_allclose(su3.trace(h), 0.0, atol=1e-12)
+
+    def test_expi_unitary(self, rng):
+        h = su3.random_algebra(rng, (16,))
+        u = su3.expi_hermitian(h)
+        assert su3.max_unitarity_violation(u) < 1e-12
+        np.testing.assert_allclose(su3.det(u), 1.0, atol=1e-11)
+
+    def test_expi_zero_is_identity(self):
+        u = su3.expi_hermitian(np.zeros((4, 3, 3)))
+        np.testing.assert_allclose(u, su3.identity((4,)), atol=1e-14)

@@ -1,0 +1,93 @@
+"""Property-based tests for SU(3) and gamma/projector algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import gamma as g
+from repro.lattice import su3
+
+_seeds = st.integers(0, 2**31 - 1)
+
+
+def _random_su3(seed, n=8):
+    return su3.random_su3(np.random.default_rng(seed), (n,))
+
+
+class TestSU3Properties:
+    @given(_seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_reunitarize_lands_on_manifold(self, seed):
+        rng = np.random.default_rng(seed)
+        noisy = rng.standard_normal((8, 3, 3)) + 1j * rng.standard_normal((8, 3, 3))
+        # Degenerate rows are measure-zero; Gram-Schmidt succeeds a.s.
+        u = su3.reunitarize(noisy)
+        assert su3.max_unitarity_violation(u) < 1e-10
+        np.testing.assert_allclose(su3.det(u), 1.0, atol=1e-10)
+
+    @given(_seeds, _seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_group_closure(self, s1, s2):
+        a, b = _random_su3(s1), _random_su3(s2)
+        prod = a @ b
+        assert su3.max_unitarity_violation(prod) < 1e-11
+
+    @given(_seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_compression_roundtrip(self, seed):
+        u = _random_su3(seed)
+        np.testing.assert_allclose(
+            su3.reconstruct_rows(su3.compress_rows(u)), u, atol=1e-12
+        )
+
+    @given(_seeds, st.floats(0.01, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_exp_of_algebra_is_group(self, seed, scale):
+        h = su3.random_algebra(np.random.default_rng(seed), (4,), scale=scale)
+        u = su3.expi_hermitian(h)
+        assert su3.max_unitarity_violation(u) < 1e-11
+        np.testing.assert_allclose(su3.det(u), 1.0, atol=1e-10)
+
+    @given(_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_trace_cyclic(self, seed):
+        a, b = _random_su3(seed), _random_su3(seed + 1)
+        np.testing.assert_allclose(
+            su3.trace(a @ b), su3.trace(b @ a), atol=1e-12
+        )
+
+
+class TestProjectorProperties:
+    @given(
+        st.integers(0, 3),
+        st.sampled_from([+1, -1]),
+        st.sampled_from(list(g.BASES)),
+        _seeds,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_projection_reconstruction_identity(self, mu, sign, basis, seed):
+        """R(Q psi) == P psi for arbitrary spinors: the half-spinor face
+        transfer loses nothing (paper footnote 3)."""
+        rng = np.random.default_rng(seed)
+        psi = rng.standard_normal((5, 4, 3)) + 1j * rng.standard_normal((5, 4, 3))
+        p = g.projector(mu, sign, basis)
+        q, r = g.projector_decomposition(mu, sign, basis)
+        via_half = np.einsum("sh,xha->xsa", r, np.einsum("ht,xta->xha", q, psi))
+        direct = np.einsum("st,xta->xsa", p, psi)
+        np.testing.assert_allclose(via_half, direct, atol=1e-12)
+
+    @given(st.integers(0, 3), st.sampled_from(list(g.BASES)))
+    @settings(max_examples=20, deadline=None)
+    def test_projector_pair_decomposes_identity(self, mu, basis):
+        p_plus = g.projector(mu, +1, basis)
+        p_minus = g.projector(mu, -1, basis)
+        np.testing.assert_allclose(p_plus + p_minus, 2 * np.eye(4), atol=1e-13)
+
+    @given(_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_basis_change_preserves_inner_products(self, seed):
+        rng = np.random.default_rng(seed)
+        s = g.nr_transform()
+        a = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        b = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        assert abs(np.vdot(s @ a, s @ b) - np.vdot(a, b)) < 1e-12

@@ -1,0 +1,51 @@
+"""Property-based tests of the SimMPI messaging guarantees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comms import run_spmd
+
+
+class TestMessagingProperties:
+    @given(st.integers(1, 12), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_fifo_per_channel(self, n_msgs, seed):
+        """Messages between one (source, dest, tag) triple arrive in
+        posting order, whatever the payload sizes."""
+        rng = np.random.default_rng(seed)
+        sizes = rng.integers(1, 2000, size=n_msgs).tolist()
+
+        def fn(comm):
+            if comm.rank == 0:
+                for i, size in enumerate(sizes):
+                    payload = np.full(size, i, dtype=np.int64)
+                    comm.send(payload, 1, tag=5)
+                return None
+            seen = [int(comm.recv(0, tag=5)[0]) for _ in range(len(sizes))]
+            return seen
+
+        assert run_spmd(2, fn)[1] == list(range(n_msgs))
+
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_agrees_with_serial_sum(self, n_ranks, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(n_ranks)
+
+        def fn(comm):
+            return comm.allreduce(float(values[comm.rank]))
+
+        results = run_spmd(n_ranks, fn)
+        assert all(abs(r - values.sum()) < 1e-12 for r in results)
+
+    @given(st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_ring_shift_is_a_permutation(self, n_ranks):
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        results = run_spmd(n_ranks, fn)
+        assert sorted(results) == list(range(n_ranks))

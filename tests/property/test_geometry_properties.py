@@ -1,0 +1,95 @@
+"""Property-based tests for lattice geometry and decomposition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.geometry import NDIM, LatticeGeometry
+
+_dim = st.sampled_from([2, 4, 6, 8])
+_dims = st.tuples(_dim, _dim, _dim, _dim)
+
+
+class TestGeometryProperties:
+    @given(_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_neighbor_tables_are_inverse_permutations(self, dims):
+        geo = LatticeGeometry(dims)
+        idx = np.arange(geo.volume)
+        for mu in range(NDIM):
+            np.testing.assert_array_equal(
+                geo.neighbor_bwd[mu][geo.neighbor_fwd[mu]], idx
+            )
+            np.testing.assert_array_equal(
+                geo.neighbor_fwd[mu][geo.neighbor_bwd[mu]], idx
+            )
+
+    @given(_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_parity_alternates(self, dims):
+        geo = LatticeGeometry(dims)
+        for mu in range(NDIM):
+            assert np.all(geo.parity[geo.neighbor_fwd[mu]] != geo.parity)
+
+    @given(_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_four_steps_forward_and_back_is_identity(self, dims):
+        geo = LatticeGeometry(dims)
+        idx = np.arange(geo.volume)
+        walk = idx
+        for mu in range(NDIM):
+            walk = geo.neighbor_fwd[mu][walk]
+        for mu in range(NDIM):
+            walk = geo.neighbor_bwd[mu][walk]
+        np.testing.assert_array_equal(walk, idx)
+
+    @given(_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_checkerboard_indexing_bijective(self, dims):
+        geo = LatticeGeometry(dims)
+        even, odd = geo.sites_of_parity
+        rebuilt = np.empty(geo.volume, dtype=np.int64)
+        rebuilt[even] = geo.checkerboard_index[even]
+        rebuilt[odd] = geo.checkerboard_index[odd]
+        assert set(rebuilt[even]) == set(range(geo.half_volume))
+        assert set(rebuilt[odd]) == set(range(geo.half_volume))
+
+
+class TestDecompositionProperties:
+    @given(_dims, st.sampled_from([1, 2, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_slabs_tile_the_lattice(self, dims, n_ranks):
+        geo = LatticeGeometry(dims)
+        if geo.dims[3] % n_ranks or (n_ranks > 1 and (geo.dims[3] // n_ranks) % 2):
+            return
+        slicing = geo.slice_time(n_ranks)
+        covered = np.zeros(geo.volume, dtype=bool)
+        for r in range(n_ranks):
+            sl = slicing.local_sites(r)
+            assert not covered[sl].any()
+            covered[sl] = True
+        assert covered.all()
+
+    @given(_dims, st.sampled_from([2, 4]), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_scatter_gather_identity(self, dims, n_ranks, seed):
+        geo = LatticeGeometry(dims)
+        if geo.dims[3] % n_ranks or (geo.dims[3] // n_ranks) % 2:
+            return
+        slicing = geo.slice_time(n_ranks)
+        data = np.random.default_rng(seed).standard_normal((geo.volume, 2))
+        parts = [slicing.scatter(data, r) for r in range(n_ranks)]
+        np.testing.assert_array_equal(slicing.gather(parts), data)
+
+    @given(_dims, st.sampled_from([2, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_local_parity_matches_global(self, dims, n_ranks):
+        """The Section VI-A invariant: checkerboarding is global."""
+        geo = LatticeGeometry(dims)
+        if geo.dims[3] % n_ranks or (geo.dims[3] // n_ranks) % 2:
+            return
+        slicing = geo.slice_time(n_ranks)
+        for r, local in enumerate(slicing.locals):
+            np.testing.assert_array_equal(
+                local.parity, geo.parity[slicing.local_sites(r)]
+            )

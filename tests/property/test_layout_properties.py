@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the device field layout.
+
+The layout of eqs. (3)-(5) must be a bijection between host order and
+device order for *every* legal (sites, Nint, Nvec, pad, end zone)
+combination — not just the handful the unit tests enumerate.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.layout import FieldLayout
+from repro.gpu.precision import Precision
+from repro.gpu.specs import GTX285
+
+# Legal layout configurations: Nvec must divide Nint.
+_nvec = st.sampled_from([1, 2, 4])
+_nint = st.sampled_from([12, 24, 72])
+
+
+def _layouts(with_endzone=False):
+    return st.builds(
+        FieldLayout,
+        sites=st.integers(min_value=1, max_value=300),
+        internal_reals=_nint,
+        nvec=_nvec,
+        pad_sites=st.integers(min_value=0, max_value=64),
+        endzone_reals=(
+            st.integers(min_value=0, max_value=96) if with_endzone else st.just(0)
+        ),
+    ).filter(lambda lay: lay.internal_reals % lay.nvec == 0)
+
+
+class TestLayoutBijection:
+    @given(_layouts(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_roundtrip(self, lay, seed):
+        rng = np.random.default_rng(seed)
+        host = rng.standard_normal((lay.sites, lay.internal_reals))
+        np.testing.assert_array_equal(lay.unpack(lay.pack(host)), host)
+
+    @given(_layouts(with_endzone=True))
+    @settings(max_examples=60, deadline=None)
+    def test_indices_unique_and_in_body(self, lay):
+        idx = lay._scatter_index
+        assert np.unique(idx).size == idx.size
+        assert idx.max() < lay.body_reals
+
+    @given(_layouts())
+    @settings(max_examples=60, deadline=None)
+    def test_index_formula_matches_table(self, lay):
+        """The closed-form eq. (5) agrees with the vectorized table."""
+        x = lay.sites - 1
+        n = lay.internal_reals - 1
+        assert lay.index(x, n) == lay._scatter_index[x, n]
+
+    @given(_layouts())
+    @settings(max_examples=60, deadline=None)
+    def test_coalescing_invariant(self, lay):
+        """Adjacent sites are exactly Nvec reals apart in every block."""
+        if lay.sites < 2:
+            return
+        for n in range(0, lay.internal_reals, lay.nvec):
+            assert lay.index(1, n) - lay.index(0, n) == lay.nvec
+
+
+class TestPadInvariants:
+    @given(_layouts(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_pad_and_body_disjoint(self, lay, seed):
+        if lay.pad_sites == 0:
+            return
+        rng = np.random.default_rng(seed)
+        host = rng.standard_normal((lay.sites, lay.internal_reals))
+        flat = lay.pack(host)
+        ghost = rng.standard_normal((lay.pad_sites, lay.internal_reals))
+        lay.write_pad(flat, ghost)
+        np.testing.assert_array_equal(lay.unpack(flat), host)
+        np.testing.assert_array_equal(lay.read_pad(flat), ghost)
+
+    @given(_layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_padded_layout_never_camps(self, lay):
+        """The library invariant behind Section V-B: any padded field is
+        camping-free on the GT200 partition model."""
+        if lay.pad_sites > 0:
+            assert not lay.partition_camping(Precision.SINGLE, GTX285)
+
+
+class TestSizeAccounting:
+    @given(_layouts(with_endzone=True), st.sampled_from(list(Precision)))
+    @settings(max_examples=60, deadline=None)
+    def test_nbytes_consistent(self, lay, prec):
+        assert lay.nbytes(prec) == lay.total_reals * prec.real_bytes
+        assert lay.total_reals == lay.n_blocks * lay.stride * lay.nvec + lay.endzone_reals

@@ -1,0 +1,90 @@
+"""Property-based tests for the Monte Carlo quaternion/SU(2) machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import su3
+from repro.lattice.montecarlo import (
+    _quat_mul,
+    _su2_embed,
+    _su2_extract,
+    su2_heatbath,
+)
+
+_seeds = st.integers(0, 2**31 - 1)
+_pairs = st.sampled_from([(0, 1), (0, 2), (1, 2)])
+
+
+def _unit_quats(seed, n=6):
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((n, 4))
+    return q / np.linalg.norm(q, axis=1, keepdims=True)
+
+
+class TestQuaternionAlgebra:
+    @given(_seeds, _pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_embedding_homomorphism(self, seed, pair):
+        i, j = pair
+        p = _unit_quats(seed)
+        q = _unit_quats(seed + 1)
+        lhs = _su2_embed(p, i, j, 6) @ _su2_embed(q, i, j, 6)
+        rhs = _su2_embed(_quat_mul(p, q), i, j, 6)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    @given(_seeds, _pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_embedded_quaternions_are_su3(self, seed, pair):
+        i, j = pair
+        u = _su2_embed(_unit_quats(seed), i, j, 6)
+        assert su3.max_unitarity_violation(u) < 1e-12
+        np.testing.assert_allclose(su3.det(u), 1.0, atol=1e-12)
+
+    @given(_seeds, _pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_extract_embed_roundtrip(self, seed, pair):
+        i, j = pair
+        q = _unit_quats(seed)
+        quat, k = _su2_extract(_su2_embed(q, i, j, 6), i, j)
+        np.testing.assert_allclose(k, 1.0, atol=1e-12)
+        np.testing.assert_allclose(quat, q, atol=1e-12)
+
+    @given(_seeds, _pairs, st.floats(0.1, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_extract_is_scale_equivariant(self, seed, pair, scale):
+        """Extracting k*U recovers (U, k): the SU(2)xR+ decomposition."""
+        i, j = pair
+        q = _unit_quats(seed)
+        quat, k = _su2_extract(scale * _su2_embed(q, i, j, 6), i, j)
+        np.testing.assert_allclose(k, scale, rtol=1e-10)
+        np.testing.assert_allclose(quat, q, atol=1e-10)
+
+    @given(_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_quat_conjugate_is_inverse(self, seed):
+        from repro.lattice.montecarlo import _quat_conj
+
+        p = _unit_quats(seed)
+        prod = _quat_mul(p, _quat_conj(p))
+        expected = np.zeros_like(p)
+        expected[:, 0] = 1.0
+        np.testing.assert_allclose(prod, expected, atol=1e-12)
+
+
+class TestHeatbathDistribution:
+    @given(_seeds, st.floats(0.1, 20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_samples_are_unit_quaternions(self, seed, k):
+        rng = np.random.default_rng(seed)
+        quat = su2_heatbath(np.full(64, k), 2.0, rng)
+        np.testing.assert_allclose(np.linalg.norm(quat, axis=1), 1.0, atol=1e-12)
+
+    @given(_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_mean_a0_increases_with_coupling(self, seed):
+        """The heatbath distribution shifts toward a0 = 1 as alpha grows."""
+        rng = np.random.default_rng(seed)
+        weak = su2_heatbath(np.full(400, 0.2), 2.0, rng).mean(axis=0)[0]
+        strong = su2_heatbath(np.full(400, 12.0), 2.0, rng).mean(axis=0)[0]
+        assert strong > weak

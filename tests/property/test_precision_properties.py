@@ -1,0 +1,84 @@
+"""Property-based tests for the half-precision fixed-point codec."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu.precision import (
+    HALF_SCALE,
+    dequantize_block,
+    dequantize_normalized,
+    half_roundtrip_bound,
+    quantize_block,
+    quantize_normalized,
+)
+
+_finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+class TestNormalizedCodec:
+    @given(hnp.arrays(np.float64, st.integers(1, 200), elements=st.floats(-1, 1)))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_bound(self, vals):
+        back = dequantize_normalized(quantize_normalized(vals))
+        assert np.max(np.abs(back - vals)) <= 0.5 / HALF_SCALE + 1e-7
+
+    @given(hnp.arrays(np.float64, st.integers(1, 200), elements=_finite))
+    @settings(max_examples=80, deadline=None)
+    def test_always_in_range_after_decode(self, vals):
+        """Whatever goes in, the decode is bounded by 1 — the hardware
+        normalized-read guarantee."""
+        back = dequantize_normalized(quantize_normalized(vals))
+        assert np.all(np.abs(back) <= 1.0)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 50), elements=st.floats(-1, 1)))
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, vals):
+        """Encoding a decoded value is exact: the grid is a fixed point."""
+        once = dequantize_normalized(quantize_normalized(vals))
+        twice = dequantize_normalized(quantize_normalized(once))
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestBlockCodec:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 40), st.just(24)),
+            elements=_finite,
+        ),
+        st.floats(min_value=1e-20, max_value=1e20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scale_invariant_roundtrip(self, reals, scale):
+        """The per-site norm makes the codec scale-free: error is bounded
+        relative to each site's own magnitude, at any absolute scale."""
+        scaled = reals * scale
+        assume(np.all(np.isfinite(scaled)))
+        q, norms = quantize_block(scaled)
+        back = dequantize_block(q, norms)
+        assert np.all(
+            np.abs(back - scaled) <= half_roundtrip_bound(norms) + 1e-30
+        )
+
+    @given(
+        hnp.arrays(
+            np.float64, st.tuples(st.integers(1, 40), st.just(12)), elements=_finite
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_norms_nonnegative_and_tight(self, reals):
+        _, norms = quantize_block(reals)
+        assert np.all(norms >= 0)
+        np.testing.assert_allclose(
+            norms, np.max(np.abs(reals), axis=1).astype(np.float32), rtol=1e-6
+        )
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_block_exact(self, sites):
+        q, norms = quantize_block(np.zeros((sites, 24)))
+        np.testing.assert_array_equal(dequantize_block(q, norms), 0.0)

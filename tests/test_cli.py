@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_dims_parsing(self):
+        args = build_parser().parse_args(["solve", "--dims", "8x8x8x16"])
+        assert args.dims == (8, 8, 8, 16)
+        args = build_parser().parse_args(["solve", "--dims", "4,4,4,8"])
+        assert args.dims == (4, 4, 4, 8)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--dims", "4,4"])
+
+    def test_grid_parsing(self):
+        args = build_parser().parse_args(["solve", "--grid", "2,4"])
+        assert args.grid == (2, 4)
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--mode", "quad"])
+
+
+class TestSolve:
+    def test_basic_solve(self, capsys):
+        rc = main(["solve", "--dims", "4,4,4,8", "--gpus", "2", "--mass", "0.3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged:      True" in out
+        assert "effective Gflops" in out
+
+    def test_grid_solve(self, capsys):
+        rc = main(["solve", "--dims", "4,4,4,8", "--grid", "2,2", "--mass", "0.3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "grid (2, 2)" in out
+
+    def test_no_overlap_flag(self, capsys):
+        rc = main(
+            ["solve", "--dims", "4,4,4,8", "--no-overlap", "--mass", "0.3"]
+        )
+        assert rc == 0
+
+
+class TestGenerateAndSpectrum:
+    def test_generate_writes_config(self, tmp_path, capsys):
+        out_path = tmp_path / "cfg"
+        rc = main([
+            "generate", "--dims", "4,4,4,4", "--updates", "2",
+            "--beta", "9.0", "--out", str(out_path),
+        ])
+        assert rc == 0
+        assert (tmp_path / "cfg.npz").exists()
+        assert "plaquette" in capsys.readouterr().out
+
+    def test_solve_from_generated_config(self, tmp_path, capsys):
+        out_path = tmp_path / "cfg"
+        main([
+            "generate", "--dims", "4,4,4,4", "--updates", "2",
+            "--beta", "9.0", "--out", str(out_path),
+        ])
+        rc = main([
+            "solve", "--config", str(tmp_path / "cfg.npz"),
+            "--mass", "1.0", "--gpus", "2",
+        ])
+        assert rc == 0
+        assert "loaded" in capsys.readouterr().out
+
+    def test_spectrum(self, capsys):
+        rc = main([
+            "spectrum", "--dims", "4,4,4,4", "--mass", "0.5",
+            "--gpus", "1", "--channels", "pion",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pion" in out
+
+
+class TestBench:
+    def test_known_figure(self, capsys):
+        rc = main(["bench", "--figure", "fig7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cudaMemcpy" in out
+
+    def test_unknown_figure(self, capsys):
+        rc = main(["bench", "--figure", "fig99"])
+        assert rc == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profile_table(self, capsys):
+        rc = main([
+            "profile", "--dims", "8,8,8,16", "--gpus", "2",
+            "--iterations", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dslash" in out and "share" in out
+
+    def test_profile_with_gantt(self, capsys):
+        rc = main([
+            "profile", "--dims", "8,8,8,16", "--gpus", "2",
+            "--iterations", "2", "--gantt",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stream 0" in out
+
+
+class TestExperiments:
+    def test_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "EXP.md"
+        rc = main(["experiments", "--out", str(out_path), "--iterations", "3"])
+        assert rc == 0
+        text = out_path.read_text()
+        assert "fig5a" in text and "ratio" in text
