@@ -1,0 +1,112 @@
+"""Chaos benchmarks: solver cost under increasing comms fault rates.
+
+The reliable-update solvers of Section V are the natural consumer of
+fault injection: a retried or jittered exchange is just extra model time
+on the critical path, which the overlapped communication strategy of
+Section VI-D2 may or may not hide.  These benches sweep fault intensity
+and report time-to-completion and retry counts, and check the headline
+property: faults perturb *time*, never results.
+"""
+
+import numpy as np
+
+from repro.bench.harness import chaos_solve
+from repro.comms import FaultPlan
+
+DIMS = (8, 8, 8, 32)
+GPUS = 4
+ITERS = 10
+
+
+def test_jitter_sweep(run_once):
+    """Time-to-completion vs latency-jitter probability."""
+
+    def sweep():
+        rows = []
+        for prob in (0.0, 0.1, 0.3, 0.6):
+            plan = FaultPlan.jittery(seed=11, prob=prob)
+            rep = chaos_solve(DIMS, "single-half", GPUS, plan,
+                              fixed_iterations=ITERS)
+            assert rep.completed
+            rows.append((prob, rep.model_time, rep.injected_delay_s))
+        return rows
+
+    rows = run_once(sweep)
+    print("\njitter prob   solve (us)   injected (us)")
+    for prob, t, inj in rows:
+        print(f"{prob:11.2f} {t * 1e6:12.1f} {inj * 1e6:15.1f}")
+    # More jitter => strictly more injected delay and a slower solve.
+    times = [t for _, t, _ in rows]
+    injected = [i for _, _, i in rows]
+    assert injected == sorted(injected)
+    assert times[-1] > times[0]
+    # The solve slows by at most the injected delay: the overlap strategy
+    # hides some of it behind the interior kernel.
+    assert times[-1] - times[0] <= injected[-1] + 1e-9
+
+
+def test_retry_sweep(run_once):
+    """Retry counts and backoff cost vs transient send-failure rate."""
+
+    def sweep():
+        rows = []
+        for prob in (0.0, 0.05, 0.2, 0.5):
+            plan = FaultPlan.flaky(seed=13, fail_prob=prob)
+            rep = chaos_solve(DIMS, "single-half", GPUS, plan,
+                              fixed_iterations=ITERS)
+            assert rep.completed
+            rows.append((prob, rep.retries, rep.model_time))
+        return rows
+
+    rows = run_once(sweep)
+    print("\nfail prob   retries   solve (us)")
+    for prob, retries, t in rows:
+        print(f"{prob:9.2f} {retries:9d} {t * 1e6:12.1f}")
+    retries = [r for _, r, _ in rows]
+    assert retries[0] == 0 and retries == sorted(retries) and retries[-1] > 0
+    times = [t for _, _, t in rows]
+    assert times[-1] > times[0]
+
+
+def test_overlap_hides_jitter(run_once):
+    """The overlapped strategy absorbs more of the injected latency than
+    the serial exchange — chaos quantifies the paper's overlap payoff."""
+
+    def measure():
+        out = {}
+        for overlap in (True, False):
+            plan = FaultPlan.jittery(seed=17, prob=0.4)
+            clean = chaos_solve(DIMS, "single-half", GPUS, FaultPlan(seed=17),
+                                overlap=overlap, fixed_iterations=ITERS)
+            noisy = chaos_solve(DIMS, "single-half", GPUS, plan,
+                                overlap=overlap, fixed_iterations=ITERS)
+            out[overlap] = (noisy.model_time - clean.model_time,
+                            noisy.injected_delay_s)
+        return out
+
+    out = run_once(measure)
+    slow_overlap, inj_overlap = out[True]
+    slow_serial, inj_serial = out[False]
+    print(f"\noverlap: +{slow_overlap * 1e6:.1f} us of {inj_overlap * 1e6:.1f} "
+          f"injected; serial: +{slow_serial * 1e6:.1f} us of "
+          f"{inj_serial * 1e6:.1f} injected")
+    # Identical communication pattern => identical injected schedule.
+    assert np.isclose(inj_overlap, inj_serial)
+    # Hidden fraction is at least as good with overlap on.
+    assert slow_overlap <= slow_serial + 1e-9
+
+
+def test_schedule_deterministic(run_once):
+    """Same seed => byte-identical fault schedule and model time."""
+
+    def twice():
+        plan = FaultPlan.jittery(seed=7, prob=0.3).with_stall(2, after_s=5e-4)
+        return [chaos_solve(DIMS, "single-half", GPUS, plan,
+                            fixed_iterations=ITERS) for _ in range(2)]
+
+    a, b = run_once(twice)
+    assert a.fault_events == b.fault_events
+    assert a.completed == b.completed is False
+    assert (a.failure.rank, a.failure.model_time) == (
+        b.failure.rank, b.failure.model_time
+    )

@@ -10,7 +10,6 @@ import pytest
 
 from repro.core import blas
 from repro.gpu import (
-    DeviceCloverField,
     DeviceGaugeField,
     DeviceSpinorField,
     Precision,

@@ -15,8 +15,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..comms.cluster import ClusterSpec
+from ..comms.faults import FaultEvent, FaultPlan, RankFailedError
+from ..comms.mpi_sim import CommStats
 from ..core import invert, invert_model, paper_invert_param
-from ..core.interface import QudaInvertParam
 from ..gpu.memory import DeviceOutOfMemoryError
 from ..gpu.specs import GTX285, GPUSpec
 
@@ -26,6 +27,8 @@ __all__ = [
     "sweep_gpus",
     "propagator_benchmark",
     "oom_cause",
+    "ChaosReport",
+    "chaos_solve",
 ]
 
 #: Iterations per timing-only measurement.  The sustained rate is a
@@ -132,3 +135,92 @@ def propagator_benchmark(
         np.mean([r.stats.sustained_gflops for r in results])
     )
     return mean_gflops, results
+
+
+# ------------------------------------------------------------------------ #
+# Chaos runs (fault-injected solves)
+# ------------------------------------------------------------------------ #
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one fault-injected solve (success or structured failure).
+
+    Everything here is a function of (lattice, plan seed, communication
+    pattern) — model times, retry counts and the fault schedule are all
+    byte-reproducible across runs and platforms.
+    """
+
+    plan: FaultPlan
+    completed: bool
+    failure: RankFailedError | None
+    model_time: float | None  # solver model time (None if the run died)
+    gflops: float | None
+    retries: int  # transient send failures survived, summed over ranks
+    injected_delay_s: float  # total fault model time, summed over ranks
+    fault_events: list[FaultEvent]
+    comm_stats: list[CommStats]
+
+
+def _rank_failure(exc: BaseException) -> RankFailedError | None:
+    """The RankFailedError at the root of a SimMPI failure, if any."""
+    seen = set()
+    while exc is not None and id(exc) not in seen:
+        if isinstance(exc, RankFailedError):
+            return exc
+        seen.add(id(exc))
+        exc = exc.__cause__ or exc.__context__
+    return None
+
+
+def chaos_solve(
+    dims: tuple[int, int, int, int],
+    mode: str,
+    n_gpus: int,
+    plan: FaultPlan,
+    *,
+    overlap: bool = True,
+    cluster: ClusterSpec | None = None,
+    gpu_spec: GPUSpec = GTX285,
+    fixed_iterations: int = FIXED_ITERATIONS,
+    solver: str = "bicgstab",
+) -> ChaosReport:
+    """One timing-only solve under a fault plan.
+
+    Jitter/retry plans complete (later); lethal plans (stall/crash) end
+    in a structured :class:`~repro.comms.faults.RankFailedError`, which
+    is reported rather than raised — graceful degradation is the point
+    of a chaos run.
+    """
+    inv = paper_invert_param(
+        mode, overlap_comms=overlap, fixed_iterations=fixed_iterations,
+        solver=solver,
+    )
+    try:
+        res = invert_model(
+            dims, inv, n_gpus=n_gpus, cluster=cluster, gpu_spec=gpu_spec,
+            enforce_memory=False, fault_plan=plan,
+        )
+    except RuntimeError as exc:
+        failure = _rank_failure(exc)
+        if failure is None:
+            raise
+        events = list(getattr(exc, "fault_events", []))
+        return ChaosReport(
+            plan=plan, completed=False, failure=failure, model_time=None,
+            gflops=None,
+            retries=sum(1 for e in events if e.kind == "send_retry"),
+            injected_delay_s=sum(e.delay_s for e in events),
+            fault_events=events, comm_stats=[],
+        )
+    return ChaosReport(
+        plan=plan,
+        completed=True,
+        failure=None,
+        model_time=res.stats.model_time,
+        gflops=res.stats.sustained_gflops,
+        retries=sum(s.retries for s in res.comm_stats),
+        injected_delay_s=sum(s.fault_delay_s for s in res.comm_stats),
+        fault_events=res.fault_events,
+        comm_stats=res.comm_stats,
+    )

@@ -9,7 +9,6 @@ BLAS vs PCIe vs waiting on the network).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 
 from ..gpu.streams import TimelineOp

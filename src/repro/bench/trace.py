@@ -7,7 +7,8 @@ stream 0 running under the face copies on the side streams, while the
 non-overlapped variant is one long serial chain.
 
 Glyphs: ``#`` kernel, ``<`` device-to-host copy, ``>`` host-to-device
-copy, ``=`` host work, ``.`` host waiting.
+copy, ``=`` host work, ``.`` host waiting, ``!`` injected fault time
+(retry backoff or late arrival from a chaos run's fault plan).
 """
 
 from __future__ import annotations
@@ -57,7 +58,7 @@ def render_gantt(
             name = "host"
         else:
             name = f"stream {op.stream}"
-        glyph = _GLYPH.get(op.kind, "?")
+        glyph = "!" if op.fault else _GLYPH.get(op.kind, "?")
         lo = col(op.start)
         hi = max(col(op.end), lo + 1)
         r = row(name)
@@ -77,5 +78,5 @@ def render_gantt(
         + " " * (width - len(f"{span * 1e6:.0f} us") - 2)
         + f"{span * 1e6:.0f} us"
     )
-    legend = "  # kernel   < d2h copy   > h2d copy   = host   . wait"
+    legend = "  # kernel   < d2h copy   > h2d copy   = host   . wait   ! fault"
     return "\n".join([header] + lines + [legend])

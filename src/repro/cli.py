@@ -4,6 +4,7 @@
     python -m repro generate  --dims 4,4,4,8 --beta 5.7 --updates 10 --out cfg
     python -m repro spectrum  --config cfg.npz --mass 0.3
     python -m repro bench     --figure fig5b
+    python -m repro chaos     --seed 7 --gpus 4 --stall 2
     python -m repro experiments --out EXPERIMENTS.md
 
 ``solve`` runs the paper's solver on a weak-field (or stored)
@@ -90,6 +91,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=10)
     p.add_argument("--gantt", action="store_true",
                    help="also draw the stream schedule of the window")
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injected solve: deterministic latency jitter, "
+        "send retries, rank stalls/crashes",
+    )
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault-plan seed (same seed => same schedule)")
+    p.add_argument("--dims", type=_dims, default=(8, 8, 8, 32))
+    p.add_argument("--mode", default="single-half",
+                   choices=["single", "double", "single-half", "double-half"])
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--no-overlap", action="store_true")
+    p.add_argument("--jitter-prob", type=float, default=0.25,
+                   help="per-message chance of extra latency on IB links")
+    p.add_argument("--jitter-us", type=float, default=20.0,
+                   help="mean of the exponential extra latency")
+    p.add_argument("--spike-prob", type=float, default=0.02,
+                   help="chance of a large reordering latency spike")
+    p.add_argument("--send-fail-prob", type=float, default=0.05,
+                   help="transient send-failure chance (retried w/ backoff)")
+    p.add_argument("--stall", type=int, default=None, metavar="RANK",
+                   help="rank that stops responding mid-solve")
+    p.add_argument("--crash", type=int, default=None, metavar="RANK",
+                   help="rank that dies loudly mid-solve")
+    p.add_argument("--fail-after-us", type=float, default=500.0,
+                   help="model time at which the stalled/crashed rank dies")
+    p.add_argument("--op-timeout", type=float, default=5.0,
+                   help="wall seconds before a blocked op reports the failure")
+    p.add_argument("--schedule", action="store_true",
+                   help="print the full injected-fault schedule")
 
     p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
     p.add_argument("--out", default="EXPERIMENTS.md")
@@ -219,6 +252,47 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .bench.harness import chaos_solve
+    from .comms import FaultPlan, LinkFaults, format_schedule
+
+    try:
+        plan = FaultPlan(
+            seed=args.seed,
+            ib=LinkFaults(args.jitter_prob, args.jitter_us * 1e-6,
+                          args.spike_prob, 10 * args.jitter_us * 1e-6),
+            shm=LinkFaults(args.jitter_prob, args.jitter_us * 1e-7,
+                           args.spike_prob, args.jitter_us * 1e-6),
+            send_fail_prob=args.send_fail_prob,
+            op_timeout_s=args.op_timeout,
+        )
+        if args.stall is not None:
+            plan = plan.with_stall(args.stall, after_s=args.fail_after_us * 1e-6)
+        if args.crash is not None:
+            plan = plan.with_stall(
+                args.crash, after_s=args.fail_after_us * 1e-6, mode="crash"
+            )
+        print(f"fault plan: {plan.describe()}")
+        report = chaos_solve(
+            args.dims, args.mode, args.gpus, plan,
+            overlap=not args.no_overlap, fixed_iterations=args.iterations,
+        )
+    except ValueError as exc:
+        print(f"repro chaos: error: {exc}")
+        return 2
+    n_events = len(report.fault_events)
+    print(f"injected faults: {n_events} events, {report.retries} send "
+          f"retries, {report.injected_delay_s * 1e6:.3f} us extra model time")
+    if args.schedule or not report.completed:
+        print(format_schedule(report.fault_events))
+    if report.completed:
+        print(f"solver completed: model time {report.model_time * 1e6:.3f} us "
+              f"({report.gflops:.1f} effective Gflops)")
+        return 0
+    print(f"solver died: {report.failure}")
+    return 1
+
+
 def _cmd_experiments(args) -> int:
     from .bench.experiments_md import generate
 
@@ -234,6 +308,7 @@ _COMMANDS = {
     "spectrum": _cmd_spectrum,
     "bench": _cmd_bench,
     "profile": _cmd_profile,
+    "chaos": _cmd_chaos,
     "experiments": _cmd_experiments,
 }
 

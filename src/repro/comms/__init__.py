@@ -5,18 +5,46 @@ mpi4py and InfiniBand hardware are unavailable in this reproduction, so
 ranks run as threads exchanging real NumPy buffers, while a LogP-style
 timestamp protocol carries simulated time across ranks (see
 :mod:`repro.comms.mpi_sim` for the details and determinism argument).
+Deterministic fault injection (latency jitter, transient send failures,
+rank stalls/crashes) lives in :mod:`repro.comms.faults`.
 """
 
 from .cluster import ClusterSpec
-from .mpi_sim import Comm, MPIDeadlockError, Request, SimMPI, run_spmd
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    LinkFaults,
+    RankFailedError,
+    StallSpec,
+    format_schedule,
+)
+from .mpi_sim import (
+    Comm,
+    CommStats,
+    MPIDeadlockError,
+    RankFailure,
+    Request,
+    SimMPI,
+    SpmdOutcome,
+    run_spmd,
+)
 from .qmp import QMPMachine
 
 __all__ = [
     "ClusterSpec",
     "SimMPI",
     "Comm",
+    "CommStats",
     "Request",
     "MPIDeadlockError",
+    "RankFailure",
+    "SpmdOutcome",
     "run_spmd",
     "QMPMachine",
+    "FaultPlan",
+    "FaultEvent",
+    "LinkFaults",
+    "StallSpec",
+    "RankFailedError",
+    "format_schedule",
 ]

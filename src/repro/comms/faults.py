@@ -1,0 +1,334 @@
+"""Deterministic fault injection for the SimMPI comms runtime.
+
+The paper's communication runtime assumes a healthy fabric; follow-on
+work ("Scaling Lattice QCD beyond 100 GPUs", arXiv:1109.2935) shows that
+at scale the comms layer is exactly where latency spikes, stragglers and
+stalled ranks bite.  This module makes those conditions *injectable and
+reproducible*: a :class:`FaultPlan` bound to a SimMPI world perturbs
+traffic at the envelope level —
+
+* **latency jitter** — per-link extra model time on individual messages,
+  drawn from an exponential distribution (plus rare large *spikes* that
+  reorder arrivals across links; per-link delivery stays FIFO, exactly
+  MPI's non-overtaking guarantee);
+* **transient send failures** — a send "fails" and is retried with
+  exponential model-time backoff, like a rendezvous timeout + resend;
+* **rank stalls and crashes** — a rank stops responding mid-exchange
+  (stall: silently parks; crash: fails loudly and is registered on the
+  world's failure board).
+
+Every decision is a pure function of ``(seed, link, message sequence
+number)`` via :class:`numpy.random.SeedSequence`, so the fault schedule
+is byte-identical run to run regardless of OS thread scheduling — the
+same determinism argument the model-time protocol itself relies on.
+Faults perturb *time*, never payload bits: a solver under a jitter-only
+plan produces bit-identical results, just later.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "LinkFaults",
+    "StallSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "RankFailedError",
+    "format_schedule",
+]
+
+# Salts separating the independent random streams of one plan.
+_SALT_JITTER = 1
+_SALT_SPIKE = 2
+_SALT_SEND_FAIL = 3
+
+_LINK_IDS = {"shm": 0, "ib": 1}
+
+
+class RankFailedError(RuntimeError):
+    """A rank died (crash) or stopped responding (stall) mid-operation.
+
+    Structured replacement for the wall-clock deadlock timeout: carries
+    *which* rank failed, *what* operation surfaced it, and the model time
+    of the observation, so chaos runs can be diagnosed from the error
+    alone.  ``rank`` is the failed rank, which is not necessarily the
+    rank that raised (peers observing a dead partner raise too).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        op: str,
+        model_time: float,
+        *,
+        mode: str = "failed",
+        detail: str = "",
+    ) -> None:
+        self.rank = rank
+        self.op = op
+        self.model_time = model_time
+        self.mode = mode
+        self.detail = detail
+        super().__init__(self._message())
+
+    def _message(self) -> str:
+        msg = (
+            f"rank {self.rank} {self.mode} during {self.op} "
+            f"at t={self.model_time * 1e6:.3f}us"
+        )
+        if self.detail:
+            msg += f" ({self.detail})"
+        return msg
+
+    def add_context(self, context: str) -> "RankFailedError":
+        """Append caller context (e.g. which face exchange) in place."""
+        self.detail = f"{self.detail}; {context}" if self.detail else context
+        self.args = (self._message(),)
+        return self
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded at the injection point."""
+
+    time: float  # model time at injection (the injecting rank's clock)
+    rank: int  # the rank whose traffic was perturbed
+    kind: str  # 'jitter' | 'spike' | 'send_retry' | 'stall' | 'crash'
+    op: str
+    peer: int = -1  # destination rank for message faults
+    delay_s: float = 0.0  # extra model time injected
+    detail: str = ""
+
+    def render(self) -> str:
+        peer = f"->{self.peer}" if self.peer >= 0 else "     "
+        return (
+            f"{self.time * 1e6:12.3f}  r{self.rank}{peer:<5} "
+            f"{self.kind:<10} {self.op:<18} +{self.delay_s * 1e6:.3f}us"
+            + (f"  {self.detail}" if self.detail else "")
+        )
+
+
+def format_schedule(events: list[FaultEvent]) -> str:
+    """Render a fault schedule as a stable, byte-reproducible table."""
+    if not events:
+        return "(no faults injected)"
+    header = f"{'t(us)':>12}  {'rank':<7} {'kind':<10} {'op':<18} delay"
+    lines = [header] + [ev.render() for ev in sorted(
+        events, key=lambda e: (e.time, e.rank, e.kind, e.op, e.peer)
+    )]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link-kind message perturbations (one instance per shm/ib)."""
+
+    jitter_prob: float = 0.0  # fraction of messages receiving jitter
+    jitter_s: float = 0.0  # mean of the exponential extra latency
+    spike_prob: float = 0.0  # rare large delays (cross-link reordering)
+    spike_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("jitter_prob", "spike_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        for name in ("jitter_s", "spike_s"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return (self.jitter_prob > 0 and self.jitter_s > 0) or (
+            self.spike_prob > 0 and self.spike_s > 0
+        )
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """One planned rank failure: the rank stops at a model time.
+
+    ``mode='stall'`` models a hung process: the rank silently stops
+    participating (peers detect it via the op timeout, not a message).
+    ``mode='crash'`` models a loud death: the rank raises and registers
+    on the failure board immediately.
+    """
+
+    rank: int
+    after_s: float = 0.0  # model time at which the rank stops
+    mode: str = "stall"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("stall", "crash"):
+            raise ValueError(f"mode must be 'stall' or 'crash', got {self.mode!r}")
+        if self.after_s < 0.0:
+            raise ValueError("after_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of comms faults.
+
+    Bind one to a world via ``SimMPI(size, cluster, fault_plan=plan)`` or
+    pass ``fault_plan=`` to :func:`repro.core.invert`.  All sampling is
+    keyed on ``(seed, link, per-link message sequence number)``, so the
+    schedule depends only on the program's communication pattern — never
+    on thread timing.
+    """
+
+    seed: int = 0
+    shm: LinkFaults = field(default_factory=LinkFaults)
+    ib: LinkFaults = field(default_factory=LinkFaults)
+    send_fail_prob: float = 0.0  # transient failure chance per attempt
+    max_send_attempts: int = 5  # attempts before the send goes through
+    retry_backoff_s: float = 5e-6  # first backoff; doubles per retry
+    stalls: tuple[StallSpec, ...] = ()
+    #: Wall-clock budget (seconds) within which an operation waiting on a
+    #: stalled peer must surface a RankFailedError.  Much smaller than
+    #: the deadlock timeout: a bound fault plan *expects* trouble.
+    op_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.send_fail_prob < 1.0:
+            raise ValueError("send_fail_prob must be in [0, 1)")
+        if self.max_send_attempts < 1:
+            raise ValueError("max_send_attempts must be >= 1")
+        if self.retry_backoff_s < 0 or self.op_timeout_s <= 0:
+            raise ValueError("retry_backoff_s >= 0 and op_timeout_s > 0 required")
+        seen = set()
+        for s in self.stalls:
+            if s.rank in seen:
+                raise ValueError(f"duplicate stall spec for rank {s.rank}")
+            seen.add(s.rank)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def jittery(
+        cls,
+        seed: int,
+        *,
+        prob: float = 0.3,
+        jitter_s: float = 20e-6,
+        spike_prob: float = 0.0,
+        spike_s: float = 200e-6,
+        **kwargs,
+    ) -> "FaultPlan":
+        """Latency jitter on every link (IB gets the full dose, shared
+        memory a tenth — intra-node copies do not cross the fabric)."""
+        return cls(
+            seed=seed,
+            ib=LinkFaults(prob, jitter_s, spike_prob, spike_s),
+            shm=LinkFaults(prob, jitter_s / 10, spike_prob, spike_s / 10),
+            **kwargs,
+        )
+
+    @classmethod
+    def flaky(cls, seed: int, *, fail_prob: float = 0.05, **kwargs) -> "FaultPlan":
+        """Transient send failures with retry/backoff."""
+        return cls(seed=seed, send_fail_prob=fail_prob, **kwargs)
+
+    def with_stall(
+        self, rank: int, *, after_s: float = 0.0, mode: str = "stall"
+    ) -> "FaultPlan":
+        """A copy of this plan with one more rank failure scheduled."""
+        return replace(
+            self, stalls=self.stalls + (StallSpec(rank, after_s, mode),)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lethal(self) -> bool:
+        """Whether any rank is scheduled to die (tightens op timeouts)."""
+        return bool(self.stalls)
+
+    def stall_for(self, rank: int) -> StallSpec | None:
+        for s in self.stalls:
+            if s.rank == rank:
+                return s
+        return None
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for kind in ("ib", "shm"):
+            lf: LinkFaults = getattr(self, kind)
+            if lf.active:
+                parts.append(
+                    f"{kind}: jitter p={lf.jitter_prob} mean={lf.jitter_s * 1e6:.1f}us"
+                    + (
+                        f" spike p={lf.spike_prob} +{lf.spike_s * 1e6:.1f}us"
+                        if lf.spike_prob > 0
+                        else ""
+                    )
+                )
+        if self.send_fail_prob > 0:
+            parts.append(
+                f"send-fail p={self.send_fail_prob} "
+                f"(<= {self.max_send_attempts} attempts, "
+                f"backoff {self.retry_backoff_s * 1e6:.1f}us)"
+            )
+        for s in self.stalls:
+            parts.append(f"{s.mode} rank {s.rank} at t={s.after_s * 1e6:.1f}us")
+        return "; ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # Deterministic sampling
+    # ------------------------------------------------------------------ #
+
+    def _u(self, salt: int, *key: int) -> float:
+        """Uniform in [0, 1) keyed on (seed, salt, key) — thread-safe and
+        platform-stable (SeedSequence hashing, no shared RNG state)."""
+        state = np.random.SeedSequence([self.seed, salt, *key]).generate_state(1)
+        return float(state[0]) / float(2**32)
+
+    def link(self, kind: str) -> LinkFaults:
+        return self.shm if kind == "shm" else self.ib
+
+    def extra_latency(
+        self, kind: str, src: int, dst: int, tag: int, seq: int
+    ) -> tuple[float, str]:
+        """Extra model time for message ``seq`` on link ``(src,dst,tag)``.
+
+        Returns ``(delay_s, kind)`` where kind is '' (clean), 'jitter' or
+        'spike' (spikes dominate when both fire).
+        """
+        lf = self.link(kind)
+        if not lf.active:
+            return 0.0, ""
+        lid = _LINK_IDS[kind]
+        if lf.spike_prob > 0 and (
+            self._u(_SALT_SPIKE, lid, src, dst, tag, seq) < lf.spike_prob
+        ):
+            return lf.spike_s, "spike"
+        if lf.jitter_prob > 0 and (
+            self._u(_SALT_JITTER, lid, src, dst, tag, seq) < lf.jitter_prob
+        ):
+            u = self._u(_SALT_JITTER + 100, lid, src, dst, tag, seq)
+            return -math.log(1.0 - u) * lf.jitter_s, "jitter"
+        return 0.0, ""
+
+    def send_failures(self, src: int, dst: int, tag: int, seq: int) -> int:
+        """Number of transient failures before send ``seq`` goes through
+        (0 = clean first attempt; always < max_send_attempts)."""
+        if self.send_fail_prob <= 0:
+            return 0
+        k = 0
+        while (
+            k < self.max_send_attempts - 1
+            and self._u(_SALT_SEND_FAIL, src, dst, tag, seq, k) < self.send_fail_prob
+        ):
+            k += 1
+        return k
+
+    def backoff_s(self, attempt: int) -> float:
+        """Model-time backoff before retry ``attempt`` (0-based)."""
+        return self.retry_backoff_s * (2.0**attempt)

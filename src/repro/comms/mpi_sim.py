@@ -17,6 +17,16 @@ LogP-style parallel time simulation.  Because completion times are pure
 functions of the carried timestamps, the simulated times are
 deterministic regardless of OS thread scheduling.
 
+**Fault injection.**  A :class:`~repro.comms.faults.FaultPlan` bound to
+the world perturbs traffic deterministically (latency jitter, transient
+send failures with retry/backoff, rank stalls/crashes).  Failures are
+surfaced structurally: a dead peer raises
+:class:`~repro.comms.faults.RankFailedError` within the plan's op
+timeout via the world's shared failure board, instead of hanging until
+the wall-clock deadlock timer.  :meth:`SimMPI.run` can return partial
+results (``return_partial=True``) so surviving ranks unwind cleanly with
+no leaked threads.
+
 The API deliberately mirrors the mpi4py subset the paper's communication
 patterns need: ``Send/Recv``, ``Isend/Irecv`` + ``wait``, ``Sendrecv``,
 ``Allreduce``, ``Barrier``.
@@ -24,7 +34,9 @@ patterns need: ``Send/Recv``, ``Isend/Irecv`` + ``wait``, ``Sendrecv``,
 
 from __future__ import annotations
 
+import os
 import threading
+import time as _time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from queue import Empty, Queue
@@ -34,12 +46,29 @@ import numpy as np
 
 from ..gpu.streams import Timeline
 from .cluster import ClusterSpec
+from .faults import FaultEvent, FaultPlan, RankFailedError
 
-__all__ = ["SimMPI", "Comm", "Request", "MPIDeadlockError", "run_spmd"]
+__all__ = [
+    "SimMPI",
+    "Comm",
+    "CommStats",
+    "Request",
+    "MPIDeadlockError",
+    "RankFailure",
+    "SpmdOutcome",
+    "run_spmd",
+]
 
 #: How long (wall-clock seconds) a blocking receive waits before declaring
-#: deadlock.  Generous for slow CI machines, small enough to fail fast.
-DEADLOCK_TIMEOUT_S = 120.0
+#: deadlock.  Generous for slow CI machines, small enough to fail fast;
+#: override with the ``REPRO_MPI_DEADLOCK_TIMEOUT`` environment variable
+#: (CI sets it to ~20 s so genuine hangs fail the job quickly).
+DEADLOCK_TIMEOUT_S = float(os.environ.get("REPRO_MPI_DEADLOCK_TIMEOUT", "120"))
+
+#: Wall-clock polling slice while waiting: how often a blocked operation
+#: rechecks the failure board.  Queue waits still wake immediately on
+#: message arrival; this only bounds failure-detection latency.
+_POLL_S = 0.02
 
 
 class MPIDeadlockError(RuntimeError):
@@ -53,6 +82,17 @@ class _Envelope:
     data: Any
     nbytes: int
     sent_at: float  # sender's model time at post
+    extra_delay: float = 0.0  # injected fault latency (model seconds)
+
+
+@dataclass(frozen=True)
+class _FailRecord:
+    """Failure-board entry: how one rank died."""
+
+    rank: int
+    op: str
+    model_time: float
+    mode: str  # 'crashed' | 'stalled'
 
 
 class _SharedState:
@@ -65,10 +105,37 @@ class _SharedState:
         self.barrier = threading.Barrier(size)
         self.coll_lock = threading.Lock()
         self.coll_slots: dict[int, dict[int, tuple[Any, float]]] = {}
+        # --- failure board (all guarded by fail_lock) ------------------- #
+        self.fail_lock = threading.Lock()
+        self.failed: dict[int, _FailRecord] = {}  # loudly dead ranks
+        self.stalled: dict[int, _FailRecord] = {}  # silently parked ranks
+        self.finished: set[int] = set()  # ranks whose fn returned
+        self.shutdown = threading.Event()  # releases parked stalled ranks
+        self.fault_events: dict[int, list[FaultEvent]] = defaultdict(list)
 
     def queue(self, src: int, dst: int, tag: int) -> Queue:
         with self.queue_lock:
             return self.queues[(src, dst, tag)]
+
+    def peer_fate(self, rank: int) -> _FailRecord | None:
+        """Failure-board record for ``rank``, if it died."""
+        with self.fail_lock:
+            return self.failed.get(rank) or self.stalled.get(rank)
+
+    def record_failure(self, rec: _FailRecord) -> None:
+        board = self.stalled if rec.mode == "stalled" else self.failed
+        with self.fail_lock:
+            board.setdefault(rec.rank, rec)
+
+    def any_failure(self, exclude: int) -> _FailRecord | None:
+        """Lowest-rank failure other than ``exclude`` (for collectives)."""
+        with self.fail_lock:
+            records = [
+                r
+                for r in (*self.failed.values(), *self.stalled.values())
+                if r.rank != exclude
+            ]
+        return min(records, key=lambda r: r.rank) if records else None
 
 
 @dataclass
@@ -87,6 +154,23 @@ class Request:
 
 
 @dataclass
+class CommStats:
+    """Per-rank operation counters (chaos observability)."""
+
+    sends: int = 0
+    recvs: int = 0
+    collectives: int = 0
+    retries: int = 0  # transient send failures survived
+    fault_delay_s: float = 0.0  # model time injected into this rank's traffic
+
+    def snapshot(self) -> "CommStats":
+        return CommStats(
+            self.sends, self.recvs, self.collectives, self.retries,
+            self.fault_delay_s,
+        )
+
+
+@dataclass
 class Comm:
     """One rank's view of the communicator."""
 
@@ -95,7 +179,11 @@ class Comm:
     _state: _SharedState
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     timeline: Timeline | None = None
+    plan: FaultPlan | None = None
+    stats: CommStats = field(default_factory=CommStats)
     _coll_count: int = 0
+    _send_seq: dict[tuple[int, int], int] = field(default_factory=dict)
+    _stall_armed: bool = True
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -108,13 +196,13 @@ class Comm:
     def _now(self) -> float:
         return self.timeline.host_time if self.timeline is not None else 0.0
 
-    def _advance(self, t: float, label: str) -> None:
+    def _advance(self, t: float, label: str, *, fault: bool = False) -> None:
         if self.timeline is not None:
-            self.timeline.host_wait_until(t, label)
+            self.timeline.host_wait_until(t, label, fault=fault)
 
-    def _charge(self, duration: float, label: str) -> None:
+    def _charge(self, duration: float, label: str, *, fault: bool = False) -> None:
         if self.timeline is not None and duration > 0:
-            self.timeline.host_busy(label, duration)
+            self.timeline.host_busy(label, duration, fault=fault)
 
     @staticmethod
     def _payload(data: Any) -> tuple[Any, int]:
@@ -134,6 +222,76 @@ class Comm:
         if not 0 <= peer < self.size:
             raise ValueError(f"peer rank {peer} outside communicator of {self.size}")
 
+    def _record_event(self, ev: FaultEvent) -> None:
+        self._state.fault_events[self.rank].append(ev)
+
+    # ------------------------------------------------------------------ #
+    # Fault machinery
+    # ------------------------------------------------------------------ #
+
+    def _fault_checkpoint(self, op: str) -> None:
+        """Trigger this rank's planned stall/crash once its model time
+        passes the scheduled point (checked at every comms operation, the
+        only places the simulated process is observable)."""
+        if self.plan is None or not self._stall_armed:
+            return
+        spec = self.plan.stall_for(self.rank)
+        if spec is None or self._now() < spec.after_s:
+            return
+        self._stall_armed = False
+        now = self._now()
+        mode = "crashed" if spec.mode == "crash" else "stalled"
+        self._record_event(
+            FaultEvent(now, self.rank, spec.mode, op, detail="rank dies here")
+        )
+        self._state.record_failure(_FailRecord(self.rank, op, now, mode))
+        if spec.mode == "crash":
+            raise RankFailedError(self.rank, op, now, mode="crashed")
+        # Stall: model a hung process — stop responding without a word.
+        # The thread parks until the world shuts down, then unwinds so no
+        # thread leaks; peers detect the silence via the failure board.
+        self._state.shutdown.wait()
+        raise RankFailedError(self.rank, op, now, mode="stalled")
+
+    def _peer_failure(self, source: int, op: str) -> RankFailedError | None:
+        fate = self._state.peer_fate(source)
+        if fate is None:
+            return None
+        return RankFailedError(
+            fate.rank,
+            op,
+            self._now(),
+            mode=fate.mode,
+            detail=f"peer died in {fate.op} at t={fate.model_time * 1e6:.3f}us",
+        )
+
+    def _wait_envelope(self, q: Queue, source: int, tag: int, op: str) -> _Envelope:
+        """Blocking queue wait that converts peer death into a structured
+        error instead of riding out the wall-clock deadlock timer."""
+        deadline = _time.monotonic() + DEADLOCK_TIMEOUT_S
+        while True:
+            try:
+                return q.get(timeout=_POLL_S)
+            except Empty:
+                pass
+            # Messages drain before fates are consulted: q.get above sees
+            # anything the peer posted before it died.
+            failure = self._peer_failure(source, op)
+            if failure is not None and q.empty():
+                raise failure
+            with self._state.fail_lock:
+                peer_done = source in self._state.finished
+            if peer_done and q.empty():
+                raise MPIDeadlockError(
+                    f"rank {self.rank}: {op}: rank {source} finished without "
+                    f"sending (tag {tag}) — deadlock"
+                )
+            if _time.monotonic() > deadline:
+                raise MPIDeadlockError(
+                    f"rank {self.rank}: no message from rank {source} tag {tag} "
+                    f"within {DEADLOCK_TIMEOUT_S}s — deadlock?"
+                )
+
     # ------------------------------------------------------------------ #
     # Point to point
     # ------------------------------------------------------------------ #
@@ -144,28 +302,71 @@ class Comm:
         ``nbytes`` overrides the wire-size accounting — required in
         timing-only mode, where face messages carry no actual arrays but
         must still cost their true size on the network model.
+
+        Under a fault plan the send may suffer transient failures (each
+        retried after exponential model-time backoff) and the message may
+        pick up injected latency, all sampled deterministically from the
+        plan's seed and this link's message sequence number.
         """
         self._check_peer(dest)
+        self._fault_checkpoint("MPI_Send")
+        self.stats.sends += 1
+        extra_delay = 0.0
+        if self.plan is not None:
+            seq = self._send_seq.get((dest, tag), 0)
+            self._send_seq[(dest, tag)] = seq + 1
+            failures = self.plan.send_failures(self.rank, dest, tag, seq)
+            for attempt in range(failures):
+                backoff = self.plan.backoff_s(attempt)
+                self._record_event(
+                    FaultEvent(
+                        self._now(), self.rank, "send_retry", "MPI_Send",
+                        peer=dest, delay_s=backoff,
+                        detail=f"attempt {attempt + 1} failed",
+                    )
+                )
+                self._charge(backoff, f"fault:retry(->{dest})", fault=True)
+                self.stats.retries += 1
+                self.stats.fault_delay_s += backoff
+            kind = self.cluster.link_kind(self.rank, dest)
+            extra_delay, fkind = self.plan.extra_latency(
+                kind, self.rank, dest, tag, seq
+            )
+            if extra_delay > 0.0:
+                self._record_event(
+                    FaultEvent(
+                        self._now(), self.rank, fkind, "MPI_Send",
+                        peer=dest, delay_s=extra_delay, detail=f"link {kind}",
+                    )
+                )
+                self.stats.fault_delay_s += extra_delay
         self._charge(self.cluster.params.mpi_overhead_s, "MPI_Send")
         payload, auto_bytes = self._payload(data)
-        env = _Envelope(payload, nbytes if nbytes is not None else auto_bytes, self._now())
+        env = _Envelope(
+            payload,
+            nbytes if nbytes is not None else auto_bytes,
+            self._now(),
+            extra_delay,
+        )
         self._state.queue(self.rank, dest, tag).put(env)
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive; completes at the modelled arrival time."""
+        """Blocking receive; completes at the modelled arrival time (plus
+        any fault latency the message picked up in flight)."""
         self._check_peer(source)
+        self._fault_checkpoint("MPI_Recv")
+        self.stats.recvs += 1
+        op = f"MPI_Recv(from {source})"
         q = self._state.queue(source, self.rank, tag)
-        try:
-            env = q.get(timeout=DEADLOCK_TIMEOUT_S)
-        except Empty:
-            raise MPIDeadlockError(
-                f"rank {self.rank}: no message from rank {source} tag {tag} "
-                f"within {DEADLOCK_TIMEOUT_S}s — deadlock?"
-            ) from None
+        env = self._wait_envelope(q, source, tag, op)
         arrival = env.sent_at + self.cluster.message_time(
             source, self.rank, env.nbytes
         )
-        self._advance(arrival, f"MPI_Recv(from {source})")
+        self._advance(arrival, op)
+        if env.extra_delay > 0.0:
+            self._advance(
+                arrival + env.extra_delay, f"fault:late(from {source})", fault=True
+            )
         return env.data
 
     def isend(self, data: Any, dest: int, tag: int = 0, *, nbytes: int | None = None) -> Request:
@@ -191,22 +392,54 @@ class Comm:
     # Collectives
     # ------------------------------------------------------------------ #
 
-    def _collective(self, value: Any, combine: Callable[[list[Any]], Any], nbytes: int) -> Any:
+    def _barrier_wait(self, op: str) -> None:
+        """Barrier entry that surfaces peer death as RankFailedError."""
+        timeout = (
+            self.plan.op_timeout_s
+            if self.plan is not None and self.plan.lethal
+            else DEADLOCK_TIMEOUT_S
+        )
+        try:
+            self._state.barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError:
+            failure = self._state.any_failure(exclude=self.rank)
+            if failure is not None:
+                raise RankFailedError(
+                    failure.rank,
+                    op,
+                    self._now(),
+                    mode=failure.mode,
+                    detail=(
+                        f"peer died in {failure.op} "
+                        f"at t={failure.model_time * 1e6:.3f}us"
+                    ),
+                ) from None
+            raise
+
+    def _collective(
+        self,
+        value: Any,
+        combine: Callable[[list[Any]], Any],
+        nbytes: int,
+        op: str = "MPI_Allreduce",
+    ) -> Any:
         """Generic synchronizing collective with model-time semantics:
         everyone leaves at ``max(entry times) + allreduce_time``."""
+        self._fault_checkpoint(op)
+        self.stats.collectives += 1
         key = self._coll_count
         self._coll_count += 1
         with self._state.coll_lock:
             slot = self._state.coll_slots.setdefault(key, {})
             slot[self.rank] = (value, self._now())
-        self._state.barrier.wait()
+        self._barrier_wait(op)
         entries = self._state.coll_slots[key]
         values = [entries[r][0] for r in range(self.size)]
         latest = max(entries[r][1] for r in range(self.size))
         result = combine(values)
         completion = latest + self.cluster.allreduce_time(self.size, nbytes)
-        self._advance(completion, "MPI_Allreduce")
-        self._state.barrier.wait()
+        self._advance(completion, op)
+        self._barrier_wait(op)
         if self.rank == 0:
             with self._state.coll_lock:
                 del self._state.coll_slots[key]
@@ -225,46 +458,144 @@ class Comm:
 
     def allgather(self, value: Any) -> list[Any]:
         nbytes = value.nbytes if isinstance(value, np.ndarray) else 64
-        return self._collective(value, lambda vs: list(vs), nbytes)
+        return self._collective(value, lambda vs: list(vs), nbytes, op="MPI_Allgather")
 
     def barrier(self) -> None:
-        self._collective(None, lambda vs: None, 0)
+        self._collective(None, lambda vs: None, 0, op="MPI_Barrier")
 
     def bcast(self, value: Any, root: int = 0) -> Any:
-        return self._collective(value, lambda vs: vs[root], 64)
+        return self._collective(value, lambda vs: vs[root], 64, op="MPI_Bcast")
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """One rank's demise, as reported by :class:`SpmdOutcome`."""
+
+    rank: int
+    op: str
+    model_time: float
+    mode: str  # 'crashed' | 'stalled' | 'collateral'
+    error: BaseException
+
+
+@dataclass
+class SpmdOutcome:
+    """Result of :meth:`SimMPI.run` with ``return_partial=True``.
+
+    Graceful-degradation report: per-rank results (``None`` for dead
+    ranks), structured failures, the injected fault schedule, and the
+    per-rank comm statistics.  All threads are joined by the time this
+    is returned — partial does not mean leaky.
+    """
+
+    results: list[Any]
+    failures: dict[int, RankFailure]
+    fault_events: list[FaultEvent]
+    stats: list[CommStats]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def survivors(self) -> list[int]:
+        return [r for r in range(len(self.results)) if r not in self.failures]
 
 
 class SimMPI:
     """An MPI "world": create once, then :meth:`run` an SPMD function."""
 
-    def __init__(self, size: int, cluster: ClusterSpec | None = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        cluster: ClusterSpec | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
+        if fault_plan is not None:
+            for spec in fault_plan.stalls:
+                if not 0 <= spec.rank < size:
+                    raise ValueError(
+                        f"fault plan stalls rank {spec.rank}, world has {size}"
+                    )
         self.size = size
         self.cluster = cluster or ClusterSpec()
+        self.fault_plan = fault_plan
         self._state = _SharedState(size)
+        self._comms: list[Comm] | None = None
 
     def comm(self, rank: int) -> Comm:
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} outside world of size {self.size}")
-        return Comm(rank=rank, size=self.size, _state=self._state, cluster=self.cluster)
+        return Comm(
+            rank=rank,
+            size=self.size,
+            _state=self._state,
+            cluster=self.cluster,
+            plan=self.fault_plan,
+            # A default clock so model time advances (and time-based fault
+            # plans fire) even for bare workloads; the solver rebinds this
+            # to the rank's GPU host clock via bind_timeline().
+            timeline=Timeline(),
+        )
 
-    def run(self, fn: Callable[[Comm], Any], *, timeout_s: float = 600.0) -> list[Any]:
+    def fault_events(self) -> list[FaultEvent]:
+        """All injected faults, merged across ranks in a stable order."""
+        merged = [
+            ev for events in self._state.fault_events.values() for ev in events
+        ]
+        return sorted(
+            merged, key=lambda e: (e.time, e.rank, e.kind, e.op, e.peer)
+        )
+
+    def comm_stats(self) -> list[CommStats]:
+        """Per-rank comm counters of the last :meth:`run` (snapshots)."""
+        if self._comms is None:
+            return []
+        return [c.stats.snapshot() for c in self._comms]
+
+    # ------------------------------------------------------------------ #
+    # SPMD driver
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        fn: Callable[[Comm], Any],
+        *,
+        timeout_s: float = 600.0,
+        return_partial: bool = False,
+    ) -> list[Any] | SpmdOutcome:
         """Run ``fn(comm)`` on every rank (threads); return per-rank results.
 
-        Any rank's exception is re-raised in the caller, annotated with
-        the rank, after all threads have been joined.
+        Default mode re-raises any rank's exception in the caller,
+        annotated with the rank, after all threads have been joined.
+        With ``return_partial=True`` nothing is raised: a
+        :class:`SpmdOutcome` reports surviving ranks' results alongside
+        structured failures — the graceful-degradation path for chaos
+        runs.
         """
+        state = self._state
         results: list[Any] = [None] * self.size
         errors: list[tuple[int, BaseException]] = []
+        comms = [self.comm(r) for r in range(self.size)]
+        self._comms = comms
 
         def worker(rank: int) -> None:
             try:
-                results[rank] = fn(self.comm(rank))
+                results[rank] = fn(comms[rank])
+                with state.fail_lock:
+                    state.finished.add(rank)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors.append((rank, exc))
+                # Planned stalls/crashes already registered themselves;
+                # anything else (user code, collateral) goes on the board
+                # so peers blocked on this rank unwind promptly.
+                state.record_failure(
+                    _FailRecord(rank, "user code", comms[rank]._now(), "crashed")
+                )
                 # Unblock peers stuck in barriers.
-                self._state.barrier.abort()
+                state.barrier.abort()
 
         threads = [
             threading.Thread(target=worker, args=(r,), name=f"simmpi-rank{r}")
@@ -272,27 +603,100 @@ class SimMPI:
         ]
         for t in threads:
             t.start()
+        deadline = _time.monotonic() + timeout_s
+        try:
+            while any(t.is_alive() for t in threads):
+                if _time.monotonic() > deadline:
+                    break
+                alive_ranks = {
+                    r for r, t in enumerate(threads) if t.is_alive()
+                }
+                with state.fail_lock:
+                    parked = set(state.stalled)
+                if alive_ranks and alive_ranks <= parked:
+                    # Everything still running is a parked stalled rank:
+                    # release them so their threads unwind and join.
+                    state.shutdown.set()
+                next(t for t in threads if t.is_alive()).join(timeout=0.05)
+        finally:
+            state.shutdown.set()
         for t in threads:
-            t.join(timeout=timeout_s)
+            t.join(timeout=5.0)
         alive = [t.name for t in threads if t.is_alive()]
+
+        if return_partial:
+            return self._partial_outcome(results, errors, alive, comms)
         if alive and not errors:
             raise MPIDeadlockError(f"ranks did not finish: {alive}")
         if errors:
-            # Prefer the root cause over BrokenBarrierError fallout from
-            # the abort that unblocked the other ranks.
-            primary = [
-                e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)
-            ] or errors
-            rank, exc = sorted(primary, key=lambda e: e[0])[0]
-            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+            rank, exc = self._primary_error(errors)
+            wrapped = RuntimeError(f"rank {rank} failed: {exc!r}")
+            wrapped.fault_events = self.fault_events()
+            raise wrapped from exc
         return results
+
+    @staticmethod
+    def _primary_error(
+        errors: list[tuple[int, BaseException]]
+    ) -> tuple[int, BaseException]:
+        """Prefer the root cause over the fallout it triggered: collateral
+        BrokenBarrierErrors and peers' observations of *another* rank's
+        death rank below the failure itself."""
+
+        def is_collateral(rank: int, exc: BaseException) -> bool:
+            if isinstance(exc, threading.BrokenBarrierError):
+                return True
+            return isinstance(exc, RankFailedError) and exc.rank != rank
+        primary = [e for e in errors if not is_collateral(*e)] or errors
+        return sorted(primary, key=lambda e: e[0])[0]
+
+    def _partial_outcome(
+        self,
+        results: list[Any],
+        errors: list[tuple[int, BaseException]],
+        alive: list[str],
+        comms: list[Comm],
+    ) -> SpmdOutcome:
+        failures: dict[int, RankFailure] = {}
+        for rank, exc in sorted(errors, key=lambda e: e[0]):
+            if rank in failures:
+                continue
+            if isinstance(exc, RankFailedError):
+                mode = exc.mode if exc.rank == rank else "collateral"
+                failures[rank] = RankFailure(
+                    rank, exc.op, exc.model_time, mode, exc
+                )
+            else:
+                failures[rank] = RankFailure(
+                    rank, "user code", comms[rank]._now(), "collateral"
+                    if isinstance(exc, threading.BrokenBarrierError)
+                    else "crashed", exc,
+                )
+        for name in alive:  # leaked thread: report, never hide
+            rank = int(name.removeprefix("simmpi-rank"))
+            failures.setdefault(
+                rank,
+                RankFailure(
+                    rank, "unknown", comms[rank]._now(), "stalled",
+                    MPIDeadlockError(f"{name} did not finish"),
+                ),
+            )
+        for rank in failures:
+            results[rank] = None
+        return SpmdOutcome(
+            results=results,
+            failures=failures,
+            fault_events=self.fault_events(),
+            stats=[c.stats.snapshot() for c in comms],
+        )
 
 
 def run_spmd(
     size: int,
     fn: Callable[[Comm], Any],
     cluster: ClusterSpec | None = None,
+    fault_plan: FaultPlan | None = None,
     **kwargs,
-) -> list[Any]:
+) -> list[Any] | SpmdOutcome:
     """One-shot convenience: build a world and run ``fn`` on every rank."""
-    return SimMPI(size, cluster).run(fn, **kwargs)
+    return SimMPI(size, cluster, fault_plan).run(fn, **kwargs)

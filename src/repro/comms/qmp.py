@@ -20,6 +20,7 @@ from typing import Any
 
 import numpy as np
 
+from .faults import RankFailedError
 from .mpi_sim import Comm, Request
 
 __all__ = ["QMPMachine"]
@@ -130,7 +131,12 @@ class QMPMachine:
     def recv_from(self, direction: int, *, mu: int = 3) -> Any:
         """Blocking receive from the ``-mu`` or ``+mu`` neighbour."""
         source, tag = self._route_recv(mu, direction)
-        return self.comm.recv(source, tag)
+        try:
+            return self.comm.recv(source, tag)
+        except RankFailedError as exc:
+            raise exc.add_context(
+                f"ghost relay mu={mu} dir={direction:+d}"
+            ) from None
 
     def start_send(
         self, direction: int, data: Any, *, mu: int = 3, nbytes: int | None = None
@@ -170,7 +176,10 @@ class QMPMachine:
         """
         if self.comm.size == 1:
             return value
-        return self.comm.allreduce(value)
+        try:
+            return self.comm.allreduce(value)
+        except RankFailedError as exc:
+            raise exc.add_context("global sum") from None
 
     def barrier(self) -> None:
         if self.comm.size > 1:

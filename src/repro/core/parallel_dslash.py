@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..comms.faults import RankFailedError
 from ..comms.qmp import QMPMachine
 from ..gpu.device import VirtualGPU
 from ..gpu.fields import BACKWARD, FORWARD, DeviceCloverField, DeviceGaugeField, DeviceSpinorField
@@ -47,7 +48,6 @@ from ..gpu.kernels import (
     DslashTables,
     dslash_kernel,
     gather_face_kernel,
-    normalize_partitioned,
     project_face,
 )
 from ..lattice.geometry import T_DIR
@@ -259,9 +259,12 @@ def dslash_with_exchange(
     # still in flight.
     for mu in dirs:
         s_back, s_fwd = _face_streams(mu)
-        ghost_back = qmp.recv_from(-1, mu=mu)
-        _upload_face(gpu, plans[mu], BACKWARD, stream=s_back, asynchronous=True)
-        ghost_fwd = qmp.recv_from(+1, mu=mu)
+        try:
+            ghost_back = qmp.recv_from(-1, mu=mu)
+            _upload_face(gpu, plans[mu], BACKWARD, stream=s_back, asynchronous=True)
+            ghost_fwd = qmp.recv_from(+1, mu=mu)
+        except RankFailedError as exc:
+            raise exc.add_context("overlapped dslash face exchange") from None
         _upload_face(gpu, plans[mu], FORWARD, stream=s_fwd, asynchronous=True)
         _store_ghosts(gpu, src, mu, ghost_back, ghost_fwd)
 
@@ -295,8 +298,11 @@ def _no_overlap_exchange(gpu, qmp, tables, plans, src, dagger, occupancy) -> Non
         _download_face(gpu, plan, FORWARD, stream=STREAM_COMPUTE, asynchronous=False)
         qmp.send_to(-1, back_face, mu=mu, nbytes=plan.message_bytes)
         qmp.send_to(+1, fwd_face, mu=mu, nbytes=plan.message_bytes)
-        ghost_back = qmp.recv_from(-1, mu=mu)
-        ghost_fwd = qmp.recv_from(+1, mu=mu)
+        try:
+            ghost_back = qmp.recv_from(-1, mu=mu)
+            ghost_fwd = qmp.recv_from(+1, mu=mu)
+        except RankFailedError as exc:
+            raise exc.add_context("serial dslash face exchange") from None
         _upload_face(gpu, plan, BACKWARD, stream=STREAM_COMPUTE, asynchronous=False)
         _upload_face(gpu, plan, FORWARD, stream=STREAM_COMPUTE, asynchronous=False)
         _store_ghosts(gpu, src, mu, ghost_back, ghost_fwd)

@@ -24,18 +24,19 @@ for a fixed iteration count, and reports the same
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..comms.cluster import ClusterSpec
-from ..comms.mpi_sim import Comm, SimMPI
+from ..comms.faults import FaultEvent, FaultPlan
+from ..comms.mpi_sim import Comm, CommStats, SimMPI
 from ..comms.qmp import QMPMachine
 from ..gpu.device import VirtualGPU
 from ..gpu.precision import Precision
 from ..gpu.specs import GTX285, GPUSpec
 from ..lattice.clover import make_clover
-from ..lattice.evenodd import EVEN, ODD, full_to_parity, parity_to_full
+from ..lattice.evenodd import EVEN, full_to_parity, parity_to_full
 from ..lattice.fields import GaugeField, SpinorField
 from ..lattice.geometry import LatticeGeometry
 from .autotune import TuneCache, autotune
@@ -62,6 +63,11 @@ class InvertResult:
     #: Peak device memory over ranks (bytes) — the footprint the paper's
     #: "at least 8 GPUs" constraint comes from.
     peak_device_bytes: int = 0
+    #: Fault schedule injected by the bound FaultPlan (chaos runs only;
+    #: empty for healthy runs).  Merged across ranks, stable order.
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    #: Per-rank comm counters (sends/recvs/retries/injected delay).
+    comm_stats: list[CommStats] = field(default_factory=list)
 
 
 def invert(
@@ -77,6 +83,7 @@ def invert(
     enforce_memory: bool = False,
     tune: bool = True,
     verify: bool = True,
+    fault_plan: FaultPlan | None = None,
 ) -> InvertResult:
     """Solve ``M x = source`` for the Wilson-clover matrix on ``gauge``.
 
@@ -102,6 +109,7 @@ def invert(
         enforce_memory=enforce_memory,
         tune=tune,
         verify=verify,
+        fault_plan=fault_plan,
     )[0]
 
 
@@ -118,6 +126,7 @@ def invert_multi(
     enforce_memory: bool = False,
     tune: bool = True,
     verify: bool = True,
+    fault_plan: FaultPlan | None = None,
 ) -> list[InvertResult]:
     """Solve ``M x = b`` for many right-hand sides on one setup.
 
@@ -148,6 +157,7 @@ def invert_multi(
         host_gauge=gauge,
         host_clover=clover_blocks,
         host_sources=sources,
+        fault_plan=fault_plan,
     )
     if verify:
         from ..lattice.dirac import WilsonCloverOperator
@@ -178,6 +188,7 @@ def invert_model(
     gpu_spec: GPUSpec = GTX285,
     enforce_memory: bool = True,
     tune: bool = True,
+    fault_plan: FaultPlan | None = None,
 ) -> InvertResult:
     """Timing-only solve at paper scale (no field data, exact schedule).
 
@@ -203,6 +214,7 @@ def invert_model(
         host_gauge=None,
         host_clover=None,
         host_sources=None,
+        fault_plan=fault_plan,
     )[0]
 
 
@@ -226,6 +238,7 @@ def _run(
     host_clover: np.ndarray | None,
     host_sources: list[SpinorField] | None,
     grid: tuple[int, int] | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[InvertResult]:
     if grid is not None:
         ranks_z, ranks_t = grid
@@ -355,9 +368,11 @@ def _run(
             "peak_bytes": gpu.allocator.peak_bytes,
         }
 
-    world = SimMPI(n_gpus, cluster)
+    world = SimMPI(n_gpus, cluster, fault_plan)
     outcomes = world.run(body)
     peak = max(o["peak_bytes"] for o in outcomes)
+    fault_events = world.fault_events()
+    comm_stats = world.comm_stats()
 
     results = []
     n_sources = len(host_sources) if host_sources is not None else 1
@@ -382,6 +397,8 @@ def _run(
                 stats=stats,
                 per_rank=infos,
                 peak_device_bytes=peak,
+                fault_events=fault_events,
+                comm_stats=comm_stats,
             )
         )
     return results

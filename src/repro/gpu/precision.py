@@ -133,16 +133,24 @@ def quantize_block(
     if reals.ndim != 2:
         raise ValueError(f"expected (sites, n) reals, got shape {reals.shape}")
     norms = np.max(np.abs(reals), axis=1).astype(np.float32)
-    safe = np.where(norms == 0.0, np.float32(1.0), norms)
-    scaled = reals / safe[:, None] * HALF_SCALE
-    return np.round(scaled).astype(np.int16), norms
+    # The ratio must be formed in float64 against the *stored* (float32)
+    # norm: the decoded levels are q * norm32 / 32767, so rounding the
+    # exact ratio w.r.t. norm32 lands on the nearest level at any scale.
+    safe = np.where(norms == 0.0, np.float32(1.0), norms).astype(np.float64)
+    ratio = np.clip(reals / safe[:, None] * HALF_SCALE, -HALF_SCALE, HALF_SCALE)
+    return np.round(ratio).astype(np.int16), norms
 
 
 def dequantize_block(stored: np.ndarray, norms: np.ndarray) -> np.ndarray:
-    """Decode ``quantize_block`` output back to float32."""
-    return stored.astype(np.float32) * (
-        norms.astype(np.float32) / np.float32(HALF_SCALE)
-    )[:, None]
+    """Decode ``quantize_block`` output.
+
+    The product ``int16 * float32-norm`` is exact in float64 (16 + 24
+    significant bits), so decoding in double incurs a single rounding.
+    Decoding in float32 instead would add ~``eps32 * norm`` of noise on
+    top of the rounding error, breaking the half-step roundtrip bound at
+    scales where that noise is comparable to half a quantization step.
+    """
+    return stored.astype(np.float64) * norms.astype(np.float64)[:, None] / HALF_SCALE
 
 
 def half_roundtrip_bound(norms: np.ndarray) -> float:

@@ -22,7 +22,7 @@ corresponds to approximately 2 Gflops per CPU core".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["GPUSpec", "CPUSpec", "TABLE_I", "GTX285", "XEON_E5530", "get_gpu"]
 

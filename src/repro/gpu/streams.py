@@ -53,6 +53,10 @@ class TimelineOp:
     end: float
     nbytes: int = 0
     flops: int = 0
+    #: Time injected by fault injection (retry backoff, late arrival)
+    #: rather than modelled healthy execution — rendered distinctly in
+    #: the Gantt trace so chaos runs are visually diagnosable.
+    fault: bool = False
 
     @property
     def duration(self) -> float:
@@ -156,16 +160,22 @@ class Timeline:
             self.host_time = end
         return self._record(TimelineOp(name, direction, stream, start, end, nbytes))
 
-    def host_busy(self, name: str, duration: float) -> TimelineOp:
+    def host_busy(
+        self, name: str, duration: float, *, fault: bool = False
+    ) -> TimelineOp:
         """Host-side work (buffer packing, MPI library time, ...)."""
         start = self.host_time
         self.host_time += duration
-        return self._record(TimelineOp(name, "host", -1, start, self.host_time))
+        return self._record(
+            TimelineOp(name, "host", -1, start, self.host_time, fault=fault)
+        )
 
-    def host_wait_until(self, t: float, name: str = "wait") -> None:
+    def host_wait_until(self, t: float, name: str = "wait", *, fault: bool = False) -> None:
         """Block the host until model time ``t`` (e.g. a message arrival)."""
         if t > self.host_time:
-            self._record(TimelineOp(name, "wait", -1, self.host_time, t))
+            self._record(
+                TimelineOp(name, "wait", -1, self.host_time, t, fault=fault)
+            )
             self.host_time = t
 
     # ------------------------------------------------------------------ #

@@ -25,7 +25,7 @@ import numpy as np
 
 from . import gamma as _gamma
 from . import su3
-from .fields import GaugeField, SpinorField
+from .fields import GaugeField
 from .geometry import LatticeGeometry, T_DIR
 from .random_fields import point_source
 

@@ -216,7 +216,6 @@ class AdaptiveMultigrid:
         [24]: the method *finds* what smooth error looks like.
         """
         rng = np.random.default_rng(self.seed)
-        n = self.op.geometry.volume * _DOF // 2 * 2  # complex dof count
         vecs = []
         for _ in range(self.n_nullvecs):
             x = rng.standard_normal(self.op.geometry.volume * 12) + 1j * (

@@ -4,6 +4,9 @@ import pytest
 
 from repro.bench.experiments_md import generate, main
 
+# Generates the full paper-vs-measured report (~1 min of model sweeps).
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def text():

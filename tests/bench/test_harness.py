@@ -1,6 +1,5 @@
 """Tests for the bench harness and reporting layer."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comms import ClusterSpec, MPIDeadlockError, SimMPI, run_spmd
+from repro.comms import ClusterSpec, SimMPI, run_spmd
 from repro.gpu.streams import Timeline
 
 

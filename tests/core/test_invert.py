@@ -5,7 +5,6 @@ import pytest
 
 from repro.comms import ClusterSpec
 from repro.core import QudaInvertParam, invert, invert_model, paper_invert_param
-from repro.gpu import Precision
 from repro.gpu.memory import DeviceOutOfMemoryError
 from repro.lattice import (
     LatticeGeometry,

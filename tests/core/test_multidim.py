@@ -11,7 +11,6 @@ import pytest
 
 from repro.comms import QMPMachine, run_spmd
 from repro.core import invert, invert_model, paper_invert_param
-from repro.gpu import Precision
 from repro.lattice import LatticeGeometry, random_spinor, weak_field_gauge
 
 MASS = 0.2
@@ -115,6 +114,7 @@ class TestQMPGrid:
 
 
 class TestSurfaceToVolume:
+    @pytest.mark.slow
     def test_2d_wins_at_extreme_gpu_counts(self):
         """The motivation: at 128 GPUs on 32^3 x 256, time-only slicing
         leaves T_local = 2 (every site on a boundary), while a (4, 32)

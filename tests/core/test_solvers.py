@@ -7,7 +7,6 @@ from repro.core.dslash import DeviceSchurOperator
 from repro.core.solvers import bicgstab_solve, cg_solve, defect_correction_solve
 from repro.gpu import Precision, VirtualGPU
 from repro.lattice import LatticeGeometry, SchurOperator, make_clover, weak_field_gauge
-from repro.lattice.evenodd import EVEN, full_to_parity
 
 MASS = 0.25
 

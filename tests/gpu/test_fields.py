@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.gpu import (
-    BACKWARD,
     FORWARD,
     DeviceCloverField,
     DeviceGaugeField,

@@ -26,7 +26,7 @@ from repro.gpu.kernels import (
     gather_face_kernel,
 )
 from repro.lattice import LatticeGeometry, SchurOperator, make_clover, weak_field_gauge
-from repro.lattice.evenodd import EVEN, ODD, dslash_parity, full_to_parity
+from repro.lattice.evenodd import EVEN, ODD, dslash_parity
 from repro.lattice import gamma as _gamma
 
 TOL = {Precision.DOUBLE: 1e-12, Precision.SINGLE: 2e-5, Precision.HALF: 6e-3}

@@ -104,6 +104,34 @@ class TestBlockQuantization:
         with pytest.raises(ValueError, match="sites"):
             quantize_block(np.zeros(24))
 
+    def test_large_scale_regression(self):
+        """Shrunk Hypothesis counterexample (scale ~4.9e7).
+
+        The float32 site norm is a rounded version of the true maximum,
+        so quantizing against the *ideal* ratio and decoding in float32
+        both drift off the grid at large scales; the codec must pick the
+        level whose decoded value is closest.  This exact case exceeded
+        the half-step bound by ~1e2 (absolute) before the fix.
+        """
+        scale = 49157581.0
+        reals = np.array([[921033.4375] + [1000000.0] * 23]) * scale
+        q, norms = quantize_block(reals)
+        back = dequantize_block(q, norms)
+        assert np.max(np.abs(back - reals)) <= half_roundtrip_bound(norms) + 1e-30
+
+    def test_half_step_bound_across_scales(self):
+        """The roundtrip bound holds at every binade, not just O(1)."""
+        rng = np.random.default_rng(7)
+        base = rng.uniform(-1.0, 1.0, size=(8, 24))
+        for exp in range(-18, 19, 4):
+            reals = base * 10.0**exp
+            q, norms = quantize_block(reals)
+            back = dequantize_block(q, norms)
+            assert (
+                np.max(np.abs(back - reals))
+                <= half_roundtrip_bound(norms) + 1e-30
+            )
+
 
 class TestTextureRead:
     def test_element_type_passthrough(self, rng):

@@ -5,7 +5,6 @@ import pytest
 
 from repro.lattice import (
     SchurOperator,
-    SpinorField,
     WilsonCloverOperator,
     bicgstab,
     cgnr,

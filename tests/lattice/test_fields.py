@@ -5,7 +5,6 @@ import pytest
 
 from repro.lattice import (
     GaugeField,
-    LatticeGeometry,
     SpinorField,
     random_spinor,
     unit_gauge,

@@ -48,8 +48,6 @@ class TestGaugeRoundtrip:
 class TestCorruptionDetection:
     def _corrupt(self, path):
         """Flip bytes inside the compressed archive's data region."""
-        import zipfile
-
         import numpy as np
 
         # Rewrite the links array with one flipped element, keeping the

@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+# The module fixture computes full 12-column propagators (~30 s).
+pytestmark = pytest.mark.slow
+
 from repro.core import paper_invert_param
 from repro.lattice import LatticeGeometry, unit_gauge, weak_field_gauge
 from repro.lattice.measurements import (

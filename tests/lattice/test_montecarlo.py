@@ -9,7 +9,6 @@ from repro.lattice.montecarlo import (
     _quat_mul,
     _su2_embed,
     _su2_extract,
-    heatbath_sweep,
     overrelaxation_sweep,
     staple_sum,
     su2_heatbath,

@@ -143,6 +143,7 @@ class TestMGSolve:
         precond = mg.solve(b, tol=1e-8)
         assert precond.iterations < 0.7 * plain.iterations
 
+    @pytest.mark.slow
     def test_tames_critical_slowing_down(self, rng):
         """The point of [24]: toward the critical mass, the Krylov count
         explodes while the MG count grows far more slowly."""

@@ -1,8 +1,13 @@
 """Property-based tests for the Monte Carlo quaternion/SU(2) machinery."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+# Heatbath statistics over many Hypothesis examples — the heavyweight
+# end of the property suite.
+pytestmark = pytest.mark.slow
 
 from repro.lattice import su3
 from repro.lattice.montecarlo import (

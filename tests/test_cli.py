@@ -117,7 +117,40 @@ class TestProfile:
         assert "stream 0" in out
 
 
+class TestChaos:
+    _ARGS = [
+        "chaos", "--seed", "7", "--dims", "8,8,8,16", "--gpus", "2",
+        "--iterations", "3", "--schedule",
+    ]
+
+    def test_jittery_run_reports_faults(self, capsys):
+        rc = main(self._ARGS)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault plan: seed=7" in out
+        assert "injected faults" in out
+        assert "solver completed" in out
+
+    def test_byte_identical_output_for_same_seed(self, capsys):
+        main(self._ARGS)
+        first = capsys.readouterr().out
+        main(self._ARGS)
+        second = capsys.readouterr().out
+        assert first == second  # schedule AND model times, byte for byte
+
+    def test_stall_reports_structured_failure(self, capsys):
+        rc = main([
+            "chaos", "--seed", "1", "--dims", "8,8,8,16", "--gpus", "2",
+            "--iterations", "20", "--stall", "1", "--fail-after-us", "200",
+            "--op-timeout", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "solver died: rank 1 stalled" in out
+
+
 class TestExperiments:
+    @pytest.mark.slow
     def test_writes_report(self, tmp_path, capsys):
         out_path = tmp_path / "EXP.md"
         rc = main(["experiments", "--out", str(out_path), "--iterations", "3"])
