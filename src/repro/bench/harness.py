@@ -11,13 +11,14 @@ array data); small lattices can run fully numerically through
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 
 import numpy as np
 
 from ..comms.cluster import ClusterSpec
 from ..comms.faults import FaultEvent, FaultPlan, RankFailedError
 from ..comms.mpi_sim import CommStats
-from ..core import invert, invert_model, paper_invert_param
+from ..core import RecoveryEvent, RetryPolicy, invert, invert_model, paper_invert_param
 from ..gpu.memory import DeviceOutOfMemoryError
 from ..gpu.specs import GTX285, GPUSpec
 
@@ -29,6 +30,7 @@ __all__ = [
     "oom_cause",
     "ChaosReport",
     "chaos_solve",
+    "chaos_invert",
 ]
 
 #: Iterations per timing-only measurement.  The sustained rate is a
@@ -160,6 +162,16 @@ class ChaosReport:
     injected_delay_s: float  # total fault model time, summed over ranks
     fault_events: list[FaultEvent]
     comm_stats: list[CommStats]
+    # --- self-healing accounting (zero unless a RetryPolicy is enabled) --- #
+    recoveries: int = 0  # worlds relaunched after a rank failure
+    restarts: int = 0  # breakdown-ladder rungs taken
+    wasted_iterations: int = 0
+    lost_time_s: float = 0.0  # failed attempts + retry backoff
+    recovery_events: list[RecoveryEvent] = dataclasses_field(default_factory=list)
+    final_ranks: int | None = None  # world size of the attempt that finished
+    # Functional chaos runs only (``chaos_invert``):
+    converged: bool | None = None
+    true_residual: float | None = None
 
 
 def _rank_failure(exc: BaseException) -> RankFailedError | None:
@@ -173,6 +185,44 @@ def _rank_failure(exc: BaseException) -> RankFailedError | None:
     return None
 
 
+def _failed_report(plan: FaultPlan, exc: BaseException) -> ChaosReport | None:
+    """A structured death report, or None if ``exc`` was not a rank failure."""
+    failure = _rank_failure(exc)
+    if failure is None:
+        return None
+    events = list(getattr(exc, "fault_events", []))
+    return ChaosReport(
+        plan=plan, completed=False, failure=failure, model_time=None,
+        gflops=None,
+        retries=sum(1 for e in events if e.kind == "send_retry"),
+        injected_delay_s=sum(e.delay_s for e in events),
+        fault_events=events, comm_stats=[],
+    )
+
+
+def _completed_report(plan: FaultPlan, res) -> ChaosReport:
+    """A success report from an :class:`~repro.core.quda.InvertResult`."""
+    return ChaosReport(
+        plan=plan,
+        completed=True,
+        failure=None,
+        model_time=res.stats.model_time,
+        gflops=res.stats.sustained_gflops,
+        retries=sum(s.retries for s in res.comm_stats),
+        injected_delay_s=sum(s.fault_delay_s for s in res.comm_stats),
+        fault_events=res.fault_events,
+        comm_stats=res.comm_stats,
+        recoveries=res.stats.recoveries,
+        restarts=res.stats.restarts,
+        wasted_iterations=res.stats.wasted_iterations,
+        lost_time_s=res.stats.lost_time,
+        recovery_events=res.recovery_events,
+        final_ranks=len(res.comm_stats) or None,
+        converged=res.stats.converged if res.true_residual is not None else None,
+        true_residual=res.true_residual,
+    )
+
+
 def chaos_solve(
     dims: tuple[int, int, int, int],
     mode: str,
@@ -184,17 +234,20 @@ def chaos_solve(
     gpu_spec: GPUSpec = GTX285,
     fixed_iterations: int = FIXED_ITERATIONS,
     solver: str = "bicgstab",
+    retry_policy: RetryPolicy | None = None,
 ) -> ChaosReport:
     """One timing-only solve under a fault plan.
 
     Jitter/retry plans complete (later); lethal plans (stall/crash) end
     in a structured :class:`~repro.comms.faults.RankFailedError`, which
     is reported rather than raised — graceful degradation is the point
-    of a chaos run.
+    of a chaos run.  With a ``retry_policy`` the solve instead relaunches
+    over the survivors and resumes from its last refresh-point
+    checkpoint, and the report carries the recovery accounting.
     """
     inv = paper_invert_param(
         mode, overlap_comms=overlap, fixed_iterations=fixed_iterations,
-        solver=solver,
+        solver=solver, retry_policy=retry_policy,
     )
     try:
         res = invert_model(
@@ -202,25 +255,54 @@ def chaos_solve(
             enforce_memory=False, fault_plan=plan,
         )
     except RuntimeError as exc:
-        failure = _rank_failure(exc)
-        if failure is None:
+        report = _failed_report(plan, exc)
+        if report is None:
             raise
-        events = list(getattr(exc, "fault_events", []))
-        return ChaosReport(
-            plan=plan, completed=False, failure=failure, model_time=None,
-            gflops=None,
-            retries=sum(1 for e in events if e.kind == "send_retry"),
-            injected_delay_s=sum(e.delay_s for e in events),
-            fault_events=events, comm_stats=[],
-        )
-    return ChaosReport(
-        plan=plan,
-        completed=True,
-        failure=None,
-        model_time=res.stats.model_time,
-        gflops=res.stats.sustained_gflops,
-        retries=sum(s.retries for s in res.comm_stats),
-        injected_delay_s=sum(s.fault_delay_s for s in res.comm_stats),
-        fault_events=res.fault_events,
-        comm_stats=res.comm_stats,
+        return report
+    return _completed_report(plan, res)
+
+
+def chaos_invert(
+    dims: tuple[int, int, int, int],
+    mode: str,
+    n_gpus: int,
+    plan: FaultPlan,
+    *,
+    mass: float = 0.2,
+    seed: int = 31,
+    noise: float = 0.15,
+    overlap: bool = True,
+    cluster: ClusterSpec | None = None,
+    gpu_spec: GPUSpec = GTX285,
+    solver: str = "bicgstab",
+    retry_policy: RetryPolicy | None = None,
+) -> ChaosReport:
+    """One *functional* solve (real numerics) under a fault plan.
+
+    The acceptance test for self-healing solves: a weak-field
+    configuration, a random source, a fault plan that kills a rank
+    mid-solve — with a ``retry_policy`` the report must come back
+    ``completed`` *and* ``converged`` with the true residual verified
+    against the host reference operator.
+    """
+    from ..lattice import LatticeGeometry, random_spinor, weak_field_gauge
+
+    rng = np.random.default_rng(seed)
+    geo = LatticeGeometry(dims)
+    gauge = weak_field_gauge(geo, rng, noise=noise)
+    src = random_spinor(geo, rng)
+    inv = paper_invert_param(
+        mode, mass=mass, overlap_comms=overlap, solver=solver,
+        retry_policy=retry_policy,
     )
+    try:
+        res = invert(
+            gauge, src, inv, n_gpus=n_gpus, cluster=cluster,
+            gpu_spec=gpu_spec, fault_plan=plan,
+        )
+    except RuntimeError as exc:
+        report = _failed_report(plan, exc)
+        if report is None:
+            raise
+        return report
+    return _completed_report(plan, res)

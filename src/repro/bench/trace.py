@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..gpu.streams import TimelineOp
 
-__all__ = ["render_gantt"]
+__all__ = ["render_gantt", "render_recovery_lanes"]
 
 _GLYPH = {"kernel": "#", "d2h": "<", "h2d": ">", "host": "=", "wait": "."}
 
@@ -80,3 +80,44 @@ def render_gantt(
     )
     legend = "  # kernel   < d2h copy   > h2d copy   = host   . wait   ! fault"
     return "\n".join([header] + lines + [legend])
+
+
+# ------------------------------------------------------------------------ #
+# Recovery lanes (self-healing solves)
+# ------------------------------------------------------------------------ #
+
+_EVENT_MARK = {
+    "rank_failure": "x",
+    "relaunch": "R",
+    "resume": ">",
+    "restart": "o",
+    "solver_switch": "s",
+    "precision_escalation": "^",
+}
+
+
+def render_recovery_lanes(events) -> str:
+    """Render a recovery ledger as one text lane per attempt.
+
+    ``events`` is the ``recovery_events`` list of an
+    :class:`~repro.core.quda.InvertResult` (or a chaos report): rank
+    failures, relaunches, checkpoint resumes, and breakdown-ladder rungs
+    in decision order.  The output is deterministic for a given
+    fault-plan seed, so it can be asserted byte-for-byte in tests.
+    """
+    if not events:
+        return "(healthy solve: no recovery events)"
+    lanes: dict[int, list] = {}
+    for ev in events:
+        lanes.setdefault(ev.attempt, []).append(ev)
+    lines = []
+    for attempt in sorted(lanes):
+        marks = "".join(_EVENT_MARK.get(ev.kind, "?") for ev in lanes[attempt])
+        lines.append(f"attempt {attempt}  [{marks}]")
+        for ev in lanes[attempt]:
+            lines.append(f"    {ev.render()}")
+    legend = (
+        "  x rank failure   R relaunch   > resume   o restart   "
+        "s solver switch   ^ precision up"
+    )
+    return "\n".join(lines + [legend])

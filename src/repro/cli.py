@@ -123,6 +123,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall seconds before a blocked op reports the failure")
     p.add_argument("--schedule", action="store_true",
                    help="print the full injected-fault schedule")
+    p.add_argument("--recover", action="store_true",
+                   help="self-heal: relaunch over the survivors and resume "
+                   "from the last refresh-point checkpoint")
+    p.add_argument("--max-attempts", type=int, default=2,
+                   help="relaunch budget when --recover is given")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="relaunch at the same rank count instead of "
+                   "re-partitioning over the survivors")
+    p.add_argument("--functional", action="store_true",
+                   help="real numerics on a weak-field configuration "
+                   "(verifies the true residual) instead of timing-only")
+    p.add_argument("--mass", type=float, default=0.2,
+                   help="quark mass for --functional runs")
 
     p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
     p.add_argument("--out", default="EXPERIMENTS.md")
@@ -253,8 +266,10 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from .bench.harness import chaos_solve
+    from .bench.harness import chaos_invert, chaos_solve
+    from .bench.trace import render_recovery_lanes
     from .comms import FaultPlan, LinkFaults, format_schedule
+    from .core import RetryPolicy
 
     try:
         plan = FaultPlan(
@@ -272,11 +287,24 @@ def _cmd_chaos(args) -> int:
             plan = plan.with_stall(
                 args.crash, after_s=args.fail_after_us * 1e-6, mode="crash"
             )
+        policy = None
+        if args.recover:
+            policy = RetryPolicy(
+                max_attempts=args.max_attempts, shrink=not args.no_shrink
+            )
         print(f"fault plan: {plan.describe()}")
-        report = chaos_solve(
-            args.dims, args.mode, args.gpus, plan,
-            overlap=not args.no_overlap, fixed_iterations=args.iterations,
-        )
+        if args.functional:
+            report = chaos_invert(
+                args.dims, args.mode, args.gpus, plan,
+                mass=args.mass, overlap=not args.no_overlap,
+                retry_policy=policy,
+            )
+        else:
+            report = chaos_solve(
+                args.dims, args.mode, args.gpus, plan,
+                overlap=not args.no_overlap, fixed_iterations=args.iterations,
+                retry_policy=policy,
+            )
     except ValueError as exc:
         print(f"repro chaos: error: {exc}")
         return 2
@@ -285,9 +313,21 @@ def _cmd_chaos(args) -> int:
           f"retries, {report.injected_delay_s * 1e6:.3f} us extra model time")
     if args.schedule or not report.completed:
         print(format_schedule(report.fault_events))
+    if args.recover:
+        print("recovery ledger:")
+        print(render_recovery_lanes(report.recovery_events))
+        if report.recoveries:
+            print(f"recovered: {report.recoveries} relaunch(es), "
+                  f"{report.wasted_iterations} iterations wasted, "
+                  f"{report.lost_time_s * 1e6:.3f} us lost, "
+                  f"finished on {report.final_ranks} rank(s)")
     if report.completed:
         print(f"solver completed: model time {report.model_time * 1e6:.3f} us "
               f"({report.gflops:.1f} effective Gflops)")
+        if args.functional:
+            print(f"  converged:     {report.converged}")
+            print(f"  true residual: {report.true_residual:.3e}")
+            return 0 if report.converged else 1
         return 0
     print(f"solver died: {report.failure}")
     return 1

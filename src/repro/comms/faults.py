@@ -242,6 +242,19 @@ class FaultPlan:
             self, stalls=self.stalls + (StallSpec(rank, after_s, mode),)
         )
 
+    def without_ranks(self, ranks) -> "FaultPlan":
+        """A copy with the given ranks' stalls/crashes retired.
+
+        The recovery supervisor uses this between attempts: a fault that
+        already fired must not replay in the relaunched world (whose
+        model clocks restart at zero), and stalls addressed beyond a
+        shrunken world size could not be hosted at all.
+        """
+        drop = set(ranks)
+        return replace(
+            self, stalls=tuple(s for s in self.stalls if s.rank not in drop)
+        )
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

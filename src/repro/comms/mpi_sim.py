@@ -501,6 +501,19 @@ class SpmdOutcome:
     def survivors(self) -> list[int]:
         return [r for r in range(len(self.results)) if r not in self.failures]
 
+    def root_failure(self) -> RankFailure:
+        """The failure that started it: planned deaths outrank collateral
+        fallout (peers observing the death, broken barriers), earliest
+        model time breaks ties.  Raises ``ValueError`` when nothing
+        failed."""
+        if not self.failures:
+            raise ValueError("outcome has no failures")
+        ranked = sorted(
+            self.failures.values(),
+            key=lambda f: (f.mode == "collateral", f.model_time, f.rank),
+        )
+        return ranked[0]
+
 
 class SimMPI:
     """An MPI "world": create once, then :meth:`run` an SPMD function."""

@@ -21,7 +21,16 @@ from .interface import (
 )
 from .parallel_dslash import dslash_with_exchange
 from .quda import InvertResult, invert, invert_model, invert_multi
-from .solvers import bicgstab_solve, cg_solve, defect_correction_solve
+from .solvers import (
+    CheckpointStore,
+    RecoveryEvent,
+    RetryPolicy,
+    SolveCheckpoint,
+    SolverBreakdown,
+    bicgstab_solve,
+    cg_solve,
+    defect_correction_solve,
+)
 
 __all__ = [
     "blas",
@@ -42,4 +51,9 @@ __all__ = [
     "bicgstab_solve",
     "cg_solve",
     "defect_correction_solve",
+    "SolveCheckpoint",
+    "CheckpointStore",
+    "SolverBreakdown",
+    "RetryPolicy",
+    "RecoveryEvent",
 ]

@@ -211,6 +211,18 @@ class DeviceSchurOperator:
         if self.gpu.execute:
             self.gauge.set_ghost(ghost, mu=mu)
 
+    def release(self) -> None:
+        """Free this operator's device storage (gauge + clover).
+
+        Needed by the breakdown-escalation ladder: a precision escalation
+        builds a fresh sloppy operator, and device memory is the paper's
+        scarcest resource (Section VII-C) — the superseded one must give
+        its allocation back.
+        """
+        self.gauge.release()
+        self.clover_diag.release()
+        self.clover_other_inv.release()
+
     # ------------------------------------------------------------------ #
     # Field factory
     # ------------------------------------------------------------------ #

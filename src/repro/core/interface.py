@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..gpu.precision import Precision
+from .solvers.resilience import RetryPolicy
 
 __all__ = [
     "QudaGaugeParam",
@@ -94,6 +95,20 @@ class QudaInvertParam:
     #: QudaMatPCType): "even-even" (default) or "odd-odd".  Both give the
     #: same full solution.
     matpc: str = "even-even"
+    #: Rank-failure recovery budget.  ``None`` (the default) means
+    #: disabled — a planned fault raises the structured RankFailedError
+    #: exactly as before; pass ``RetryPolicy(max_attempts=k)`` to let the
+    #: solve relaunch and resume from its last checkpoint up to k times.
+    retry_policy: RetryPolicy | None = None
+    #: Maximum rungs of the breakdown-escalation ladder (restart from
+    #: checkpoint → BiCGstab→CG → sloppy precision up one notch) before a
+    #: SolverBreakdown propagates to the caller.
+    max_escalations: int = 3
+    #: Residual blow-up factor (vs |b|) declared as divergence.
+    divergence_factor: float = 1e5
+    #: Iterations without a 10% best-residual improvement declared as
+    #: stagnation.
+    stagnation_window: int = 1000
 
     def __post_init__(self) -> None:
         if self.matpc not in ("even-even", "odd-odd"):
@@ -108,6 +123,14 @@ class QudaInvertParam:
             raise ValueError("sloppy precision must not exceed full precision")
         if not 0 < self.delta <= 1:
             raise ValueError("delta must be in (0, 1]")
+        if self.retry_policy is None:
+            self.retry_policy = RetryPolicy()  # disabled: today's fail-fast
+        if self.max_escalations < 0:
+            raise ValueError("max_escalations must be >= 0")
+        if self.divergence_factor <= 1:
+            raise ValueError("divergence_factor must be > 1")
+        if self.stagnation_window < 1:
+            raise ValueError("stagnation_window must be >= 1")
 
     @property
     def mixed_precision(self) -> bool:
@@ -149,6 +172,21 @@ class SolveStats:
     total_flops: float
     reliable_updates: int = 0
     history: list[float] = field(default_factory=list, repr=False)
+    # --- recovery accounting (self-healing solves) --------------------- #
+    #: Worlds relaunched after a rank failure (0 for a healthy solve).
+    recoveries: int = 0
+    #: Breakdown-ladder rungs taken (restarts + solver switches +
+    #: precision escalations).
+    restarts: int = 0
+    #: Rungs that raised the sloppy precision a notch.
+    precision_escalations: int = 0
+    #: Rungs that switched BiCGstab → CG.
+    solver_switches: int = 0
+    #: Iterations of progress thrown away by restarts and resumes.
+    wasted_iterations: int = 0
+    #: Model time burned by failed attempts + retry backoff; included in
+    #: ``model_time`` so recovered solves report their honest cost.
+    lost_time: float = 0.0
 
     @property
     def sustained_gflops(self) -> float:

@@ -20,6 +20,16 @@ point used by the benchmark harness at paper-scale volumes: it takes just
 the lattice dimensions, runs the identical kernel/communication schedule
 for a fixed iteration count, and reports the same
 :class:`~repro.core.interface.SolveStats`.
+
+**Self-healing** (the resilience layer): every reliable-update refresh
+checkpoints the solve into a rank-collective
+:class:`~repro.core.solvers.checkpoint.CheckpointStore`; with a
+:class:`~repro.core.solvers.resilience.RetryPolicy` enabled on the invert
+params, a rank killed by a :class:`~repro.comms.faults.FaultPlan`
+triggers a bounded relaunch (optionally re-partitioned over the
+survivors) that resumes from the last checkpoint, and numerical
+breakdowns walk a deterministic escalation ladder (restart →
+BiCGstab→CG → sloppy precision up a notch) in lockstep on all ranks.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ import numpy as np
 
 from ..comms.cluster import ClusterSpec
 from ..comms.faults import FaultEvent, FaultPlan
-from ..comms.mpi_sim import Comm, CommStats, SimMPI
+from ..comms.mpi_sim import Comm, CommStats
 from ..comms.qmp import QMPMachine
 from ..gpu.device import VirtualGPU
 from ..gpu.precision import Precision
@@ -44,7 +54,14 @@ from .dslash import DeviceSchurOperator
 from .interface import QudaGaugeParam, QudaInvertParam, SolveStats
 from .solvers.bicgstab import bicgstab_solve
 from .solvers.cg import cg_solve
+from .solvers.checkpoint import CheckpointStore
 from .solvers.defect import defect_correction_solve
+from .solvers.resilience import (
+    EscalationLadder,
+    RecoveryEvent,
+    SolverBreakdown,
+    run_with_recovery,
+)
 from .solvers.stopping import LocalSolveInfo
 
 __all__ = ["InvertResult", "invert", "invert_multi", "invert_model"]
@@ -64,10 +81,21 @@ class InvertResult:
     #: "at least 8 GPUs" constraint comes from.
     peak_device_bytes: int = 0
     #: Fault schedule injected by the bound FaultPlan (chaos runs only;
-    #: empty for healthy runs).  Merged across ranks, stable order.
+    #: empty for healthy runs).  Merged across ranks and attempts, stable
+    #: order within each attempt.
     fault_events: list[FaultEvent] = field(default_factory=list)
-    #: Per-rank comm counters (sends/recvs/retries/injected delay).
+    #: Per-rank comm counters (sends/recvs/retries/injected delay) of the
+    #: final (successful) attempt.
     comm_stats: list[CommStats] = field(default_factory=list)
+    #: The recovery ledger: rank failures, relaunches, checkpoint
+    #: resumes, and breakdown-ladder rungs, in decision order.
+    #: Deterministic for a given fault-plan seed.
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
+
+    @property
+    def recoveries(self) -> int:
+        """Rank-failure relaunches survived (0 for a healthy solve)."""
+        return self.stats.recoveries
 
 
 def invert(
@@ -219,6 +247,127 @@ def invert_model(
 
 
 # ------------------------------------------------------------------------ #
+# Breakdown escalation (per source, inside the SPMD body)
+# ------------------------------------------------------------------------ #
+
+
+def _solve_with_escalation(
+    *,
+    inv: QudaInvertParam,
+    op_full: DeviceSchurOperator,
+    get_sloppy,
+    b_hat,
+    x_p,
+    source: int,
+    rank: int,
+    local: LatticeGeometry,
+    slab,
+    store: CheckpointStore,
+    execute: bool,
+    solver_kwargs: dict,
+) -> LocalSolveInfo:
+    """One source's solve, wrapped in the breakdown-escalation ladder.
+
+    Every :class:`SolverBreakdown` is raised identically on all ranks
+    (the guarded scalars are global reductions), so each rank walks the
+    ladder in lockstep with zero extra communication: restart from the
+    last checkpoint, then switch BiCGstab→CG, then raise the sloppy
+    precision a notch at a time.  A relaunched attempt lands here too —
+    ``store.latest`` then hands back the checkpointed configuration and
+    solution of the previous attempt.
+    """
+    ckpt = store.latest(source)
+    if ckpt is not None:
+        solver_name = ckpt.solver
+        sloppy_prec = Precision[ckpt.sloppy_precision]
+    else:
+        solver_name = inv.solver
+        sloppy_prec = inv.precision_sloppy
+    ladder = EscalationLadder(
+        solver=solver_name,
+        sloppy=sloppy_prec,
+        full=inv.precision,
+        max_steps=inv.max_escalations,
+    )
+    op_sloppy, owned = get_sloppy(sloppy_prec)
+    parity = inv.solve_parity
+
+    def on_refresh(*, iteration, rnorm, reliable_updates, history) -> None:
+        # Refresh-point checkpoint: embed this rank's parity solution
+        # into its full-lattice slab (off-parity zeros); the store
+        # commits globally once every rank has contributed.
+        x_slab = None
+        if execute:
+            xp = x_p.get()
+            zeros = np.zeros_like(xp)
+            x_slab = (
+                parity_to_full(local, xp, zeros)
+                if parity == EVEN
+                else parity_to_full(local, zeros, xp)
+            )
+        store.contribute(
+            source,
+            rank,
+            iteration=iteration,
+            rnorm=rnorm,
+            reliable_updates=reliable_updates,
+            history=history,
+            solver=solver_name,
+            sloppy_precision=sloppy_prec.name,
+            slab=x_slab,
+        )
+
+    try:
+        while True:
+            resume = store.latest(source)
+            if resume is not None:
+                if execute and resume.x_full is not None:
+                    x_p.set(full_to_parity(local, resume.x_full[slab], parity))
+                store.note_resume(source, resume.iteration)
+            solve = bicgstab_solve if solver_name == "bicgstab" else cg_solve
+            try:
+                return solve(
+                    op_full,
+                    op_sloppy,
+                    b_hat,
+                    x_p,
+                    resume=resume,
+                    on_refresh=on_refresh,
+                    divergence_factor=inv.divergence_factor,
+                    stagnation_window=inv.stagnation_window,
+                    **solver_kwargs,
+                )
+            except SolverBreakdown as bd:
+                step = ladder.next_step()
+                if step is None:
+                    raise
+                if rank == 0:  # one ledger entry; the decision is global
+                    ckpt_iter = resume.iteration if resume is not None else 0
+                    store.log_event(
+                        RecoveryEvent(
+                            step.kind,
+                            attempt=store.attempt,
+                            source=source,
+                            iteration=bd.iteration,
+                            wasted_iterations=max(0, bd.iteration - ckpt_iter),
+                            detail=(
+                                f"{bd.kind}; retry with {step.solver}/"
+                                f"{step.sloppy.name.lower()}"
+                            ),
+                        )
+                    )
+                solver_name = step.solver
+                if step.sloppy is not sloppy_prec:
+                    if owned:
+                        op_sloppy.release()
+                    sloppy_prec = step.sloppy
+                    op_sloppy, owned = get_sloppy(sloppy_prec)
+    finally:
+        if owned:  # escalated operator built for this source only
+            op_sloppy.release()
+
+
+# ------------------------------------------------------------------------ #
 # Shared SPMD driver
 # ------------------------------------------------------------------------ #
 
@@ -240,152 +389,208 @@ def _run(
     grid: tuple[int, int] | None = None,
     fault_plan: FaultPlan | None = None,
 ) -> list[InvertResult]:
-    if grid is not None:
-        ranks_z, ranks_t = grid
-        slicing = geometry.slice_grid(ranks_z, ranks_t)
-        n_gpus = slicing.n_ranks
-        qmp_grid = {2: ranks_z, 3: ranks_t}
-    else:
-        slicing = geometry.slice_time(n_gpus)
-        qmp_grid = None
     tune_cache: TuneCache | None = autotune(gpu_spec) if tune else None
+    n_sources = len(host_sources) if host_sources is not None else 1
+    store = CheckpointStore(n_sources)
 
-    def body(comm: Comm) -> dict:
-        rank = comm.rank
-        local = slicing.locals[rank]
-        gpu = VirtualGPU(
-            spec=gpu_spec,
-            params=cluster.params,
-            execute=execute,
-            numa_ok=cluster.numa_ok(rank),
-            enforce_memory=enforce_memory,
-            name=f"gpu{rank}",
-        )
-        comm.bind_timeline(gpu.timeline)
-        qmp = QMPMachine(comm, grid=qmp_grid)
-        # Global site indices of this rank's slab — built only in
-        # functional mode (index tables at paper scale are huge).
-        slab = slicing.local_sites(rank) if execute else None
-
-        def occupancies(precision: Precision) -> dict[str, float]:
-            if tune_cache is None:
-                return {}
-            return {"dslash": tune_cache.occupancy("dslash", precision)}
-
-        gauge_slab = host_gauge.data[:, slab] if host_gauge is not None else None
-        clover_slab = host_clover[slab] if host_clover is not None else None
-        op_full = DeviceSchurOperator.setup(
-            gpu,
-            qmp,
-            local,
-            gauge_slab,
-            clover_slab,
-            inv.mass,
-            precision=inv.precision,
-            compressed=gauge_param.reconstruct_12,
-            overlap=inv.overlap_comms,
-            pad=gauge_param.pad_spatial_volume,
-            occupancy=occupancies(inv.precision),
-            solve_parity=inv.solve_parity,
-        )
-        if inv.mixed_precision:
-            op_sloppy = DeviceSchurOperator.setup(
-                gpu,
-                qmp,
-                local,
-                gauge_slab,
-                clover_slab,
-                inv.mass,
-                precision=inv.precision_sloppy,
-                compressed=gauge_param.reconstruct_12,
-                overlap=inv.overlap_comms,
-                pad=gauge_param.pad_spatial_volume,
-                occupancy=occupancies(inv.precision_sloppy),
-                solve_parity=inv.solve_parity,
+    def make_body(slicing, qmp_grid):
+        def body(comm: Comm) -> dict:
+            rank = comm.rank
+            local = slicing.locals[rank]
+            gpu = VirtualGPU(
+                spec=gpu_spec,
+                params=cluster.params,
+                execute=execute,
+                numa_ok=cluster.numa_ok(rank),
+                enforce_memory=enforce_memory,
+                name=f"gpu{rank}",
             )
-        else:
-            op_sloppy = op_full  # no duplicate storage in uniform precision
+            comm.bind_timeline(gpu.timeline)
+            qmp = QMPMachine(comm, grid=qmp_grid)
+            # Global site indices of this rank's slab — built only in
+            # functional mode (index tables at paper scale are huge).
+            slab = slicing.local_sites(rank) if execute else None
 
-        # ---- one solve per right-hand side, amortizing the setup -------- #
-        # This is the production pattern the paper's conclusion stresses:
-        # "The calculations involve 32768 calls to the solver for each
-        # configuration" — gauge/clover upload, ghost exchange, and
-        # autotuning happen once, the solver loop many times.
-        per_source = []
-        n_sources = len(host_sources) if host_sources is not None else 1
-        for s in range(n_sources):
-            parity = inv.solve_parity
-            b_p = op_full.make_spinor("b_p")
-            b_q = op_full.make_spinor("b_q")
-            gpu.memcpy("source_h2d", "h2d", b_p.nbytes + b_q.nbytes)
-            if execute:
-                src_slab = host_sources[s].data[slab]
-                b_p.set(full_to_parity(local, src_slab, parity))
-                b_q.set(full_to_parity(local, src_slab, 1 - parity))
-            scratch = op_full.make_spinor("scratch")
-            b_hat = op_full.make_spinor("b_hat")
-            op_full.prepare_source(b_p, b_q, scratch, b_hat)
-            # Device memory is the scarce resource (Section VII-C):
-            # release what the solve does not need; b_q stays for the
-            # reconstruction.
-            b_p.release()
-            scratch.release()
+            def occupancies(precision: Precision) -> dict[str, float]:
+                if tune_cache is None:
+                    return {}
+                return {"dslash": tune_cache.occupancy("dslash", precision)}
 
-            x_p = op_full.make_spinor("x_p")
-            solver_kwargs = dict(
-                tol=inv.tol,
-                delta=inv.delta,
-                maxiter=inv.maxiter,
-                fixed_iterations=inv.fixed_iterations,
+            gauge_slab = host_gauge.data[:, slab] if host_gauge is not None else None
+            clover_slab = host_clover[slab] if host_clover is not None else None
+
+            def setup_operator(precision: Precision) -> DeviceSchurOperator:
+                return DeviceSchurOperator.setup(
+                    gpu,
+                    qmp,
+                    local,
+                    gauge_slab,
+                    clover_slab,
+                    inv.mass,
+                    precision=precision,
+                    compressed=gauge_param.reconstruct_12,
+                    overlap=inv.overlap_comms,
+                    pad=gauge_param.pad_spatial_volume,
+                    occupancy=occupancies(precision),
+                    solve_parity=inv.solve_parity,
+                )
+
+            op_full = setup_operator(inv.precision)
+            op_sloppy = (
+                setup_operator(inv.precision_sloppy)
+                if inv.mixed_precision
+                else op_full  # no duplicate storage in uniform precision
             )
-            if inv.use_defect_correction:
-                info = defect_correction_solve(
-                    op_full, op_sloppy, b_hat, x_p, tol=inv.tol,
+
+            def get_sloppy(precision: Precision):
+                """(operator, owned) at a precision the escalation ladder
+                asked for; existing operators are reused unowned, and the
+                ghost exchange of a fresh build matches on all ranks
+                because ladder decisions are lockstep."""
+                if precision is inv.precision:
+                    return op_full, False
+                if precision is inv.precision_sloppy:
+                    return op_sloppy, False
+                return setup_operator(precision), True
+
+            # ---- one solve per right-hand side, amortizing the setup ---- #
+            # This is the production pattern the paper's conclusion
+            # stresses: "The calculations involve 32768 calls to the
+            # solver for each configuration" — gauge/clover upload, ghost
+            # exchange, and autotuning happen once, the solver loop many
+            # times.
+            per_source = []
+            for s in range(n_sources):
+                done = store.completed(s)
+                if done is not None:
+                    # Solved by a previous attempt: reuse the committed
+                    # global solution instead of burning iterations.
+                    x_global, done_info = done
+                    per_source.append(
+                        {
+                            "info": done_info,
+                            "solution": (
+                                x_global[slab]
+                                if execute and x_global is not None
+                                else None
+                            ),
+                        }
+                    )
+                    continue
+                parity = inv.solve_parity
+                b_p = op_full.make_spinor("b_p")
+                b_q = op_full.make_spinor("b_q")
+                gpu.memcpy("source_h2d", "h2d", b_p.nbytes + b_q.nbytes)
+                if execute:
+                    src_slab = host_sources[s].data[slab]
+                    b_p.set(full_to_parity(local, src_slab, parity))
+                    b_q.set(full_to_parity(local, src_slab, 1 - parity))
+                scratch = op_full.make_spinor("scratch")
+                b_hat = op_full.make_spinor("b_hat")
+                op_full.prepare_source(b_p, b_q, scratch, b_hat)
+                # Device memory is the scarce resource (Section VII-C):
+                # release what the solve does not need; b_q stays for the
+                # reconstruction.
+                b_p.release()
+                scratch.release()
+
+                x_p = op_full.make_spinor("x_p")
+                solver_kwargs = dict(
+                    tol=inv.tol,
+                    delta=inv.delta,
                     maxiter=inv.maxiter,
+                    fixed_iterations=inv.fixed_iterations,
                 )
-            elif inv.solver == "bicgstab":
-                info = bicgstab_solve(op_full, op_sloppy, b_hat, x_p, **solver_kwargs)
-            else:
-                info = cg_solve(op_full, op_sloppy, b_hat, x_p, **solver_kwargs)
+                if inv.use_defect_correction:
+                    # The defect-correction baseline keeps its own restart
+                    # machinery; recovery still works via from-scratch
+                    # relaunch (no mid-solve checkpoints).
+                    info = defect_correction_solve(
+                        op_full, op_sloppy, b_hat, x_p, tol=inv.tol,
+                        maxiter=inv.maxiter,
+                    )
+                else:
+                    info = _solve_with_escalation(
+                        inv=inv,
+                        op_full=op_full,
+                        get_sloppy=get_sloppy,
+                        b_hat=b_hat,
+                        x_p=x_p,
+                        source=s,
+                        rank=rank,
+                        local=local,
+                        slab=slab,
+                        store=store,
+                        execute=execute,
+                        solver_kwargs=solver_kwargs,
+                    )
 
-            # Reconstruction and download.
-            scratch = op_full.make_spinor("scratch2")
-            x_q = op_full.make_spinor("x_q")
-            op_full.reconstruct(x_p, b_q, scratch, x_q)
-            gpu.memcpy("solution_d2h", "d2h", x_p.nbytes + x_q.nbytes)
-            solution_slab = None
-            if execute:
-                even_cb, odd_cb = (
-                    (x_p.get(), x_q.get()) if parity == EVEN
-                    else (x_q.get(), x_p.get())
-                )
-                solution_slab = parity_to_full(local, even_cb, odd_cb)
-            per_source.append({"info": info, "solution": solution_slab})
-            for f in (b_q, b_hat, x_p, scratch, x_q):
-                f.release()
-        return {
-            "solves": per_source,
-            "peak_bytes": gpu.allocator.peak_bytes,
-        }
+                # Reconstruction and download.
+                scratch = op_full.make_spinor("scratch2")
+                x_q = op_full.make_spinor("x_q")
+                op_full.reconstruct(x_p, b_q, scratch, x_q)
+                gpu.memcpy("solution_d2h", "d2h", x_p.nbytes + x_q.nbytes)
+                solution_slab = None
+                if execute:
+                    even_cb, odd_cb = (
+                        (x_p.get(), x_q.get()) if parity == EVEN
+                        else (x_q.get(), x_p.get())
+                    )
+                    solution_slab = parity_to_full(local, even_cb, odd_cb)
+                per_source.append({"info": info, "solution": solution_slab})
+                store.record_result(s, rank, slab=solution_slab, info=info)
+                for f in (b_q, b_hat, x_p, scratch, x_q):
+                    f.release()
+            return {
+                "solves": per_source,
+                "peak_bytes": gpu.allocator.peak_bytes,
+            }
 
-    world = SimMPI(n_gpus, cluster, fault_plan)
-    outcomes = world.run(body)
+        return body
+
+    out = run_with_recovery(
+        geometry=geometry,
+        n_gpus=n_gpus,
+        grid=grid,
+        cluster=cluster,
+        fault_plan=fault_plan,
+        policy=inv.retry_policy,
+        store=store,
+        make_body=make_body,
+    )
+    slicing = out.slicing
+    outcomes = out.results
     peak = max(o["peak_bytes"] for o in outcomes)
-    fault_events = world.fault_events()
-    comm_stats = world.comm_stats()
+    events = store.events()
 
     results = []
-    n_sources = len(host_sources) if host_sources is not None else 1
     for s in range(n_sources):
         infos = [o["solves"][s]["info"] for o in outcomes]
+        # Global events (relaunches, rank failures: source == -1) count
+        # against every source; ladder/resume events are source-scoped.
+        src_events = [e for e in events if e.source in (-1, s)]
         stats = SolveStats(
             iterations=infos[0].iterations,
             residual_norm=infos[0].residual_norm,
             converged=infos[0].converged,
-            model_time=max(i.seconds for i in infos),
+            model_time=max(i.seconds for i in infos) + out.lost_time_s,
             total_flops=sum(i.flops for i in infos),
             reliable_updates=infos[0].reliable_updates,
             history=infos[0].history,
+            recoveries=sum(1 for e in src_events if e.kind == "relaunch"),
+            restarts=sum(
+                1
+                for e in src_events
+                if e.kind in ("restart", "solver_switch", "precision_escalation")
+            ),
+            precision_escalations=sum(
+                1 for e in src_events if e.kind == "precision_escalation"
+            ),
+            solver_switches=sum(
+                1 for e in src_events if e.kind == "solver_switch"
+            ),
+            wasted_iterations=sum(e.wasted_iterations for e in src_events),
+            lost_time=out.lost_time_s,
         )
         solution = None
         if execute:
@@ -397,8 +602,9 @@ def _run(
                 stats=stats,
                 per_rank=infos,
                 peak_device_bytes=peak,
-                fault_events=fault_events,
-                comm_stats=comm_stats,
+                fault_events=out.fault_events,
+                comm_stats=out.comm_stats,
+                recovery_events=src_events,
             )
         )
     return results

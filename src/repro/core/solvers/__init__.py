@@ -1,10 +1,22 @@
 """Device Krylov solvers: reliably-updated BiCGstab and CGNR, plus the
-defect-correction baseline the paper compares against (Section V-D)."""
+defect-correction baseline the paper compares against (Section V-D), and
+the self-healing layer (refresh-point checkpoints, breakdown escalation,
+rank-failure recovery)."""
 
 from .bicgstab import bicgstab_solve
 from .cg import cg_solve
+from .checkpoint import CheckpointStore, SolveCheckpoint
 from .defect import defect_correction_solve
 from .reliable import ReliableUpdater
+from .resilience import (
+    EscalationLadder,
+    EscalationStep,
+    RecoveryEvent,
+    RetryPolicy,
+    SolverBreakdown,
+    ensure_finite,
+    run_with_recovery,
+)
 from .stopping import ConvergenceState, LocalSolveInfo
 
 __all__ = [
@@ -14,4 +26,13 @@ __all__ = [
     "ReliableUpdater",
     "ConvergenceState",
     "LocalSolveInfo",
+    "SolveCheckpoint",
+    "CheckpointStore",
+    "SolverBreakdown",
+    "RetryPolicy",
+    "RecoveryEvent",
+    "EscalationLadder",
+    "EscalationStep",
+    "ensure_finite",
+    "run_with_recovery",
 ]

@@ -24,6 +24,24 @@ only 10-20% less than the bare matrix-vector product.
 This is what lets uniform single precision solve the 32^3 x 256 problem
 on four 2 GiB cards while mixed single-half needs eight (Section VII-C).
 
+**Breakdown detection.**  Every scalar that steers the recurrence is the
+result of a global reduction, so every rank computes the identical value
+— and every rank therefore raises the identical structured
+:class:`~repro.core.solvers.resilience.SolverBreakdown` when a scalar
+goes NaN/Inf (half-precision overflow), a pivot vanishes (ρ, <r0,v>,
+|t|², ω), the residual diverges, or progress stagnates.  All guards run
+*before* the iterate update that would fold the scalar into ``x``, so a
+breakdown never poisons the solution.
+
+**Checkpoint/resume.**  At every reliable update the true residual is in
+hand and the full-precision solution is consistent; the optional
+``on_refresh`` callback snapshots exactly that state.  Passing a
+:class:`~repro.core.solvers.checkpoint.SolveCheckpoint` as ``resume``
+(with ``x_out`` pre-restored by the caller) recomputes the true residual
+and continues the iteration count from the snapshot — the Krylov space
+restarts, but from a solution of checkpoint quality, which is the same
+thing a reliable update's refresh does.
+
 **Timing-only mode** (``fixed_iterations``): with no field data there is
 no convergence test; the loop runs a fixed number of iterations with unit
 scalars, issuing exactly the same kernel/communication schedule, plus one
@@ -33,10 +51,15 @@ runs pay their full-precision refresh costs.
 
 from __future__ import annotations
 
+import math
+from typing import Callable
+
 from ...gpu.fields import DeviceSpinorField
 from .. import blas
 from ..dslash import DeviceSchurOperator
+from .checkpoint import SolveCheckpoint
 from .reliable import ReliableUpdater
+from .resilience import SolverBreakdown, ensure_finite
 from .stopping import ConvergenceState, LocalSolveInfo
 
 __all__ = ["bicgstab_solve"]
@@ -53,13 +76,18 @@ def bicgstab_solve(
     maxiter: int,
     fixed_iterations: int = 50,
     update_cadence: int = 25,
+    resume: SolveCheckpoint | None = None,
+    on_refresh: Callable[..., None] | None = None,
+    divergence_factor: float = 1e5,
+    stagnation_window: int = 1000,
 ) -> LocalSolveInfo:
     """Solve ``Mhat x = b``; ``b`` and ``x_out`` are full-precision fields.
 
     Returns this rank's :class:`LocalSolveInfo` (identical scalars on all
-    ranks).  Raises nothing on non-convergence — the caller inspects
+    ranks).  Plain non-convergence raises nothing — the caller inspects
     ``converged`` (matching QUDA's C-interface behaviour of reporting the
-    achieved residual).
+    achieved residual); numerical pathologies raise a structured
+    :class:`SolverBreakdown` before they can touch ``x``.
     """
     gpu = op_full.gpu
     qmp = op_full.qmp
@@ -108,76 +136,173 @@ def bicgstab_solve(
         delta=delta,
         aliased=uniform,
     )
-    rnorm = updater.initialize()
-    conv = ConvergenceState(b_norm=rnorm, tol=tol)  # x0 = 0 => |r| = |b|
-    history = [rnorm]
+    if resume is not None:
+        # x_out was pre-restored from the checkpoint by the caller; the
+        # resumed true residual is recomputed at full precision.
+        updater.updates = resume.reliable_updates
+        rnorm = updater.initialize(resume=True)
+        history = [*resume.history, rnorm]
+        iters = resume.iteration
+    else:
+        rnorm = updater.initialize()
+        history = [rnorm]
+        iters = 0
+    b_norm = history[0]  # |b| survives resume chains via the history
+    conv = ConvergenceState(b_norm=b_norm, tol=tol)
 
-    if not uniform:
-        blas.copy(gpu, r_full, r)  # precision conversion
-        blas.zero(sgpu, x_s)
-    blas.copy(sgpu, r, r0)
-    blas.zero(sgpu, p)
-    blas.zero(sgpu, v)
+    try:
+        if execute and not math.isfinite(rnorm):
+            raise SolverBreakdown(
+                "non_finite", iteration=iters, rnorm=rnorm,
+                detail="|r| at initialization",
+            )
 
-    rho = alpha = omega = 1.0 + 0.0j
-    converged = False
-    iters = 0
-    limit = maxiter if execute else fixed_iterations
+        if not uniform:
+            blas.copy(gpu, r_full, r)  # precision conversion
+            blas.zero(sgpu, x_s)
+        blas.copy(sgpu, r, r0)
+        blas.zero(sgpu, p)
+        blas.zero(sgpu, v)
 
-    while iters < limit:
-        iters += 1
-        rho_new = blas.cdot(sgpu, r0, r, qmp)
-        if execute:
-            if rho_new == 0:  # serious breakdown: restart the shadow vector
-                blas.copy(sgpu, r, r0)
-                rho_new = blas.cdot(sgpu, r0, r, qmp)
-            beta = (rho_new / rho) * (alpha / omega)
-        else:
-            beta = 1.0
-        blas.update_p(sgpu, r, p, v, beta, omega)
-        op_sloppy.apply(p, tmp, v)
-        r0v = blas.cdot(sgpu, r0, v, qmp)
-        alpha = rho_new / r0v if execute else 1.0
-        # r <- s = r - alpha v, fused with |s|^2.
-        s2 = blas.axpy_norm(sgpu, -alpha, v, r, qmp)
-        if execute and s2**0.5 <= conv.target:
-            # Early exit on s: x += alpha p, then verify in full precision.
-            blas.axpy(sgpu, alpha, p, x_s)
+        rho = alpha = omega = 1.0 + 0.0j
+        # A zero source (or a checkpoint taken at the brink of
+        # convergence) is already converged — entering the loop would
+        # manufacture a rho breakdown out of a solved system.
+        converged = execute and conv.converged(rnorm)
+        iters_limit = maxiter if execute else fixed_iterations
+        best_rnorm = rnorm
+        since_improvement = 0
+
+        def checkpoint() -> None:
+            if on_refresh is not None:
+                on_refresh(
+                    iteration=iters,
+                    rnorm=rnorm,
+                    reliable_updates=updater.updates,
+                    history=list(history),
+                )
+
+        def reliable_refresh() -> None:
+            nonlocal rnorm
             rnorm = updater.refresh(x_s, r)
+            if execute and not math.isfinite(rnorm):
+                # Never checkpoint a poisoned solution.
+                raise SolverBreakdown(
+                    "non_finite", iteration=iters, rnorm=rnorm,
+                    detail="true residual after reliable update",
+                )
             history.append(rnorm)
-            if conv.converged(rnorm):
-                converged = True
-                break
-            continue
-        op_sloppy.apply(r, tmp, t)
-        ts, t2 = blas.cdot_norm(sgpu, t, r, qmp)
-        omega = ts / t2 if execute else 1.0
-        blas.caxpy_pair(sgpu, alpha, p, omega, r, x_s)
-        r2 = blas.axpy_norm(sgpu, -omega, t, r, qmp)
-        rho = rho_new
-        rnorm = r2**0.5 if execute else rnorm
-        history.append(rnorm)
+            checkpoint()
 
-        if execute:
-            apparent_convergence = conv.converged(rnorm)
-            if apparent_convergence or updater.should_update(rnorm):
-                rnorm = updater.refresh(x_s, r)
-                history.append(rnorm)
+        while iters < iters_limit and not converged:
+            iters += 1
+            rho_new = blas.cdot(sgpu, r0, r, qmp)
+            if execute:
+                ensure_finite("rho", rho_new, iteration=iters, rnorm=rnorm)
+                if rho_new == 0:  # serious breakdown: restart the shadow vector
+                    blas.copy(sgpu, r, r0)
+                    rho_new = blas.cdot(sgpu, r0, r, qmp)
+                    if rho_new == 0:
+                        raise SolverBreakdown(
+                            "rho_breakdown", iteration=iters, rnorm=rnorm,
+                            detail="<r0, r> = 0 after shadow-residual restart",
+                        )
+                    ensure_finite("rho", rho_new, iteration=iters, rnorm=rnorm)
+                beta = (rho_new / rho) * (alpha / omega)
+                ensure_finite("beta", beta, iteration=iters, rnorm=rnorm)
+            else:
+                beta = 1.0
+            blas.update_p(sgpu, r, p, v, beta, omega)
+            op_sloppy.apply(p, tmp, v)
+            r0v = blas.cdot(sgpu, r0, v, qmp)
+            if execute:
+                ensure_finite("<r0, v>", r0v, iteration=iters, rnorm=rnorm)
+                if r0v == 0:
+                    raise SolverBreakdown(
+                        "pivot_breakdown", iteration=iters, rnorm=rnorm,
+                        detail="<r0, v> = 0",
+                    )
+                alpha = rho_new / r0v
+                ensure_finite("alpha", alpha, iteration=iters, rnorm=rnorm)
+            else:
+                alpha = 1.0
+            # r <- s = r - alpha v, fused with |s|^2.
+            s2 = blas.axpy_norm(sgpu, -alpha, v, r, qmp)
+            if execute:
+                ensure_finite("|s|^2", s2, iteration=iters, rnorm=rnorm)
+            if execute and s2**0.5 <= conv.target:
+                # Early exit on s: x += alpha p, then verify in full precision.
+                blas.axpy(sgpu, alpha, p, x_s)
+                reliable_refresh()
                 if conv.converged(rnorm):
                     converged = True
                     break
-        elif iters % update_cadence == 0:
-            # Timing-only: pay the reliable-update cost on a cadence.
-            updater.refresh(x_s, r)
+                continue
+            op_sloppy.apply(r, tmp, t)
+            ts, t2 = blas.cdot_norm(sgpu, t, r, qmp)
+            if execute:
+                ensure_finite("<t, s>", ts, iteration=iters, rnorm=rnorm)
+                ensure_finite("|t|^2", t2, iteration=iters, rnorm=rnorm)
+                if t2 == 0:
+                    raise SolverBreakdown(
+                        "omega_breakdown", iteration=iters, rnorm=rnorm,
+                        detail="|t|^2 = 0",
+                    )
+                omega = ts / t2
+                ensure_finite("omega", omega, iteration=iters, rnorm=rnorm)
+                if omega == 0:
+                    raise SolverBreakdown(
+                        "omega_breakdown", iteration=iters, rnorm=rnorm,
+                        detail="omega = 0 stalls the recurrence",
+                    )
+            else:
+                omega = 1.0
+            blas.caxpy_pair(sgpu, alpha, p, omega, r, x_s)
+            r2 = blas.axpy_norm(sgpu, -omega, t, r, qmp)
+            rho = rho_new
+            if execute:
+                ensure_finite("|r|^2", r2, iteration=iters, rnorm=rnorm)
+                rnorm = r2**0.5
+            history.append(rnorm)
 
-    if execute and not converged:
-        # Fold any outstanding delta into the answer before reporting.
-        rnorm = updater.refresh(x_s, r)
-        converged = conv.converged(rnorm)
+            if execute:
+                if b_norm > 0 and rnorm > divergence_factor * b_norm:
+                    raise SolverBreakdown(
+                        "divergence", iteration=iters, rnorm=rnorm,
+                        detail=f"|r| exceeded {divergence_factor:g} x |b|",
+                    )
+                if rnorm < 0.9 * best_rnorm:
+                    best_rnorm = rnorm
+                    since_improvement = 0
+                else:
+                    since_improvement += 1
+                    if since_improvement >= stagnation_window:
+                        raise SolverBreakdown(
+                            "stagnation", iteration=iters, rnorm=rnorm,
+                            detail=(
+                                f"no residual progress in "
+                                f"{stagnation_window} iterations"
+                            ),
+                        )
+                apparent_convergence = conv.converged(rnorm)
+                if apparent_convergence or updater.should_update(rnorm):
+                    reliable_refresh()
+                    if conv.converged(rnorm):
+                        converged = True
+                        break
+            elif iters % update_cadence == 0:
+                # Timing-only: pay the reliable-update cost on a cadence.
+                updater.refresh(x_s, r)
+                checkpoint()
 
-    gpu.device_synchronize()
-    for f in work:  # free solver temporaries (QUDA does the same)
-        f.release()
+        if execute and not converged:
+            # Fold any outstanding delta into the answer before reporting.
+            reliable_refresh()
+            converged = conv.converged(rnorm)
+    finally:
+        gpu.device_synchronize()
+        for f in work:  # free solver temporaries (QUDA does the same)
+            f.release()
     return LocalSolveInfo(
         iterations=iters,
         residual_norm=rnorm,

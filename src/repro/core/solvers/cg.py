@@ -10,15 +10,27 @@ QUDA ships both; this is the CG variant, solving
 with the same reliable-update machinery as the BiCGstab solver.  Each
 iteration costs *two* matrix applications (Mhat then Mhat^dag) plus 3
 fused BLAS kernels (2 reductions), so on well-conditioned systems
-BiCGstab wins — the reason it is the production choice.
+BiCGstab wins — the reason it is the production choice.  Its guaranteed
+descent on the normal equations is exactly why the breakdown-escalation
+ladder falls back to it when BiCGstab's biorthogonal recurrence breaks.
+
+Breakdown guards, checkpointing (``on_refresh``) and resume follow the
+same contract as :func:`~repro.core.solvers.bicgstab.bicgstab_solve`:
+every guarded scalar is a global reduction, every guard precedes the
+iterate update, and a checkpoint is taken at every reliable update.
 """
 
 from __future__ import annotations
 
+import math
+from typing import Callable
+
 from ...gpu.fields import DeviceSpinorField
 from .. import blas
 from ..dslash import DeviceSchurOperator
+from .checkpoint import SolveCheckpoint
 from .reliable import ReliableUpdater
+from .resilience import SolverBreakdown, ensure_finite
 from .stopping import ConvergenceState, LocalSolveInfo
 
 __all__ = ["cg_solve"]
@@ -41,6 +53,10 @@ def cg_solve(
     maxiter: int,
     fixed_iterations: int = 50,
     update_cadence: int = 25,
+    resume: SolveCheckpoint | None = None,
+    on_refresh: Callable[..., None] | None = None,
+    divergence_factor: float = 1e5,
+    stagnation_window: int = 1000,
 ) -> LocalSolveInfo:
     """Solve ``Mhat x = b`` via CGNR with reliable updates.
 
@@ -101,52 +117,122 @@ def cg_solve(
         aliased=uniform,
         dagger_pair=True,
     )
-    rnorm = updater.initialize()
-    conv = ConvergenceState(b_norm=rnorm, tol=tol)
-    history = [rnorm]
+    if resume is not None:
+        # x_out was pre-restored from the checkpoint by the caller.
+        updater.updates = resume.reliable_updates
+        rnorm = updater.initialize(resume=True)
+        history = [*resume.history, rnorm]
+        iters = resume.iteration
+    else:
+        rnorm = updater.initialize()
+        history = [rnorm]
+        iters = 0
+    b_norm = history[0]  # |Mhat^dag b| survives resume chains
+    conv = ConvergenceState(b_norm=b_norm, tol=tol)
 
-    if not uniform:
-        blas.copy(gpu, r_full, r)
-        blas.zero(sgpu, x_s)
-    blas.copy(sgpu, r, p)
-    rr = rnorm**2
+    try:
+        if execute and not math.isfinite(rnorm):
+            raise SolverBreakdown(
+                "non_finite", iteration=iters, rnorm=rnorm,
+                detail="|r| at initialization",
+            )
 
-    converged = False
-    iters = 0
-    limit = maxiter if execute else fixed_iterations
+        if not uniform:
+            blas.copy(gpu, r_full, r)
+            blas.zero(sgpu, x_s)
+        blas.copy(sgpu, r, p)
+        rr = rnorm**2
 
-    while iters < limit:
-        iters += 1
-        _apply_normal(op_sloppy, p, tmp, mid, q)
-        pq = blas.redot(sgpu, p, q, qmp)
-        alpha = rr / pq if execute else 1.0
-        blas.axpy(sgpu, alpha, p, x_s)
-        rr_new = blas.axpy_norm(sgpu, -alpha, q, r, qmp)
-        beta = rr_new / rr if execute else 1.0
-        blas.xpay(sgpu, r, beta, p)
-        rr = rr_new if execute else rr
-        rnorm = rr**0.5
-        history.append(rnorm)
+        converged = execute and conv.converged(rnorm)
+        iters_limit = maxiter if execute else fixed_iterations
+        best_rnorm = rnorm
+        since_improvement = 0
 
-        if execute:
-            if conv.converged(rnorm) or updater.should_update(rnorm):
-                rnorm = updater.refresh(x_s, r)
-                history.append(rnorm)
-                if conv.converged(rnorm):
-                    converged = True
-                    break
-                rr = rnorm**2
-                # p continues from the refreshed residual direction mix.
-        elif iters % update_cadence == 0:
-            updater.refresh(x_s, r)
+        def checkpoint() -> None:
+            if on_refresh is not None:
+                on_refresh(
+                    iteration=iters,
+                    rnorm=rnorm,
+                    reliable_updates=updater.updates,
+                    history=list(history),
+                )
 
-    if execute and not converged:
-        rnorm = updater.refresh(x_s, r)
-        converged = conv.converged(rnorm)
+        def reliable_refresh() -> None:
+            nonlocal rnorm
+            rnorm = updater.refresh(x_s, r)
+            if execute and not math.isfinite(rnorm):
+                raise SolverBreakdown(
+                    "non_finite", iteration=iters, rnorm=rnorm,
+                    detail="true residual after reliable update",
+                )
+            history.append(rnorm)
+            checkpoint()
 
-    gpu.device_synchronize()
-    for f in work:  # free solver temporaries (QUDA does the same)
-        f.release()
+        while iters < iters_limit and not converged:
+            iters += 1
+            _apply_normal(op_sloppy, p, tmp, mid, q)
+            pq = blas.redot(sgpu, p, q, qmp)
+            if execute:
+                ensure_finite("<p, q>", pq, iteration=iters, rnorm=rnorm)
+                if pq == 0:
+                    raise SolverBreakdown(
+                        "pivot_breakdown", iteration=iters, rnorm=rnorm,
+                        detail="<p, Ap> = 0",
+                    )
+                alpha = rr / pq
+                ensure_finite("alpha", alpha, iteration=iters, rnorm=rnorm)
+            else:
+                alpha = 1.0
+            blas.axpy(sgpu, alpha, p, x_s)
+            rr_new = blas.axpy_norm(sgpu, -alpha, q, r, qmp)
+            if execute:
+                ensure_finite("|r|^2", rr_new, iteration=iters, rnorm=rnorm)
+                beta = rr_new / rr
+                ensure_finite("beta", beta, iteration=iters, rnorm=rnorm)
+            else:
+                beta = 1.0
+            blas.xpay(sgpu, r, beta, p)
+            rr = rr_new if execute else rr
+            rnorm = rr**0.5
+            history.append(rnorm)
+
+            if execute:
+                if b_norm > 0 and rnorm > divergence_factor * b_norm:
+                    raise SolverBreakdown(
+                        "divergence", iteration=iters, rnorm=rnorm,
+                        detail=f"|r| exceeded {divergence_factor:g} x |b'|",
+                    )
+                if rnorm < 0.9 * best_rnorm:
+                    best_rnorm = rnorm
+                    since_improvement = 0
+                else:
+                    since_improvement += 1
+                    if since_improvement >= stagnation_window:
+                        raise SolverBreakdown(
+                            "stagnation", iteration=iters, rnorm=rnorm,
+                            detail=(
+                                f"no residual progress in "
+                                f"{stagnation_window} iterations"
+                            ),
+                        )
+                if conv.converged(rnorm) or updater.should_update(rnorm):
+                    reliable_refresh()
+                    if conv.converged(rnorm):
+                        converged = True
+                        break
+                    rr = rnorm**2
+                    # p continues from the refreshed residual direction mix.
+            elif iters % update_cadence == 0:
+                updater.refresh(x_s, r)
+                checkpoint()
+
+        if execute and not converged:
+            reliable_refresh()
+            converged = conv.converged(rnorm)
+    finally:
+        gpu.device_synchronize()
+        for f in work:  # free solver temporaries (QUDA does the same)
+            f.release()
     return LocalSolveInfo(
         iterations=iters,
         residual_norm=rnorm,

@@ -1,0 +1,276 @@
+"""Solve checkpoints at reliable-update refresh points.
+
+The reliable-update scheme (paper Section V-D) recomputes the *true*
+full-precision residual ``r = b - A y`` every time the sloppy residual
+has dropped by the δ factor.  At that instant the high-precision solution
+``y`` is globally consistent and its quality is *known* — which makes the
+refresh the natural (and free) place to checkpoint: no extra reductions,
+no extra matrix applications, just a device→host download of ``y``.
+
+:class:`SolveCheckpoint` is the serializable snapshot — enough state to
+resume the Krylov solve (solution, iteration count, residual history,
+solver identity, sloppy precision).  Serialization is hand-rolled
+(length-prefixed JSON header + the raw ``.npy`` stream of the solution)
+so the bytes are a pure function of the state — no zip timestamps, no
+pickle — and two same-seed runs produce byte-identical checkpoints.
+
+:class:`CheckpointStore` is the rank-collective side: every rank
+contributes its slab at a refresh; when all ranks of the current attempt
+have contributed at the same iteration the store commits a *global*
+checkpoint.  The store outlives the SPMD world, so a relaunched world —
+possibly re-partitioned over fewer ranks — restores from the last commit
+regardless of the old rank layout.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .resilience import RecoveryEvent
+
+__all__ = ["SolveCheckpoint", "CheckpointStore"]
+
+_MAGIC = b"RPCK\x01"
+
+
+@dataclass
+class SolveCheckpoint:
+    """One committed recovery point of a Krylov solve.
+
+    ``x_full`` is the *global* full-lattice solution ``(V, 4, 3)`` with
+    zeros on the off-solve parity (the preconditioned solver only evolves
+    one checkerboard; the other is reconstructed after convergence).
+    ``None`` in timing-only mode, where there is no field data — resuming
+    then just restores the iteration bookkeeping.
+    """
+
+    iteration: int
+    rnorm: float
+    reliable_updates: int
+    history: list[float] = field(default_factory=list)
+    solver: str = "bicgstab"
+    sloppy_precision: str = "SINGLE"
+    x_full: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Deterministic serialization
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """Serialize to deterministic bytes (same state → same bytes)."""
+        header = {
+            "iteration": self.iteration,
+            "rnorm": self.rnorm,
+            "reliable_updates": self.reliable_updates,
+            "history": list(self.history),
+            "solver": self.solver,
+            "sloppy_precision": self.sloppy_precision,
+            "has_x": self.x_full is not None,
+        }
+        blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        out = io.BytesIO()
+        out.write(_MAGIC)
+        out.write(struct.pack("<I", len(blob)))
+        out.write(blob)
+        if self.x_full is not None:
+            np.lib.format.write_array(
+                out, np.ascontiguousarray(self.x_full), version=(1, 0)
+            )
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SolveCheckpoint":
+        buf = io.BytesIO(data)
+        magic = buf.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError("not a SolveCheckpoint stream")
+        (hlen,) = struct.unpack("<I", buf.read(4))
+        header = json.loads(buf.read(hlen).decode())
+        x_full = np.lib.format.read_array(buf) if header["has_x"] else None
+        return cls(
+            iteration=header["iteration"],
+            rnorm=header["rnorm"],
+            reliable_updates=header["reliable_updates"],
+            history=list(header["history"]),
+            solver=header["solver"],
+            sloppy_precision=header["sloppy_precision"],
+            x_full=x_full,
+        )
+
+
+class CheckpointStore:
+    """Rank-collective checkpoint/result store shared across attempts.
+
+    One instance per :func:`~repro.core.invert_multi` call.  The SPMD
+    body threads of the *current* attempt contribute slabs; the recovery
+    supervisor rebinds the store to each attempt's slicing (clearing any
+    half-contributed pieces a dead attempt left behind — a commit
+    requires every rank, so a committed checkpoint is always globally
+    consistent).  Also the ledger of :class:`RecoveryEvent`\\ s, so the
+    full recovery sequence can be asserted byte-for-byte in tests.
+    """
+
+    def __init__(self, n_sources: int) -> None:
+        self._lock = threading.RLock()
+        self.n_sources = n_sources
+        self.attempt = 0
+        self._n_ranks = 0
+        self._gather = None
+        # source -> iteration -> rank -> (slab | None)
+        self._pending: dict[int, dict[int, dict[int, np.ndarray | None]]] = {}
+        self._meta: dict[tuple[int, int], dict] = {}
+        self._latest: dict[int, SolveCheckpoint] = {}
+        # Highest iteration any attempt reached per source (for honest
+        # wasted-iteration accounting on resume).
+        self._progress: dict[int, int] = {}
+        # source -> (x_global | None, info) for fully solved sources.
+        self._completed: dict[int, tuple[np.ndarray | None, object]] = {}
+        self._result_pending: dict[int, dict[int, np.ndarray | None]] = {}
+        self._result_info: dict[int, object] = {}
+        self._events: list[RecoveryEvent] = []
+        self._resumed: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Attempt lifecycle
+    # ------------------------------------------------------------------ #
+
+    def rebind(self, slicing, *, attempt: int = 0) -> None:
+        """Bind the store to one attempt's decomposition.
+
+        Clears every half-contributed piece (checkpoints *and* results):
+        a dead attempt's partial contributions must never mix with a new
+        attempt's at the same key.  Committed checkpoints survive.
+        """
+        with self._lock:
+            self.attempt = attempt
+            self._n_ranks = slicing.n_ranks
+            self._gather = slicing.gather
+            self._pending.clear()
+            self._meta.clear()
+            self._result_pending.clear()
+            self._result_info.clear()
+
+    # ------------------------------------------------------------------ #
+    # Rank-collective contributions
+    # ------------------------------------------------------------------ #
+
+    def contribute(
+        self,
+        source: int,
+        rank: int,
+        *,
+        iteration: int,
+        rnorm: float,
+        reliable_updates: int,
+        history: list[float],
+        solver: str,
+        sloppy_precision: str,
+        slab: np.ndarray | None,
+    ) -> None:
+        """One rank's refresh-point contribution; commits when complete."""
+        with self._lock:
+            pieces = self._pending.setdefault(source, {}).setdefault(iteration, {})
+            pieces[rank] = slab
+            self._meta[(source, iteration)] = {
+                "rnorm": rnorm,
+                "reliable_updates": reliable_updates,
+                "history": list(history),
+                "solver": solver,
+                "sloppy_precision": sloppy_precision,
+            }
+            self._progress[source] = max(self._progress.get(source, 0), iteration)
+            if len(pieces) < self._n_ranks:
+                return
+            meta = self._meta.pop((source, iteration))
+            slabs = [pieces[r] for r in range(self._n_ranks)]
+            x_full = (
+                None
+                if any(s is None for s in slabs)
+                else self._gather(slabs)
+            )
+            del self._pending[source][iteration]
+            self._latest[source] = SolveCheckpoint(
+                iteration=iteration,
+                rnorm=meta["rnorm"],
+                reliable_updates=meta["reliable_updates"],
+                history=meta["history"],
+                solver=meta["solver"],
+                sloppy_precision=meta["sloppy_precision"],
+                x_full=x_full,
+            )
+
+    def record_result(self, source: int, rank: int, *, slab, info) -> None:
+        """One rank's final-solution contribution; a completed source is
+        skipped outright by any later attempt."""
+        with self._lock:
+            pieces = self._result_pending.setdefault(source, {})
+            pieces[rank] = slab
+            if rank == 0:
+                self._result_info[source] = info
+            if len(pieces) < self._n_ranks or source not in self._result_info:
+                return
+            slabs = [pieces[r] for r in range(self._n_ranks)]
+            x = (
+                None
+                if any(s is None for s in slabs)
+                else self._gather(slabs)
+            )
+            del self._result_pending[source]
+            self._completed[source] = (x, self._result_info.pop(source))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def latest(self, source: int) -> SolveCheckpoint | None:
+        with self._lock:
+            return self._latest.get(source)
+
+    def completed(self, source: int) -> tuple[np.ndarray | None, object] | None:
+        with self._lock:
+            return self._completed.get(source)
+
+    def progress(self, source: int) -> int:
+        with self._lock:
+            return self._progress.get(source, 0)
+
+    # ------------------------------------------------------------------ #
+    # Recovery ledger
+    # ------------------------------------------------------------------ #
+
+    def log_event(self, ev: RecoveryEvent) -> None:
+        with self._lock:
+            self._events.append(ev)
+
+    def events(self) -> list[RecoveryEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def note_resume(self, source: int, resume_iteration: int) -> None:
+        """Log one 'resume' event per (source, attempt) — whichever rank
+        arrives first wins; the content is rank-independent, so the
+        ledger stays deterministic."""
+        with self._lock:
+            if self.attempt == 0:
+                return
+            key = (source, self.attempt)
+            if key in self._resumed:
+                return
+            self._resumed.add(key)
+            wasted = max(0, self._progress.get(source, 0) - resume_iteration)
+            self._events.append(
+                RecoveryEvent(
+                    "resume",
+                    attempt=self.attempt,
+                    source=source,
+                    iteration=resume_iteration,
+                    wasted_iterations=wasted,
+                    detail=f"from checkpoint at iteration {resume_iteration}",
+                )
+            )

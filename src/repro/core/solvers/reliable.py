@@ -81,11 +81,30 @@ class ReliableUpdater:
     def qmp(self):
         return self.op_full.qmp
 
-    def initialize(self) -> float:
-        """Start from ``y = 0``: the true residual is ``b``.  Returns |r|."""
+    def initialize(self, *, resume: bool = False) -> float:
+        """Set up the true residual; returns |r|.
+
+        Fresh start (``resume=False``): ``y = 0``, so ``r = b``.
+        Resume (``resume=True``): ``y`` already holds a solution restored
+        from a :class:`~repro.core.solvers.checkpoint.SolveCheckpoint`;
+        recompute the true residual ``r = b - A y`` in full precision —
+        exactly the refresh computation, so a resumed solve continues
+        from a residual of checkpoint quality.
+        """
         gpu = self.op_full.gpu
-        blas.zero(gpu, self.y)
+        if not resume:
+            blas.zero(gpu, self.y)
+            blas.copy(gpu, self.b, self.r_full)
+            r2 = blas.norm2(gpu, self.r_full, self.qmp)
+            self.max_r = r2**0.5
+            return self.max_r
+        self.op_full.apply(self.y, self.scratch_a, self.scratch_b)
+        if self.dagger_pair:
+            self.op_full.apply(
+                self.scratch_b, self.scratch_a, self.scratch_b, dagger=True
+            )
         blas.copy(gpu, self.b, self.r_full)
+        blas.axpy(gpu, -1.0, self.scratch_b, self.r_full)
         r2 = blas.norm2(gpu, self.r_full, self.qmp)
         self.max_r = r2**0.5
         return self.max_r

@@ -1,0 +1,396 @@
+"""Solver resilience: breakdown detection, escalation, and rank-failure
+recovery.
+
+The paper's reliable-update machinery (Section V-D) recomputes the *true*
+full-precision residual at every refresh — which makes refresh points
+natural, already-consistent recovery points.  This module builds the
+self-healing layer on top of them:
+
+* :class:`SolverBreakdown` — a numerical pathology (BiCGstab ρ/ω
+  breakdown, NaN/Inf in a reduction, divergence, stagnation), detected
+  from *globally reduced* scalars so every rank observes the identical
+  event at the identical iteration and acts in lockstep;
+* :class:`EscalationLadder` — the deterministic response sequence:
+  restart from the last checkpoint → switch BiCGstab→CG → raise the
+  sloppy precision one notch (half→single→double, capped at the full
+  precision);
+* :class:`RetryPolicy` + :func:`run_with_recovery` — the SPMD supervisor:
+  when a :class:`~repro.comms.faults.FaultPlan` kills a rank mid-solve,
+  the partial :class:`~repro.comms.mpi_sim.SpmdOutcome` is caught, the
+  fired faults are retired from the plan, the time dimension is
+  re-partitioned over the surviving ranks (or relaunched at the same
+  count), and the solve resumes from the last committed checkpoint under
+  a bounded, deterministic retry budget.
+
+Every decision here is a pure function of (fault-plan seed, communication
+history, reduction values), so a recovered solve is byte-reproducible:
+same seed, same recovery sequence, same answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ...comms.cluster import ClusterSpec
+from ...comms.faults import FaultEvent, FaultPlan, RankFailedError
+from ...comms.mpi_sim import CommStats, SimMPI
+from ...gpu.precision import Precision
+
+__all__ = [
+    "SolverBreakdown",
+    "RetryPolicy",
+    "RecoveryEvent",
+    "EscalationStep",
+    "EscalationLadder",
+    "RecoveryOutcome",
+    "ensure_finite",
+    "feasible_rank_count",
+    "run_with_recovery",
+]
+
+
+class SolverBreakdown(RuntimeError):
+    """A structured numerical pathology inside a Krylov solve.
+
+    Raised *before* the offending scalar can be folded into the solution
+    vector, so ``x`` is never poisoned by NaN/Inf.  Because every scalar
+    tested is the output of a QMP global reduction, all ranks raise the
+    identical breakdown at the identical iteration — the escalation
+    ladder can therefore act without any extra communication.
+
+    ``kind`` is one of ``'rho_breakdown'`` (BiCGstab shadow-residual
+    orthogonality lost), ``'pivot_breakdown'`` (``<r0, v>`` or ``<p, q>``
+    vanished), ``'omega_breakdown'`` (``|t|^2`` vanished or ω = 0),
+    ``'non_finite'`` (NaN/Inf in a reduction), ``'divergence'``, or
+    ``'stagnation'``.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        iteration: int,
+        rnorm: float = float("nan"),
+        detail: str = "",
+    ) -> None:
+        self.kind = kind
+        self.iteration = iteration
+        self.rnorm = rnorm
+        self.detail = detail
+        msg = f"{kind} at iteration {iteration} (|r| = {rnorm:.6e})"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+def ensure_finite(name: str, value: complex | float, *, iteration: int, rnorm: float = 0.0):
+    """Raise :class:`SolverBreakdown` if a reduction result is NaN/Inf.
+
+    Returns ``value`` unchanged so guards can be inserted inline.
+    """
+    v = complex(value)
+    if not (math.isfinite(v.real) and math.isfinite(v.imag)):
+        raise SolverBreakdown(
+            "non_finite", iteration=iteration, rnorm=rnorm,
+            detail=f"{name} = {value!r}",
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded recovery budget for rank failures mid-solve.
+
+    ``max_attempts = 0`` (the default) preserves the fail-fast behaviour:
+    a dying rank raises the structured
+    :class:`~repro.comms.faults.RankFailedError` exactly as before.  With
+    ``max_attempts = k``, up to ``k`` relaunches are attempted, each
+    resuming from the last committed checkpoint, each charging
+    ``backoff_s`` of deterministic *model* time on top of the failed
+    attempt's wasted wall.  ``shrink`` re-partitions the time dimension
+    over the largest feasible surviving rank count; with it off, the
+    relaunch reuses the original rank count (a "replacement rank" model).
+    """
+
+    max_attempts: int = 0
+    backoff_s: float = 1e-3
+    shrink: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_attempts > 0
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery decision, on the record for traces and benchmarks.
+
+    ``kind`` is ``'rank_failure'`` (a planned fault killed a rank),
+    ``'relaunch'`` (the supervisor rebuilt the world), ``'resume'`` (a
+    source restarted from its checkpoint after a relaunch),
+    ``'restart'`` / ``'solver_switch'`` / ``'precision_escalation'``
+    (breakdown-ladder rungs).  The full sequence is deterministic for a
+    given fault-plan seed — tests compare it byte for byte.
+    """
+
+    kind: str
+    attempt: int
+    rank: int = -1
+    source: int = -1
+    iteration: int = -1
+    model_time: float = 0.0
+    wasted_iterations: int = 0
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f"r{self.rank}" if self.rank >= 0 else "  "
+        src = f"s{self.source}" if self.source >= 0 else "  "
+        it = f"it {self.iteration:>5d}" if self.iteration >= 0 else " " * 8
+        wasted = (
+            f"  wasted {self.wasted_iterations}"
+            if self.wasted_iterations > 0
+            else ""
+        )
+        return (
+            f"attempt {self.attempt}  {where} {src} {it} "
+            f"{self.kind:<21}{wasted}"
+            + (f"  {self.detail}" if self.detail else "")
+        )
+
+
+# ------------------------------------------------------------------------ #
+# Breakdown escalation
+# ------------------------------------------------------------------------ #
+
+#: One notch up the precision ladder (half -> single -> double).
+_PRECISION_UP: dict[Precision, Precision] = {
+    Precision.HALF: Precision.SINGLE,
+    Precision.SINGLE: Precision.DOUBLE,
+}
+
+
+@dataclass(frozen=True)
+class EscalationStep:
+    """One rung of the ladder: the configuration to retry with."""
+
+    kind: str  # 'restart' | 'solver_switch' | 'precision_escalation'
+    solver: str
+    sloppy: Precision
+
+
+class EscalationLadder:
+    """The deterministic breakdown-response sequence for one solve.
+
+    Rungs, in order: (1) restart from the last checkpoint with the same
+    configuration — transient breakdowns (an unlucky shadow residual, a
+    half-precision overflow near a reliable update) usually clear; (2)
+    switch BiCGstab→CG, trading iterations for the guaranteed descent of
+    the normal equations; (3+) raise the sloppy precision one notch at a
+    time until it reaches the full precision.  ``max_steps`` bounds the
+    total rungs taken; all ranks walk the ladder identically because
+    breakdowns derive from globally reduced scalars.
+    """
+
+    def __init__(
+        self,
+        *,
+        solver: str,
+        sloppy: Precision,
+        full: Precision,
+        max_steps: int = 3,
+    ) -> None:
+        rungs: list[EscalationStep] = [EscalationStep("restart", solver, sloppy)]
+        if solver == "bicgstab":
+            solver = "cg"
+            rungs.append(EscalationStep("solver_switch", solver, sloppy))
+        up = _PRECISION_UP.get(sloppy)
+        while up is not None and up.real_bytes <= full.real_bytes:
+            sloppy = up
+            rungs.append(EscalationStep("precision_escalation", solver, sloppy))
+            up = _PRECISION_UP.get(sloppy)
+        self._rungs = rungs[: max(0, max_steps)]
+        self._taken = 0
+
+    @property
+    def taken(self) -> int:
+        return self._taken
+
+    def next_step(self) -> EscalationStep | None:
+        """The next rung, or ``None`` when the ladder is exhausted."""
+        if self._taken >= len(self._rungs):
+            return None
+        step = self._rungs[self._taken]
+        self._taken += 1
+        return step
+
+
+# ------------------------------------------------------------------------ #
+# Rank-failure recovery supervisor
+# ------------------------------------------------------------------------ #
+
+
+@dataclass
+class RecoveryOutcome:
+    """What :func:`run_with_recovery` hands back to the solve driver."""
+
+    results: list[Any]
+    slicing: Any
+    qmp_grid: dict[int, int] | None
+    fault_events: list[FaultEvent]
+    comm_stats: list[CommStats]
+    attempts: int = 0
+    #: Model time burned by failed attempts plus retry backoff — added to
+    #: the recovered solve's reported model time so benchmarks see the
+    #: honest cost of recovery.
+    lost_time_s: float = 0.0
+
+
+def feasible_rank_count(geometry, max_ranks: int) -> int | None:
+    """Largest time-slicing rank count ``<= max_ranks`` the lattice admits
+    (T divisible, even local extent), or ``None`` if there is none."""
+    for n in range(max(max_ranks, 0), 0, -1):
+        try:
+            geometry.slice_time(n)
+        except ValueError:
+            continue
+        return n
+    return None
+
+
+def _slice(geometry, n_gpus: int, grid: tuple[int, int] | None):
+    if grid is not None:
+        ranks_z, ranks_t = grid
+        return geometry.slice_grid(ranks_z, ranks_t), {2: ranks_z, 3: ranks_t}
+    return geometry.slice_time(n_gpus), None
+
+
+def run_with_recovery(
+    *,
+    geometry,
+    n_gpus: int,
+    grid: tuple[int, int] | None,
+    cluster: ClusterSpec,
+    fault_plan: FaultPlan | None,
+    policy: RetryPolicy,
+    store,
+    make_body: Callable[[Any, dict[int, int] | None], Callable],
+) -> RecoveryOutcome:
+    """Run an SPMD solve body, surviving planned rank failures.
+
+    ``make_body(slicing, qmp_grid)`` builds the per-rank function for one
+    attempt; ``store`` is the shared
+    :class:`~repro.core.solvers.checkpoint.CheckpointStore` the body
+    checkpoints into (it is rebound to each attempt's slicing, so
+    committed checkpoints survive re-partitioning).
+
+    With the policy disabled (or no lethal fault plan bound), this is
+    exactly the old single-shot path: failures raise the same structured
+    ``RuntimeError`` (with ``fault_events`` attached) as before.
+    """
+    plan = fault_plan
+    current = n_gpus
+    attempt = 0
+    lost = 0.0
+    all_events: list[FaultEvent] = []
+
+    while True:
+        slicing, qmp_grid = _slice(geometry, current, grid)
+        store.rebind(slicing, attempt=attempt)
+        world = SimMPI(slicing.n_ranks, cluster, plan)
+        body = make_body(slicing, qmp_grid)
+        recovery_active = (
+            policy.enabled and plan is not None and plan.lethal
+        )
+        if not recovery_active:
+            try:
+                results = world.run(body)
+            except RuntimeError as exc:
+                exc.fault_events = all_events + list(
+                    getattr(exc, "fault_events", [])
+                )
+                raise
+            return RecoveryOutcome(
+                results=results,
+                slicing=slicing,
+                qmp_grid=qmp_grid,
+                fault_events=all_events + world.fault_events(),
+                comm_stats=world.comm_stats(),
+                attempts=attempt,
+                lost_time_s=lost,
+            )
+
+        outcome = world.run(body, return_partial=True)
+        all_events.extend(outcome.fault_events)
+        if outcome.ok:
+            return RecoveryOutcome(
+                results=outcome.results,
+                slicing=slicing,
+                qmp_grid=qmp_grid,
+                fault_events=all_events,
+                comm_stats=outcome.stats,
+                attempts=attempt,
+                lost_time_s=lost,
+            )
+
+        root = outcome.root_failure()
+        fired = sorted(
+            {e.rank for e in outcome.fault_events if e.kind in ("stall", "crash")}
+        )
+        recoverable = (
+            bool(fired)
+            and isinstance(root.error, RankFailedError)
+            and attempt < policy.max_attempts
+        )
+        if not recoverable:
+            err = RuntimeError(f"rank {root.rank} failed: {root.error!r}")
+            err.fault_events = all_events
+            raise err from root.error
+
+        attempt += 1
+        t_fail = max(
+            (e.time for e in outcome.fault_events if e.kind in ("stall", "crash")),
+            default=root.model_time,
+        )
+        lost += t_fail + policy.backoff_s
+        store.log_event(
+            RecoveryEvent(
+                "rank_failure",
+                attempt=attempt,
+                rank=root.rank,
+                model_time=t_fail,
+                detail=f"{root.mode} in {root.op}",
+            )
+        )
+        # Retire the fired faults: the relaunched sub-run must not replay
+        # them (their model-time triggers restart from zero with the new
+        # world's clocks).
+        plan = plan.without_ranks(fired)
+        survivors = slicing.n_ranks - len(fired)
+        if grid is None and policy.shrink:
+            nxt = feasible_rank_count(geometry, max(survivors, 1))
+            if nxt is not None:
+                current = nxt
+        if grid is None:
+            # Stalls scheduled beyond the new world size cannot be hosted.
+            plan = plan.without_ranks(
+                [s.rank for s in plan.stalls if s.rank >= current]
+            )
+        store.log_event(
+            RecoveryEvent(
+                "relaunch",
+                attempt=attempt,
+                detail=(
+                    f"{current if grid is None else slicing.n_ranks} ranks, "
+                    f"backoff {policy.backoff_s * 1e6:.1f}us"
+                ),
+            )
+        )
+

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.bench.trace import render_gantt
+from repro.bench.trace import render_gantt, render_recovery_lanes
+from repro.core.solvers.resilience import RecoveryEvent
 from repro.gpu import VirtualGPU
 from repro.gpu.precision import Precision
 
@@ -60,3 +61,29 @@ class TestRenderGantt:
     def test_axis_label_has_duration(self, gpu):
         gpu.launch("k", Precision.SINGLE, bytes_moved=10**6, flops=0)
         assert "us" in render_gantt(gpu.timeline.ops).splitlines()[0]
+
+
+class TestRenderRecoveryLanes:
+    def test_empty_ledger(self):
+        assert "healthy" in render_recovery_lanes([])
+
+    def test_one_lane_per_attempt(self):
+        events = [
+            RecoveryEvent("restart", attempt=0, source=0, iteration=10,
+                          wasted_iterations=10, detail="non_finite"),
+            RecoveryEvent("rank_failure", attempt=1, rank=1,
+                          detail="crashed in MPI_Send"),
+            RecoveryEvent("relaunch", attempt=1, detail="2 ranks"),
+            RecoveryEvent("resume", attempt=1, source=0, iteration=8),
+        ]
+        text = render_recovery_lanes(events)
+        lines = text.splitlines()
+        assert lines[0].startswith("attempt 0") and "[o]" in lines[0]
+        assert any(line.startswith("attempt 1") and "[xR>]" in line
+                   for line in lines)
+        assert "crashed in MPI_Send" in text
+        assert text.splitlines()[-1].lstrip().startswith("x rank failure")
+
+    def test_deterministic(self):
+        events = [RecoveryEvent("relaunch", attempt=1, detail="2 ranks")]
+        assert render_recovery_lanes(events) == render_recovery_lanes(events)

@@ -1,0 +1,159 @@
+"""Checkpoint serialization and the rank-collective store."""
+
+import numpy as np
+import pytest
+
+from repro.core.solvers.checkpoint import CheckpointStore, SolveCheckpoint
+from repro.core.solvers.resilience import RecoveryEvent
+
+
+class FakeSlicing:
+    """Just enough of a TimeSlicing for the store: rank count + gather."""
+
+    def __init__(self, n_ranks: int) -> None:
+        self.n_ranks = n_ranks
+
+    @staticmethod
+    def gather(slabs):
+        return np.concatenate(slabs, axis=0)
+
+
+def _checkpoint(dtype, precision_name):
+    rng = np.random.default_rng(7)
+    x = (rng.standard_normal((16, 4, 3)) + 1j * rng.standard_normal((16, 4, 3)))
+    return SolveCheckpoint(
+        iteration=12,
+        rnorm=3.5e-4,
+        reliable_updates=2,
+        history=[1.0, 0.1, 3.5e-4],
+        solver="bicgstab",
+        sloppy_precision=precision_name,
+        x_full=x.astype(dtype),
+    )
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "dtype,precision_name",
+        [
+            (np.complex64, "HALF"),
+            (np.complex64, "SINGLE"),
+            (np.complex128, "DOUBLE"),
+        ],
+    )
+    def test_roundtrip(self, dtype, precision_name):
+        ck = _checkpoint(dtype, precision_name)
+        back = SolveCheckpoint.from_bytes(ck.to_bytes())
+        assert back.iteration == ck.iteration
+        assert back.rnorm == ck.rnorm
+        assert back.reliable_updates == ck.reliable_updates
+        assert back.history == ck.history
+        assert back.solver == ck.solver
+        assert back.sloppy_precision == ck.sloppy_precision
+        assert back.x_full.dtype == dtype
+        np.testing.assert_array_equal(back.x_full, ck.x_full)
+
+    def test_roundtrip_without_solution(self):
+        """Timing-only checkpoints carry bookkeeping but no field data."""
+        ck = SolveCheckpoint(iteration=5, rnorm=0.25, reliable_updates=1)
+        back = SolveCheckpoint.from_bytes(ck.to_bytes())
+        assert back.x_full is None
+        assert (back.iteration, back.rnorm) == (5, 0.25)
+
+    def test_bytes_deterministic(self):
+        """Same state => byte-identical stream (no timestamps, no pickle)."""
+        a = _checkpoint(np.complex64, "HALF").to_bytes()
+        b = _checkpoint(np.complex64, "HALF").to_bytes()
+        assert a == b
+        # And the roundtrip is a fixed point of the encoding.
+        assert SolveCheckpoint.from_bytes(a).to_bytes() == a
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a SolveCheckpoint"):
+            SolveCheckpoint.from_bytes(b"NOPE" + b"\x00" * 32)
+
+
+class TestCheckpointStore:
+    def _contribute(self, store, source, rank, iteration, slab):
+        store.contribute(
+            source,
+            rank,
+            iteration=iteration,
+            rnorm=0.5,
+            reliable_updates=1,
+            history=[1.0, 0.5],
+            solver="bicgstab",
+            sloppy_precision="HALF",
+            slab=slab,
+        )
+
+    def test_commit_requires_every_rank(self):
+        store = CheckpointStore(1)
+        store.rebind(FakeSlicing(2))
+        self._contribute(store, 0, 0, 4, np.zeros((2, 4, 3), np.complex64))
+        assert store.latest(0) is None
+        self._contribute(store, 0, 1, 4, np.ones((2, 4, 3), np.complex64))
+        ck = store.latest(0)
+        assert ck is not None and ck.iteration == 4
+        assert ck.x_full.shape == (4, 4, 3)
+        np.testing.assert_array_equal(ck.x_full[2:], 1.0)
+
+    def test_timing_mode_commits_without_slabs(self):
+        store = CheckpointStore(1)
+        store.rebind(FakeSlicing(2))
+        self._contribute(store, 0, 0, 4, None)
+        self._contribute(store, 0, 1, 4, None)
+        ck = store.latest(0)
+        assert ck is not None and ck.x_full is None
+
+    def test_rebind_clears_partial_pieces(self):
+        """A dead attempt's half-contributed pieces must never mix with a
+        new attempt's at the same iteration."""
+        store = CheckpointStore(1)
+        store.rebind(FakeSlicing(2))
+        self._contribute(store, 0, 0, 4, np.zeros((2, 4, 3), np.complex64))
+        store.rebind(FakeSlicing(2), attempt=1)
+        self._contribute(store, 0, 1, 4, np.ones((2, 4, 3), np.complex64))
+        assert store.latest(0) is None  # old rank-0 piece was discarded
+        self._contribute(store, 0, 0, 4, np.ones((2, 4, 3), np.complex64))
+        assert store.latest(0) is not None
+
+    def test_committed_checkpoint_survives_rebind(self):
+        store = CheckpointStore(1)
+        store.rebind(FakeSlicing(1))
+        self._contribute(store, 0, 0, 9, np.ones((4, 4, 3), np.complex64))
+        store.rebind(FakeSlicing(2), attempt=1)  # shrank from 1 -> 2 ranks
+        ck = store.latest(0)
+        assert ck is not None and ck.iteration == 9
+
+    def test_record_result_needs_all_ranks_and_info(self):
+        store = CheckpointStore(2)
+        store.rebind(FakeSlicing(2))
+        store.record_result(1, 1, slab=np.ones((2, 4, 3)), info="info1")
+        assert store.completed(1) is None  # info comes from rank 0
+        store.record_result(1, 0, slab=np.zeros((2, 4, 3)), info="info0")
+        x, info = store.completed(1)
+        assert info == "info0" and x.shape == (4, 4, 3)
+        assert store.completed(0) is None
+
+    def test_note_resume_dedup_and_wasted_accounting(self):
+        store = CheckpointStore(1)
+        store.rebind(FakeSlicing(1))
+        self._contribute(store, 0, 0, 8, None)
+        self._contribute(store, 0, 0, 14, None)  # progress reaches 14
+        store.note_resume(0, 14)
+        assert store.events() == []  # attempt 0: nothing to resume from
+        store.rebind(FakeSlicing(1), attempt=1)
+        store.note_resume(0, 8)
+        store.note_resume(0, 8)  # second rank arriving: deduped
+        events = store.events()
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.kind == "resume" and ev.attempt == 1
+        assert ev.iteration == 8 and ev.wasted_iterations == 6
+
+    def test_ledger_renders(self):
+        store = CheckpointStore(1)
+        store.log_event(RecoveryEvent("relaunch", attempt=1, detail="2 ranks"))
+        (ev,) = store.events()
+        assert "relaunch" in ev.render() and "2 ranks" in ev.render()
