@@ -9,9 +9,10 @@ property: faults perturb *time*, never results.
 """
 
 import numpy as np
+import pytest
 
 from repro.bench.harness import chaos_invert, chaos_solve
-from repro.comms import FaultPlan
+from repro.comms import FaultPlan, IntegrityPolicy
 from repro.core import RetryPolicy
 
 DIMS = (8, 8, 8, 32)
@@ -177,3 +178,67 @@ def test_functional_recovery_matches_healthy(run_once):
     assert recovered.converged and recovered.recoveries >= 1
     assert recovered.true_residual < 1e-6
     assert recovered.model_time > healthy.model_time
+
+
+def test_integrity_overhead(run_once):
+    """Checksummed halo exchange costs < 10% model time — the protection
+    is cheap because hashing is memory-bound and the faces are small
+    relative to the interior kernel work."""
+
+    def measure():
+        plan = FaultPlan(seed=29)  # fault-free: pure protection cost
+        off = chaos_solve(DIMS, "single-half", GPUS, plan,
+                          fixed_iterations=ITERS,
+                          integrity=IntegrityPolicy.off())
+        on = chaos_solve(DIMS, "single-half", GPUS, plan,
+                         fixed_iterations=ITERS,
+                         integrity=IntegrityPolicy())
+        return off, on
+
+    off, on = run_once(measure)
+    overhead = (on.model_time - off.model_time) / off.model_time
+    print(f"\nunprotected: {off.model_time * 1e6:12.1f} us")
+    print(f"checksummed: {on.model_time * 1e6:12.1f} us "
+          f"(+{overhead * 100:.2f}%, "
+          f"{on.integrity_overhead_s * 1e6:.1f} us hashing/verify)")
+    assert on.integrity_overhead_s > 0
+    assert off.integrity_overhead_s == 0.0
+    assert 0.0 <= overhead < 0.10
+
+
+@pytest.mark.slow
+def test_corruption_rate_sweep(run_once):
+    """Detection/repair accounting vs bit-flip probability: every injected
+    corruption is either corrected by resend or escalated loudly — none
+    pass silently — and repair cost grows with the corruption rate."""
+
+    def sweep():
+        rows = []
+        for prob in (0.0, 0.01, 0.05, 0.2):
+            plan = FaultPlan.corrupting(seed=31, bitflip_prob=prob)
+            rep = chaos_solve(DIMS, "single-half", GPUS, plan,
+                              fixed_iterations=ITERS)
+            injected = sum(
+                1 for e in rep.fault_events
+                if e.kind in ("bitflip", "scribble")
+            )
+            rows.append((prob, injected, rep.corruptions_detected,
+                         rep.corruptions_corrected, rep.completed))
+        return rows
+
+    rows = run_once(sweep)
+    print("\nflip prob   injected   detected   corrected   completed")
+    for prob, inj, det, cor, done in rows:
+        print(f"{prob:9.2f} {inj:10d} {det:10d} {cor:11d} {str(done):>11s}")
+    assert rows[0][1] == 0 and rows[0][4]  # clean baseline completes
+    for prob, injected, detected, corrected, completed in rows[1:]:
+        if injected:
+            assert detected >= injected  # nothing passes silently
+            # A corrupted resend is detected again before it is repaired,
+            # so detections can exceed corrections; a run completes only
+            # by repairing every damaged message it saw.
+            assert detected >= corrected
+            if completed:
+                assert corrected >= 1
+    injected_counts = [inj for _, inj, _, _, _ in rows]
+    assert injected_counts == sorted(injected_counts)

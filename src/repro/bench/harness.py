@@ -16,7 +16,7 @@ from dataclasses import field as dataclasses_field
 import numpy as np
 
 from ..comms.cluster import ClusterSpec
-from ..comms.faults import FaultEvent, FaultPlan, RankFailedError
+from ..comms.faults import FaultEvent, FaultPlan, IntegrityPolicy, RankFailedError
 from ..comms.mpi_sim import CommStats
 from ..core import RecoveryEvent, RetryPolicy, invert, invert_model, paper_invert_param
 from ..gpu.memory import DeviceOutOfMemoryError
@@ -172,6 +172,11 @@ class ChaosReport:
     # Functional chaos runs only (``chaos_invert``):
     converged: bool | None = None
     true_residual: float | None = None
+    # --- data integrity (silent-corruption protection) ----------------- #
+    corruptions_detected: int = 0  # checksum mismatches + invariant hits
+    corruptions_corrected: int = 0  # repaired by resend / checkpoint restore
+    resends: int = 0  # NACK-triggered retransmissions, summed over ranks
+    integrity_overhead_s: float = 0.0  # hash/verify model time, max over ranks
 
 
 def _rank_failure(exc: BaseException) -> RankFailedError | None:
@@ -197,6 +202,10 @@ def _failed_report(plan: FaultPlan, exc: BaseException) -> ChaosReport | None:
         retries=sum(1 for e in events if e.kind == "send_retry"),
         injected_delay_s=sum(e.delay_s for e in events),
         fault_events=events, comm_stats=[],
+        corruptions_detected=sum(
+            1 for e in events if e.kind == "corruption_detected"
+        ),
+        resends=sum(1 for e in events if e.kind == "nack_resend"),
     )
 
 
@@ -220,6 +229,10 @@ def _completed_report(plan: FaultPlan, res) -> ChaosReport:
         final_ranks=len(res.comm_stats) or None,
         converged=res.stats.converged if res.true_residual is not None else None,
         true_residual=res.true_residual,
+        corruptions_detected=res.stats.corruptions_detected,
+        corruptions_corrected=res.stats.corruptions_corrected,
+        resends=sum(s.resends for s in res.comm_stats),
+        integrity_overhead_s=res.stats.integrity_overhead,
     )
 
 
@@ -235,6 +248,7 @@ def chaos_solve(
     fixed_iterations: int = FIXED_ITERATIONS,
     solver: str = "bicgstab",
     retry_policy: RetryPolicy | None = None,
+    integrity: IntegrityPolicy | None = None,
 ) -> ChaosReport:
     """One timing-only solve under a fault plan.
 
@@ -252,7 +266,7 @@ def chaos_solve(
     try:
         res = invert_model(
             dims, inv, n_gpus=n_gpus, cluster=cluster, gpu_spec=gpu_spec,
-            enforce_memory=False, fault_plan=plan,
+            enforce_memory=False, fault_plan=plan, integrity=integrity,
         )
     except RuntimeError as exc:
         report = _failed_report(plan, exc)
@@ -276,6 +290,7 @@ def chaos_invert(
     gpu_spec: GPUSpec = GTX285,
     solver: str = "bicgstab",
     retry_policy: RetryPolicy | None = None,
+    integrity: IntegrityPolicy | None = None,
 ) -> ChaosReport:
     """One *functional* solve (real numerics) under a fault plan.
 
@@ -298,7 +313,7 @@ def chaos_invert(
     try:
         res = invert(
             gauge, src, inv, n_gpus=n_gpus, cluster=cluster,
-            gpu_spec=gpu_spec, fault_plan=plan,
+            gpu_spec=gpu_spec, fault_plan=plan, integrity=integrity,
         )
     except RuntimeError as exc:
         report = _failed_report(plan, exc)

@@ -8,7 +8,8 @@ non-overlapped variant is one long serial chain.
 
 Glyphs: ``#`` kernel, ``<`` device-to-host copy, ``>`` host-to-device
 copy, ``=`` host work, ``.`` host waiting, ``!`` injected fault time
-(retry backoff or late arrival from a chaos run's fault plan).
+(retry backoff, late arrival, or corruption NACK/resend penalties from a
+chaos run's fault plan).
 """
 
 from __future__ import annotations
@@ -78,7 +79,10 @@ def render_gantt(
         + " " * (width - len(f"{span * 1e6:.0f} us") - 2)
         + f"{span * 1e6:.0f} us"
     )
-    legend = "  # kernel   < d2h copy   > h2d copy   = host   . wait   ! fault"
+    legend = (
+        "  # kernel   < d2h copy   > h2d copy   = host   . wait"
+        "   ! fault/corruption"
+    )
     return "\n".join([header] + lines + [legend])
 
 
@@ -93,6 +97,8 @@ _EVENT_MARK = {
     "restart": "o",
     "solver_switch": "s",
     "precision_escalation": "^",
+    "checkpoint_restore": "c",
+    "checkpoint_fallback": "f",
 }
 
 
@@ -118,6 +124,7 @@ def render_recovery_lanes(events) -> str:
             lines.append(f"    {ev.render()}")
     legend = (
         "  x rank failure   R relaunch   > resume   o restart   "
-        "s solver switch   ^ precision up"
+        "s solver switch   ^ precision up   c checkpoint restore   "
+        "f checkpoint fallback"
     )
     return "\n".join(lines + [legend])

@@ -95,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "chaos",
         help="fault-injected solve: deterministic latency jitter, "
-        "send retries, rank stalls/crashes",
+        "send retries, rank stalls/crashes, silent data corruption",
     )
     p.add_argument("--seed", type=int, default=7,
                    help="fault-plan seed (same seed => same schedule)")
@@ -136,6 +136,31 @@ def build_parser() -> argparse.ArgumentParser:
                    "(verifies the true residual) instead of timing-only")
     p.add_argument("--mass", type=float, default=0.2,
                    help="quark mass for --functional runs")
+    p.add_argument("--corrupt", action="store_true",
+                   help="inject silent data corruption on in-flight "
+                   "payloads (detected/repaired by the integrity layer)")
+    p.add_argument("--bitflip-rate", type=float, default=0.02,
+                   help="per-message bit-flip chance when --corrupt is given")
+    p.add_argument("--scribble-rate", type=float, default=0.0,
+                   help="per-message value-scribble chance with --corrupt")
+    p.add_argument("--corrupt-bits", type=int, default=1,
+                   help="bits flipped per corrupted message")
+    p.add_argument("--corrupt-budget", type=int, default=-1,
+                   help="max corrupted transmissions per rank (-1 = unlimited)")
+    p.add_argument("--resident", type=int, default=None, metavar="RANK",
+                   help="scribble over RANK's resident solution field "
+                   "mid-solve (caught by the invariant monitors)")
+    p.add_argument("--resident-after-us", type=float, default=2000.0,
+                   help="model time of the resident corruption")
+    p.add_argument("--resident-scale", type=float, default=1e4,
+                   help="scribble magnitude relative to the field's own "
+                   "largest entry (big enough to trip the invariant "
+                   "monitors; small perturbations are absorbed)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="disable checksum verification (demonstrates the "
+                   "silent-corruption failure mode)")
+    p.add_argument("--max-resend", type=int, default=3,
+                   help="NACK/resend budget per corrupted message")
 
     p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
     p.add_argument("--out", default="EXPERIMENTS.md")
@@ -268,19 +293,37 @@ def _cmd_profile(args) -> int:
 def _cmd_chaos(args) -> int:
     from .bench.harness import chaos_invert, chaos_solve
     from .bench.trace import render_recovery_lanes
-    from .comms import FaultPlan, LinkFaults, format_schedule
+    from .comms import FaultPlan, IntegrityPolicy, LinkFaults, format_schedule
     from .core import RetryPolicy
 
     try:
+        corrupt = dict(
+            bitflip_prob=args.bitflip_rate if args.corrupt else 0.0,
+            scribble_prob=args.scribble_rate if args.corrupt else 0.0,
+            bitflip_bits=args.corrupt_bits,
+        )
         plan = FaultPlan(
             seed=args.seed,
             ib=LinkFaults(args.jitter_prob, args.jitter_us * 1e-6,
-                          args.spike_prob, 10 * args.jitter_us * 1e-6),
+                          args.spike_prob, 10 * args.jitter_us * 1e-6,
+                          **corrupt),
             shm=LinkFaults(args.jitter_prob, args.jitter_us * 1e-7,
-                           args.spike_prob, args.jitter_us * 1e-6),
+                           args.spike_prob, args.jitter_us * 1e-6,
+                           **corrupt),
             send_fail_prob=args.send_fail_prob,
             op_timeout_s=args.op_timeout,
+            corrupt_budget=args.corrupt_budget,
         )
+        if args.resident is not None:
+            plan = plan.with_resident_corruption(
+                args.resident, after_s=args.resident_after_us * 1e-6,
+                scale=args.resident_scale,
+            )
+        integrity = None
+        if args.no_verify:
+            integrity = IntegrityPolicy.off()
+        elif args.corrupt or args.resident is not None:
+            integrity = IntegrityPolicy(max_resend=args.max_resend)
         if args.stall is not None:
             plan = plan.with_stall(args.stall, after_s=args.fail_after_us * 1e-6)
         if args.crash is not None:
@@ -297,13 +340,13 @@ def _cmd_chaos(args) -> int:
             report = chaos_invert(
                 args.dims, args.mode, args.gpus, plan,
                 mass=args.mass, overlap=not args.no_overlap,
-                retry_policy=policy,
+                retry_policy=policy, integrity=integrity,
             )
         else:
             report = chaos_solve(
                 args.dims, args.mode, args.gpus, plan,
                 overlap=not args.no_overlap, fixed_iterations=args.iterations,
-                retry_policy=policy,
+                retry_policy=policy, integrity=integrity,
             )
     except ValueError as exc:
         print(f"repro chaos: error: {exc}")
@@ -311,6 +354,25 @@ def _cmd_chaos(args) -> int:
     n_events = len(report.fault_events)
     print(f"injected faults: {n_events} events, {report.retries} send "
           f"retries, {report.injected_delay_s * 1e6:.3f} us extra model time")
+    corruption_requested = args.corrupt or args.resident is not None
+    # Wire corruption (checksummed envelopes) must be detected
+    # deterministically; resident corruption is caught by magnitude-
+    # sensitive invariant monitors, so it does not gate the exit code —
+    # a perturbation small enough to be absorbed by the Krylov iteration
+    # is benign by construction.
+    injected_wire = sum(
+        1 for e in report.fault_events
+        if e.kind in ("bitflip", "scribble", "coll_corrupt")
+    )
+    injected_corruptions = injected_wire + sum(
+        1 for e in report.fault_events if e.kind == "resident_corrupt"
+    )
+    if corruption_requested:
+        print(f"data integrity: {injected_corruptions} corruption(s) injected, "
+              f"{report.corruptions_detected} detected, "
+              f"{report.corruptions_corrected} corrected, "
+              f"{report.resends} resend(s), "
+              f"{report.integrity_overhead_s * 1e6:.3f} us verify overhead")
     if args.schedule or not report.completed:
         print(format_schedule(report.fault_events))
     if args.recover:
@@ -324,11 +386,22 @@ def _cmd_chaos(args) -> int:
     if report.completed:
         print(f"solver completed: model time {report.model_time * 1e6:.3f} us "
               f"({report.gflops:.1f} effective Gflops)")
+        # Injected corruption that sailed through an enabled integrity
+        # layer undetected is itself a failure of the protection.
+        silent = (
+            corruption_requested
+            and not args.no_verify
+            and injected_wire > 0
+            and report.corruptions_detected == 0
+        )
+        if silent:
+            print("data integrity FAILED: corruption injected but none "
+                  "detected", file=sys.stderr)
         if args.functional:
             print(f"  converged:     {report.converged}")
             print(f"  true residual: {report.true_residual:.3e}")
-            return 0 if report.converged else 1
-        return 0
+            return 0 if report.converged and not silent else 1
+        return 1 if silent else 0
     print(f"solver died: {report.failure}")
     return 1
 

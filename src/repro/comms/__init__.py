@@ -6,17 +6,26 @@ ranks run as threads exchanging real NumPy buffers, while a LogP-style
 timestamp protocol carries simulated time across ranks (see
 :mod:`repro.comms.mpi_sim` for the details and determinism argument).
 Deterministic fault injection (latency jitter, transient send failures,
-rank stalls/crashes) lives in :mod:`repro.comms.faults`.
+rank stalls/crashes, silent payload/resident corruption) and the
+checksummed-envelope integrity layer live in :mod:`repro.comms.faults`.
 """
 
 from .cluster import ClusterSpec
 from .faults import (
+    CorruptionDetected,
     FaultEvent,
     FaultPlan,
+    IntegrityPolicy,
     LinkFaults,
     RankFailedError,
+    ResidentCorruption,
     StallSpec,
+    checksum_bytes,
+    checksum_payload,
+    corrupt_payload,
     format_schedule,
+    resident_scribble,
+    schedule_sort_key,
 )
 from .mpi_sim import (
     Comm,
@@ -45,6 +54,14 @@ __all__ = [
     "FaultEvent",
     "LinkFaults",
     "StallSpec",
+    "ResidentCorruption",
+    "IntegrityPolicy",
     "RankFailedError",
+    "CorruptionDetected",
+    "checksum_bytes",
+    "checksum_payload",
+    "corrupt_payload",
+    "resident_scribble",
     "format_schedule",
+    "schedule_sort_key",
 ]

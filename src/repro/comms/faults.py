@@ -15,29 +15,45 @@ traffic at the envelope level —
   exponential model-time backoff, like a rendezvous timeout + resend;
 * **rank stalls and crashes** — a rank stops responding mid-exchange
   (stall: silently parks; crash: fails loudly and is registered on the
-  world's failure board).
+  world's failure board);
+* **silent data corruption** — single/multi bit flips and value
+  scribbles on in-flight message payloads, poisoned collective
+  contributions, and resident-field corruption on a rank at a model
+  time (the soft-error regime of hundred-GPU runs, arXiv:1109.2935).
 
 Every decision is a pure function of ``(seed, link, message sequence
 number)`` via :class:`numpy.random.SeedSequence`, so the fault schedule
 is byte-identical run to run regardless of OS thread scheduling — the
 same determinism argument the model-time protocol itself relies on.
-Faults perturb *time*, never payload bits: a solver under a jitter-only
-plan produces bit-identical results, just later.
+Latency faults perturb *time*, never payload bits; corruption faults
+perturb payload bits, and the matching detection layer
+(:class:`IntegrityPolicy` checksummed envelopes in
+:mod:`repro.comms.mpi_sim`, invariant monitors in the solvers) turns
+them back into structured, recoverable events.
 """
 
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 import numpy as np
 
 __all__ = [
     "LinkFaults",
     "StallSpec",
+    "ResidentCorruption",
     "FaultPlan",
     "FaultEvent",
+    "IntegrityPolicy",
     "RankFailedError",
+    "CorruptionDetected",
+    "checksum_bytes",
+    "checksum_payload",
+    "corrupt_payload",
+    "resident_scribble",
     "format_schedule",
 ]
 
@@ -45,8 +61,114 @@ __all__ = [
 _SALT_JITTER = 1
 _SALT_SPIKE = 2
 _SALT_SEND_FAIL = 3
+_SALT_CORRUPT = 4  # which sends are corrupted, and for how many resends
+_SALT_CORRUPT_MODE = 5  # bitflip vs scribble + the damage pattern itself
+_SALT_COLL_CORRUPT = 6  # poisoned collective contributions
+_SALT_RESIDENT = 7  # resident-field scribble pattern
 
 _LINK_IDS = {"shm": 0, "ib": 1}
+
+
+# ------------------------------------------------------------------------ #
+# Checksums (the detection primitive)
+# ------------------------------------------------------------------------ #
+
+
+def checksum_bytes(data: bytes, running: int = 0) -> int:
+    """xxhash-style 32-bit payload digest.
+
+    ``zlib.crc32`` under the hood: C-speed on large buffers, no new
+    dependencies, and — like xxhash — *not* cryptographic: the threat
+    model is soft errors, not adversaries.  ``running`` chains digests
+    across the parts of a multi-array payload.
+    """
+    return zlib.crc32(data, running) & 0xFFFFFFFF
+
+
+def checksum_payload(data: Any) -> int:
+    """Digest of a message payload (ndarray, tuple of ndarrays, scalar).
+
+    ``None`` parts (timing-only mode carries no field data) hash as
+    empty, so the digest is well-defined for every envelope the runtime
+    moves.
+    """
+    c = 0
+    parts = data if isinstance(data, tuple) else (data,)
+    for part in parts:
+        if part is None:
+            continue
+        if not isinstance(part, np.ndarray):
+            part = np.asarray(part)
+        if part.dtype == object:
+            # Object arrays serialize as pointers — hash the repr instead
+            # so the digest stays a pure function of the value.
+            c = checksum_bytes(repr(part.tolist()).encode(), c)
+        else:
+            c = checksum_bytes(np.ascontiguousarray(part).tobytes(), c)
+    return c
+
+
+def _corrupt_array(arr: np.ndarray, rng: np.random.Generator, mode: str, bits: int) -> str:
+    """Damage ``arr`` in place; returns a human-readable description."""
+    raw = arr.view(np.uint8).reshape(-1)
+    if mode == "bitflip":
+        n = min(max(1, bits), 8 * raw.size)
+        positions = rng.choice(raw.size * 8, size=n, replace=False)
+        for pos in positions:
+            raw[pos // 8] ^= np.uint8(1 << (pos % 8))
+        return f"{n} bit(s) flipped"
+    # Scribble: overwrite a short burst of bytes with garbage.
+    n = min(8, raw.size)
+    start = int(rng.integers(0, raw.size - n + 1))
+    raw[start:start + n] = rng.integers(0, 256, size=n, dtype=np.uint8)
+    return f"{n} bytes scribbled at offset {start}"
+
+
+def corrupt_payload(
+    data: Any, *, seed_key: tuple[int, ...], mode: str, bits: int = 1
+) -> tuple[Any, str]:
+    """A corrupted deep copy of a message payload (pure function of key).
+
+    The first ndarray found in the payload is damaged; payloads with no
+    array data (timing-only mode) come back unchanged — the runtime then
+    models detection from the envelope's corruption flag instead of real
+    checksums.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence(list(seed_key)))
+    if isinstance(data, np.ndarray):
+        bad = data.copy()
+        detail = _corrupt_array(bad, rng, mode, bits)
+        return bad, detail
+    if isinstance(data, tuple):
+        parts = list(data)
+        for i, part in enumerate(parts):
+            if isinstance(part, np.ndarray):
+                bad = part.copy()
+                detail = _corrupt_array(bad, rng, mode, bits)
+                parts[i] = bad
+                return tuple(parts), detail
+    return data, "no payload data (timing-only)"
+
+
+def resident_scribble(
+    arr: np.ndarray, *, seed: int, rank: int, scale: float
+) -> str:
+    """Deterministically scribble a resident field in place.
+
+    Models an uncorrected memory error in device RAM: a burst of sites
+    is overwritten with values ``scale`` times the field's own magnitude
+    — large enough that the solver's refresh-point invariant monitor
+    trips, small enough not to masquerade as ordinary divergence.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, _SALT_RESIDENT, rank])
+    )
+    flat = arr.reshape(-1)
+    n = max(1, flat.size // 64)
+    idx = rng.choice(flat.size, size=n, replace=False)
+    ref = float(np.max(np.abs(flat))) or 1.0
+    flat[idx] = scale * ref
+    return f"{n} value(s) scribbled (scale {scale:g})"
 
 
 class RankFailedError(RuntimeError):
@@ -91,13 +213,97 @@ class RankFailedError(RuntimeError):
         return self
 
 
+class CorruptionDetected(RankFailedError):
+    """A checksum mismatch that survived every bounded resend.
+
+    Structured corruption report: which link carried the message, which
+    operation observed it, the model time, and the (expected, actual)
+    checksum pair.  Subclasses :class:`RankFailedError` so the existing
+    failure machinery — context annotation, graceful SPMD unwinding,
+    chaos reports — handles it; ``mode`` is ``'corrupted'``.  Raised by
+    the *detecting* rank (the receiver), never silently swallowed: with
+    verification on, a corrupted payload is either corrected by resend
+    or surfaces as this error.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        op: str,
+        model_time: float,
+        *,
+        link: str = "",
+        expected: int = 0,
+        actual: int = 0,
+        detail: str = "",
+    ) -> None:
+        self.link = link
+        self.expected = expected
+        self.actual = actual
+        base = (
+            f"checksum {actual:#010x} != expected {expected:#010x}"
+            + (f" on {link} link" if link else "")
+        )
+        super().__init__(
+            rank, op, model_time, mode="corrupted",
+            detail=f"{base}; {detail}" if detail else base,
+        )
+
+
+@dataclass(frozen=True)
+class IntegrityPolicy:
+    """End-to-end data-integrity policy for one SimMPI world.
+
+    With ``verify`` on, every envelope carries an xxhash-style checksum
+    of its pristine payload, receivers verify it (NACK + bounded resend
+    on mismatch), collectives verify per-contribution digests, and the
+    ghost-zone scatter re-verifies after storing.  The model-time cost
+    of hashing is charged per message: ``checksum_overhead_s`` fixed
+    plus ``nbytes`` at ``checksum_gbps`` — the overhead ``bench_chaos``
+    measures.
+
+    ``IntegrityPolicy.off()`` disables both the checks and their cost:
+    the baseline for overhead measurement, and the regression switch
+    proving the layer earns its keep (corruption then flows through
+    silently).
+    """
+
+    verify: bool = True
+    #: Bounded NACK/resend budget before a mismatch escalates to
+    #: :class:`CorruptionDetected`.
+    max_resend: int = 3
+    #: Modelled hashing throughput (xxhash-class, memory-bound).
+    checksum_gbps: float = 25.0
+    #: Fixed per-message hashing/verification overhead.
+    checksum_overhead_s: float = 2e-7
+
+    def __post_init__(self) -> None:
+        if self.max_resend < 0:
+            raise ValueError("max_resend must be >= 0")
+        if self.checksum_gbps <= 0 or self.checksum_overhead_s < 0:
+            raise ValueError("checksum_gbps > 0 and checksum_overhead_s >= 0")
+
+    def cost_s(self, nbytes: int) -> float:
+        """Model time to checksum (or verify) one ``nbytes`` payload."""
+        if not self.verify:
+            return 0.0
+        return self.checksum_overhead_s + nbytes / (self.checksum_gbps * 1e9)
+
+    @classmethod
+    def off(cls) -> "IntegrityPolicy":
+        return cls(verify=False, checksum_overhead_s=0.0)
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One injected fault, recorded at the injection point."""
 
     time: float  # model time at injection (the injecting rank's clock)
     rank: int  # the rank whose traffic was perturbed
-    kind: str  # 'jitter' | 'spike' | 'send_retry' | 'stall' | 'crash'
+    #: 'jitter' | 'spike' | 'send_retry' | 'stall' | 'crash' |
+    #: 'bitflip' | 'scribble' | 'coll_corrupt' | 'resident_corrupt' |
+    #: 'corruption_detected' | 'nack_resend'
+    kind: str
     op: str
     peer: int = -1  # destination rank for message faults
     delay_s: float = 0.0  # extra model time injected
@@ -112,14 +318,23 @@ class FaultEvent:
         )
 
 
+def schedule_sort_key(e: FaultEvent) -> tuple:
+    """The stable ordering of a fault schedule: model time, then rank,
+    then event kind — with every remaining field as a tiebreaker, so
+    two events are ever reordered only if they are byte-identical.
+    (Without the full key, same-time same-rank events of new kinds could
+    land in thread-arrival order and flake schedule goldens.)"""
+    return (e.time, e.rank, e.kind, e.op, e.peer, e.delay_s, e.detail)
+
+
 def format_schedule(events: list[FaultEvent]) -> str:
     """Render a fault schedule as a stable, byte-reproducible table."""
     if not events:
         return "(no faults injected)"
     header = f"{'t(us)':>12}  {'rank':<7} {'kind':<10} {'op':<18} delay"
-    lines = [header] + [ev.render() for ev in sorted(
-        events, key=lambda e: (e.time, e.rank, e.kind, e.op, e.peer)
-    )]
+    lines = [header] + [
+        ev.render() for ev in sorted(events, key=schedule_sort_key)
+    ]
     return "\n".join(lines)
 
 
@@ -131,21 +346,33 @@ class LinkFaults:
     jitter_s: float = 0.0  # mean of the exponential extra latency
     spike_prob: float = 0.0  # rare large delays (cross-link reordering)
     spike_s: float = 0.0
+    # --- silent data corruption (in-flight payload damage) -------------- #
+    bitflip_prob: float = 0.0  # per-transmission chance of bit flips
+    scribble_prob: float = 0.0  # per-transmission chance of a value scribble
+    bitflip_bits: int = 1  # bits flipped per corrupted transmission
 
     def __post_init__(self) -> None:
-        for name in ("jitter_prob", "spike_prob"):
+        for name in ("jitter_prob", "spike_prob", "bitflip_prob", "scribble_prob"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.bitflip_prob + self.scribble_prob > 1.0:
+            raise ValueError("bitflip_prob + scribble_prob must be <= 1")
         for name in ("jitter_s", "spike_s"):
             if getattr(self, name) < 0.0:
                 raise ValueError(f"{name} must be >= 0")
+        if self.bitflip_bits < 1:
+            raise ValueError("bitflip_bits must be >= 1")
 
     @property
     def active(self) -> bool:
         return (self.jitter_prob > 0 and self.jitter_s > 0) or (
             self.spike_prob > 0 and self.spike_s > 0
         )
+
+    @property
+    def corrupting(self) -> bool:
+        return self.bitflip_prob > 0 or self.scribble_prob > 0
 
 
 @dataclass(frozen=True)
@@ -170,6 +397,26 @@ class StallSpec:
 
 
 @dataclass(frozen=True)
+class ResidentCorruption:
+    """One planned resident-field corruption: a rank's in-memory solver
+    state is scribbled once its model clock passes ``after_s`` — a soft
+    error in device RAM rather than on the wire.  Invisible to envelope
+    checksums by construction; caught by the solvers' refresh-point
+    invariant monitors and recovered via checkpoint restore.
+    """
+
+    rank: int
+    after_s: float = 0.0
+    scale: float = 50.0  # scribble magnitude relative to the field's own
+
+    def __post_init__(self) -> None:
+        if self.after_s < 0.0:
+            raise ValueError("after_s must be >= 0")
+        if self.scale == 0.0:
+            raise ValueError("scale must be nonzero")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A seeded, deterministic schedule of comms faults.
 
@@ -191,6 +438,18 @@ class FaultPlan:
     #: stalled peer must surface a RankFailedError.  Much smaller than
     #: the deadlock timeout: a bound fault plan *expects* trouble.
     op_timeout_s: float = 5.0
+    # --- silent data corruption --------------------------------------- #
+    #: Planned resident-field corruptions (at most one per rank).
+    resident: tuple[ResidentCorruption, ...] = ()
+    #: Cap on corrupted *messages per rank* (-1 = unlimited).  With a cap
+    #: of 1 and probability 1, exactly each rank's first transmission is
+    #: corrupted — the deterministic single-event plans the regression
+    #: tests use.  Per-rank (not global) so the cap is independent of
+    #: thread interleaving.
+    corrupt_budget: int = -1
+    #: Per-contribution chance that a rank's collective (global-sum)
+    #: contribution is poisoned in flight.
+    coll_corrupt_prob: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.send_fail_prob < 1.0:
@@ -199,11 +458,22 @@ class FaultPlan:
             raise ValueError("max_send_attempts must be >= 1")
         if self.retry_backoff_s < 0 or self.op_timeout_s <= 0:
             raise ValueError("retry_backoff_s >= 0 and op_timeout_s > 0 required")
+        if not 0.0 <= self.coll_corrupt_prob <= 1.0:
+            raise ValueError("coll_corrupt_prob must be in [0, 1]")
+        if self.corrupt_budget < -1:
+            raise ValueError("corrupt_budget must be >= -1")
         seen = set()
         for s in self.stalls:
             if s.rank in seen:
                 raise ValueError(f"duplicate stall spec for rank {s.rank}")
             seen.add(s.rank)
+        seen = set()
+        for rc in self.resident:
+            if rc.rank in seen:
+                raise ValueError(
+                    f"duplicate resident corruption for rank {rc.rank}"
+                )
+            seen.add(rc.rank)
 
     # ------------------------------------------------------------------ #
     # Convenience constructors
@@ -234,12 +504,45 @@ class FaultPlan:
         """Transient send failures with retry/backoff."""
         return cls(seed=seed, send_fail_prob=fail_prob, **kwargs)
 
+    @classmethod
+    def corrupting(
+        cls,
+        seed: int,
+        *,
+        bitflip_prob: float = 0.02,
+        scribble_prob: float = 0.0,
+        bits: int = 1,
+        budget: int = -1,
+        coll_prob: float = 0.0,
+        **kwargs,
+    ) -> "FaultPlan":
+        """Silent payload corruption on every link (same rate: soft
+        errors do not care whether bytes crossed the fabric)."""
+        lf = LinkFaults(
+            bitflip_prob=bitflip_prob,
+            scribble_prob=scribble_prob,
+            bitflip_bits=bits,
+        )
+        return cls(
+            seed=seed, ib=lf, shm=lf, corrupt_budget=budget,
+            coll_corrupt_prob=coll_prob, **kwargs,
+        )
+
     def with_stall(
         self, rank: int, *, after_s: float = 0.0, mode: str = "stall"
     ) -> "FaultPlan":
         """A copy of this plan with one more rank failure scheduled."""
         return replace(
             self, stalls=self.stalls + (StallSpec(rank, after_s, mode),)
+        )
+
+    def with_resident_corruption(
+        self, rank: int, *, after_s: float = 0.0, scale: float = 50.0
+    ) -> "FaultPlan":
+        """A copy with a resident-field corruption scheduled on ``rank``."""
+        return replace(
+            self,
+            resident=self.resident + (ResidentCorruption(rank, after_s, scale),),
         )
 
     def without_ranks(self, ranks) -> "FaultPlan":
@@ -252,7 +555,9 @@ class FaultPlan:
         """
         drop = set(ranks)
         return replace(
-            self, stalls=tuple(s for s in self.stalls if s.rank not in drop)
+            self,
+            stalls=tuple(s for s in self.stalls if s.rank not in drop),
+            resident=tuple(r for r in self.resident if r.rank not in drop),
         )
 
     # ------------------------------------------------------------------ #
@@ -269,6 +574,23 @@ class FaultPlan:
             if s.rank == rank:
                 return s
         return None
+
+    def resident_for(self, rank: int) -> ResidentCorruption | None:
+        for rc in self.resident:
+            if rc.rank == rank:
+                return rc
+        return None
+
+    @property
+    def injects_corruption(self) -> bool:
+        """Whether any corruption fault (in-flight, collective, or
+        resident) is scheduled — arms integrity verification by default."""
+        return (
+            self.ib.corrupting
+            or self.shm.corrupting
+            or self.coll_corrupt_prob > 0
+            or bool(self.resident)
+        )
 
     def describe(self) -> str:
         parts = [f"seed={self.seed}"]
@@ -288,6 +610,24 @@ class FaultPlan:
                 f"send-fail p={self.send_fail_prob} "
                 f"(<= {self.max_send_attempts} attempts, "
                 f"backoff {self.retry_backoff_s * 1e6:.1f}us)"
+            )
+        for kind in ("ib", "shm"):
+            lf = getattr(self, kind)
+            if lf.corrupting:
+                parts.append(
+                    f"{kind}: corrupt p={lf.bitflip_prob + lf.scribble_prob:g}"
+                    + (f" ({lf.bitflip_bits}-bit flips)" if lf.bitflip_prob else "")
+                    + (
+                        f" (budget {self.corrupt_budget}/rank)"
+                        if self.corrupt_budget >= 0
+                        else ""
+                    )
+                )
+        if self.coll_corrupt_prob > 0:
+            parts.append(f"collective-corrupt p={self.coll_corrupt_prob}")
+        for rc in self.resident:
+            parts.append(
+                f"resident-corrupt rank {rc.rank} at t={rc.after_s * 1e6:.1f}us"
             )
         for s in self.stalls:
             parts.append(f"{s.mode} rank {s.rank} at t={s.after_s * 1e6:.1f}us")
@@ -345,3 +685,58 @@ class FaultPlan:
     def backoff_s(self, attempt: int) -> float:
         """Model-time backoff before retry ``attempt`` (0-based)."""
         return self.retry_backoff_s * (2.0**attempt)
+
+    def corrupt_attempts(
+        self, kind: str, src: int, dst: int, tag: int, seq: int, *, limit: int
+    ) -> tuple[int, str]:
+        """How many consecutive transmissions of message ``seq`` arrive
+        corrupted (0 = clean), and the damage mode.
+
+        Each NACK-triggered resend redraws independently, so a bounded
+        resend usually succeeds — but a probability-1 plan defeats it and
+        forces the loud :class:`CorruptionDetected` path.  ``limit``
+        bounds the walk (the receiver gives up after ``max_resend``
+        anyway).
+        """
+        lf = self.link(kind)
+        p = lf.bitflip_prob + lf.scribble_prob
+        if p <= 0:
+            return 0, ""
+        lid = _LINK_IDS[kind]
+        k = 0
+        while k <= limit and (
+            self._u(_SALT_CORRUPT, lid, src, dst, tag, seq, k) < p
+        ):
+            k += 1
+        if k == 0:
+            return 0, ""
+        mode = (
+            "bitflip"
+            if self._u(_SALT_CORRUPT_MODE, lid, src, dst, tag, seq)
+            < lf.bitflip_prob / p
+            else "scribble"
+        )
+        return k, mode
+
+    def corrupt_key(
+        self, kind: str, src: int, dst: int, tag: int, seq: int
+    ) -> tuple[int, ...]:
+        """The deterministic seed key for this message's damage pattern."""
+        return (
+            self.seed, _SALT_CORRUPT_MODE, _LINK_IDS[kind], src, dst, tag, seq,
+        )
+
+    def coll_corrupt_key(self, rank: int, coll_index: int) -> tuple[int, ...]:
+        """Seed key for the damage pattern of a poisoned contribution
+        (offset so it is independent of the fire/no-fire draw)."""
+        return (self.seed, _SALT_COLL_CORRUPT, 7919, rank, coll_index)
+
+    def coll_corrupt(self, rank: int, coll_index: int) -> bool:
+        """Whether this rank's contribution to collective ``coll_index``
+        is poisoned in flight."""
+        if self.coll_corrupt_prob <= 0:
+            return False
+        return (
+            self._u(_SALT_COLL_CORRUPT, rank, coll_index)
+            < self.coll_corrupt_prob
+        )

@@ -27,6 +27,16 @@ the wall-clock deadlock timer.  :meth:`SimMPI.run` can return partial
 results (``return_partial=True``) so surviving ranks unwind cleanly with
 no leaked threads.
 
+**Data integrity.**  An :class:`~repro.comms.faults.IntegrityPolicy`
+(armed automatically when the bound plan injects corruption) makes every
+envelope carry an xxhash-style checksum of its pristine payload.
+Receivers verify on delivery — a mismatch triggers NACK + bounded
+modelled resends, then a structured
+:class:`~repro.comms.faults.CorruptionDetected` — and collectives verify
+each rank's contribution before combining.  The hashing cost is charged
+on the model clock so the protection overhead is measurable.
+
+
 The API deliberately mirrors the mpi4py subset the paper's communication
 patterns need: ``Send/Recv``, ``Isend/Irecv`` + ``wait``, ``Sendrecv``,
 ``Allreduce``, ``Barrier``.
@@ -46,7 +56,17 @@ import numpy as np
 
 from ..gpu.streams import Timeline
 from .cluster import ClusterSpec
-from .faults import FaultEvent, FaultPlan, RankFailedError
+from .faults import (
+    CorruptionDetected,
+    FaultEvent,
+    FaultPlan,
+    IntegrityPolicy,
+    RankFailedError,
+    ResidentCorruption,
+    checksum_payload,
+    corrupt_payload,
+    schedule_sort_key,
+)
 
 __all__ = [
     "SimMPI",
@@ -75,6 +95,26 @@ class MPIDeadlockError(RuntimeError):
     """A blocking operation found no matching partner in time."""
 
 
+def _corrupt_contribution(
+    value: Any, plan: FaultPlan, rank: int, key: int
+) -> tuple[Any, str]:
+    """Poison one collective contribution (pure function of the plan seed).
+
+    Scalars get a few bits flipped in their float representation; arrays
+    get a value scribble.  Contributions with no stable byte form (object
+    dtype) pass through untouched."""
+    seed_key = plan.coll_corrupt_key(rank, key)
+    if isinstance(value, np.ndarray):
+        return corrupt_payload(value, seed_key=seed_key, mode="scribble")
+    arr = np.atleast_1d(np.asarray(value))
+    if arr.dtype == object:
+        return value, "uncorruptible contribution (object dtype)"
+    bad, detail = corrupt_payload(
+        arr.copy(), seed_key=seed_key, mode="bitflip", bits=3
+    )
+    return bad.reshape(-1)[0].item() if arr.size == 1 else bad, detail
+
+
 @dataclass
 class _Envelope:
     """One in-flight message."""
@@ -83,6 +123,10 @@ class _Envelope:
     nbytes: int
     sent_at: float  # sender's model time at post
     extra_delay: float = 0.0  # injected fault latency (model seconds)
+    # --- integrity --------------------------------------------------- #
+    checksum: int | None = None  # digest of the *pristine* payload
+    pristine: Any = None  # uncorrupted copy (set only when data was damaged)
+    corrupt_count: int = 0  # consecutive corrupted transmissions modelled
 
 
 @dataclass(frozen=True)
@@ -104,7 +148,9 @@ class _SharedState:
         self.queue_lock = threading.Lock()
         self.barrier = threading.Barrier(size)
         self.coll_lock = threading.Lock()
-        self.coll_slots: dict[int, dict[int, tuple[Any, float]]] = {}
+        # Per-collective slot: rank -> (sent value, entry time, digest of
+        # the intended value, pristine copy).
+        self.coll_slots: dict[int, dict[int, tuple[Any, float, Any, Any]]] = {}
         # --- failure board (all guarded by fail_lock) ------------------- #
         self.fail_lock = threading.Lock()
         self.failed: dict[int, _FailRecord] = {}  # loudly dead ranks
@@ -162,11 +208,17 @@ class CommStats:
     collectives: int = 0
     retries: int = 0  # transient send failures survived
     fault_delay_s: float = 0.0  # model time injected into this rank's traffic
+    corruptions_detected: int = 0  # checksum mismatches observed here
+    corruptions_corrected: int = 0  # deliveries repaired by NACK/resend
+    resends: int = 0  # integrity-triggered retransmissions
+    integrity_overhead_s: float = 0.0  # model time spent hashing/verifying
 
     def snapshot(self) -> "CommStats":
         return CommStats(
             self.sends, self.recvs, self.collectives, self.retries,
-            self.fault_delay_s,
+            self.fault_delay_s, self.corruptions_detected,
+            self.corruptions_corrected, self.resends,
+            self.integrity_overhead_s,
         )
 
 
@@ -180,10 +232,13 @@ class Comm:
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     timeline: Timeline | None = None
     plan: FaultPlan | None = None
+    integrity: IntegrityPolicy = field(default_factory=IntegrityPolicy.off)
     stats: CommStats = field(default_factory=CommStats)
     _coll_count: int = 0
     _send_seq: dict[tuple[int, int], int] = field(default_factory=dict)
     _stall_armed: bool = True
+    _resident_armed: bool = True
+    _corrupt_seen: int = 0  # corrupted sends so far (plan.corrupt_budget cap)
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -253,6 +308,27 @@ class Comm:
         self._state.shutdown.wait()
         raise RankFailedError(self.rank, op, now, mode="stalled")
 
+    def take_resident_corruption(self) -> tuple[ResidentCorruption, int] | None:
+        """One-shot poll: the planned resident-field corruption for this
+        rank (with the plan seed for the scribble pattern), once its
+        model clock passes the scheduled time.  Solvers poll this each
+        iteration and damage their own state — envelope checksums cannot
+        see memory errors, so detection falls to the solvers'
+        refresh-point invariant monitors."""
+        if self.plan is None or not self._resident_armed:
+            return None
+        spec = self.plan.resident_for(self.rank)
+        if spec is None or self._now() < spec.after_s:
+            return None
+        self._resident_armed = False
+        self._record_event(
+            FaultEvent(
+                self._now(), self.rank, "resident_corrupt", "solver state",
+                detail=f"scale {spec.scale:g}",
+            )
+        )
+        return spec, self.plan.seed
+
     def _peer_failure(self, source: int, op: str) -> RankFailedError | None:
         fate = self._state.peer_fate(source)
         if fate is None:
@@ -311,7 +387,12 @@ class Comm:
         self._check_peer(dest)
         self._fault_checkpoint("MPI_Send")
         self.stats.sends += 1
+        payload, auto_bytes = self._payload(data)
+        wire_bytes = nbytes if nbytes is not None else auto_bytes
         extra_delay = 0.0
+        pristine: Any = None
+        corrupt_count = 0
+        checksum: int | None = None
         if self.plan is not None:
             seq = self._send_seq.get((dest, tag), 0)
             self._send_seq[(dest, tag)] = seq + 1
@@ -340,19 +421,78 @@ class Comm:
                     )
                 )
                 self.stats.fault_delay_s += extra_delay
+            lf = self.plan.link(kind)
+            budget = self.plan.corrupt_budget
+            remaining = (
+                budget - self._corrupt_seen if budget >= 0 else -1
+            )
+            if lf.corrupting and remaining != 0:
+                # The budget caps corrupted *transmissions* (resends
+                # included), so a budget-1 probability-1 plan corrupts
+                # exactly one delivery and the first resend goes clean —
+                # the deterministic detect-and-recover regression plan.
+                limit = (
+                    self.integrity.max_resend
+                    if remaining < 0
+                    else min(self.integrity.max_resend, remaining - 1)
+                )
+                corrupt_count, mode = self.plan.corrupt_attempts(
+                    kind, self.rank, dest, tag, seq, limit=limit,
+                )
+                if corrupt_count:
+                    self._corrupt_seen += corrupt_count
+                    bad, dmg = corrupt_payload(
+                        payload,
+                        seed_key=self.plan.corrupt_key(
+                            kind, self.rank, dest, tag, seq
+                        ),
+                        mode=mode,
+                        bits=lf.bitflip_bits,
+                    )
+                    if bad is not payload:  # real data was damaged
+                        pristine, payload = payload, bad
+                    self._record_event(
+                        FaultEvent(
+                            self._now(), self.rank, mode, "MPI_Send",
+                            peer=dest,
+                            detail=f"link {kind}; {dmg}"
+                            + (
+                                f"; survives {corrupt_count - 1} resend(s)"
+                                if corrupt_count > 1
+                                else ""
+                            ),
+                        )
+                    )
         self._charge(self.cluster.params.mpi_overhead_s, "MPI_Send")
-        payload, auto_bytes = self._payload(data)
+        if self.integrity.verify:
+            checksum = checksum_payload(
+                pristine if pristine is not None else payload
+            )
+            cost = self.integrity.cost_s(wire_bytes)
+            self._charge(cost, f"integrity:hash(->{dest})")
+            self.stats.integrity_overhead_s += cost
         env = _Envelope(
             payload,
-            nbytes if nbytes is not None else auto_bytes,
+            wire_bytes,
             self._now(),
             extra_delay,
+            checksum=checksum,
+            pristine=pristine,
+            corrupt_count=corrupt_count,
         )
         self._state.queue(self.rank, dest, tag).put(env)
 
-    def recv(self, source: int, tag: int = 0) -> Any:
+    def recv(
+        self, source: int, tag: int = 0, *, with_checksum: bool = False
+    ) -> Any:
         """Blocking receive; completes at the modelled arrival time (plus
-        any fault latency the message picked up in flight)."""
+        any fault latency the message picked up in flight).
+
+        With verification armed, the envelope's checksum is checked on
+        delivery: a mismatch triggers NACK + bounded modelled resends and
+        finally :class:`CorruptionDetected`.  ``with_checksum=True``
+        returns ``(data, checksum)`` so a caller can re-verify after
+        further processing (the ghost-zone scatter does)."""
         self._check_peer(source)
         self._fault_checkpoint("MPI_Recv")
         self.stats.recvs += 1
@@ -367,6 +507,87 @@ class Comm:
             self._advance(
                 arrival + env.extra_delay, f"fault:late(from {source})", fault=True
             )
+        data = self._verify_envelope(env, source, op)
+        if with_checksum:
+            return data, env.checksum
+        return data
+
+    def _delivery_corrupt(self, env: _Envelope, delivery: int) -> bool:
+        """Whether delivery number ``delivery`` (1-based) of this envelope
+        arrives corrupted.  The first delivery of a data-bearing payload
+        is judged by the *actual* checksum — detection is real, not
+        modelled; resends (and timing-only payloads, which carry no bytes
+        to damage) consult the envelope's sampled corruption count."""
+        if env.checksum is not None and delivery == 1 and (
+            env.pristine is not None or env.corrupt_count == 0
+        ):
+            return checksum_payload(env.data) != env.checksum
+        return delivery <= env.corrupt_count
+
+    def _verify_envelope(self, env: _Envelope, source: int, op: str) -> Any:
+        """Checksum verification with NACK + bounded resend.
+
+        Sends are buffered, so the retransmission loop is modelled on the
+        receiving side: the envelope carries how many consecutive
+        transmissions arrive corrupted (independently redrawn from the
+        plan seed), and each NACK costs a full extra message time on the
+        model clock.  A mismatch outliving ``max_resend`` raises
+        :class:`CorruptionDetected` — never a silent delivery.
+        """
+        if not self.integrity.verify or env.checksum is None:
+            return env.data
+        cost = self.integrity.cost_s(env.nbytes)
+        self._charge(cost, f"integrity:verify(from {source})")
+        self.stats.integrity_overhead_s += cost
+        delivery = 1
+        while self._delivery_corrupt(env, delivery):
+            self.stats.corruptions_detected += 1
+            actual = (
+                checksum_payload(env.data)
+                if env.pristine is not None
+                else (env.checksum ^ 0xFFFFFFFF)  # modelled mismatch
+            )
+            if delivery > self.integrity.max_resend:
+                self._record_event(
+                    FaultEvent(
+                        self._now(), self.rank, "corruption_detected", op,
+                        peer=source,
+                        detail=f"unrecoverable: {delivery - 1} resend(s) exhausted",
+                    )
+                )
+                raise CorruptionDetected(
+                    self.rank, op, self._now(),
+                    link=self.cluster.link_kind(source, self.rank),
+                    expected=env.checksum, actual=actual,
+                    detail=f"{delivery - 1} resend(s) exhausted",
+                )
+            resend = (
+                self.cluster.message_time(source, self.rank, env.nbytes) + cost
+            )
+            self._charge(resend, f"fault:resend(from {source})", fault=True)
+            self.stats.resends += 1
+            self.stats.fault_delay_s += resend
+            self._record_event(
+                FaultEvent(
+                    self._now(), self.rank, "nack_resend", op, peer=source,
+                    delay_s=resend,
+                    detail=(
+                        f"delivery {delivery}: checksum {actual:#010x} != "
+                        f"{env.checksum:#010x}; NACK"
+                    ),
+                )
+            )
+            delivery += 1
+        if delivery > 1:
+            self.stats.corruptions_corrected += 1
+            self._record_event(
+                FaultEvent(
+                    self._now(), self.rank, "corruption_detected", op,
+                    peer=source,
+                    detail=f"corrected after {delivery - 1} resend(s)",
+                )
+            )
+            return env.pristine if env.pristine is not None else env.data
         return env.data
 
     def isend(self, data: Any, dest: int, tag: int = 0, *, nbytes: int | None = None) -> Request:
@@ -424,21 +645,86 @@ class Comm:
         op: str = "MPI_Allreduce",
     ) -> Any:
         """Generic synchronizing collective with model-time semantics:
-        everyone leaves at ``max(entry times) + allreduce_time``."""
+        everyone leaves at ``max(entry times) + allreduce_time``.
+
+        With verification armed, each contribution carries a digest of
+        the value the rank *meant* to contribute; every rank verifies all
+        contributions before combining.  A poisoned contribution is
+        repaired from the pristine copy and costs one extra reduction
+        round (modelled NACK + re-contribution); detections are counted
+        on rank 0 only so aggregate stats stay world-size independent.
+        With verification off, the poisoned value flows into the combine
+        on every rank — deterministically, silently wrong.
+        """
         self._fault_checkpoint(op)
         self.stats.collectives += 1
         key = self._coll_count
         self._coll_count += 1
+        sent, pristine, chk = value, value, None
+        if (
+            self.plan is not None
+            and value is not None
+            and self.plan.coll_corrupt(self.rank, key)
+        ):
+            sent, dmg = _corrupt_contribution(value, self.plan, self.rank, key)
+            self._record_event(
+                FaultEvent(
+                    self._now(), self.rank, "coll_corrupt", op,
+                    detail=f"collective #{key}; {dmg}",
+                )
+            )
+        if self.integrity.verify:
+            chk = checksum_payload(pristine)
+            cost = self.integrity.cost_s(max(nbytes, 16))
+            self._charge(cost, f"integrity:hash({op})")
+            self.stats.integrity_overhead_s += cost
         with self._state.coll_lock:
             slot = self._state.coll_slots.setdefault(key, {})
-            slot[self.rank] = (value, self._now())
+            slot[self.rank] = (sent, self._now(), chk, pristine)
         self._barrier_wait(op)
         entries = self._state.coll_slots[key]
-        values = [entries[r][0] for r in range(self.size)]
         latest = max(entries[r][1] for r in range(self.size))
+        values = []
+        n_bad = 0
+        for r in range(self.size):
+            sv, _, sc, pv = entries[r]
+            if (
+                self.integrity.verify
+                and sc is not None
+                and checksum_payload(sv) != sc
+            ):
+                n_bad += 1
+                values.append(pv)
+            else:
+                values.append(sv)
         result = combine(values)
         completion = latest + self.cluster.allreduce_time(self.size, nbytes)
-        self._advance(completion, op)
+        if n_bad:
+            # Each poisoned contribution costs one extra reduction round
+            # (NACK + re-contribution) before anyone can leave.
+            penalty = n_bad * self.cluster.allreduce_time(self.size, nbytes)
+            self._advance(completion, op)
+            self._advance(
+                completion + penalty, f"fault:coll_resend({op})", fault=True
+            )
+            completion += penalty
+            if self.rank == 0:
+                self.stats.corruptions_detected += n_bad
+                self.stats.corruptions_corrected += n_bad
+                self.stats.resends += n_bad
+                self.stats.fault_delay_s += penalty
+                self._record_event(
+                    FaultEvent(
+                        completion, 0, "corruption_detected", op,
+                        delay_s=penalty,
+                        detail=(
+                            f"{n_bad} poisoned contribution(s) to collective "
+                            f"#{key}; re-contributed"
+                        ),
+                    )
+                )
+        else:
+            self._advance(completion, op)
         self._barrier_wait(op)
         if self.rank == 0:
             with self._state.coll_lock:
@@ -523,6 +809,7 @@ class SimMPI:
         size: int,
         cluster: ClusterSpec | None = None,
         fault_plan: FaultPlan | None = None,
+        integrity: IntegrityPolicy | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
@@ -532,9 +819,26 @@ class SimMPI:
                     raise ValueError(
                         f"fault plan stalls rank {spec.rank}, world has {size}"
                     )
+            for rc in fault_plan.resident:
+                if not 0 <= rc.rank < size:
+                    raise ValueError(
+                        f"fault plan corrupts rank {rc.rank}, world has {size}"
+                    )
         self.size = size
         self.cluster = cluster or ClusterSpec()
         self.fault_plan = fault_plan
+        if integrity is None:
+            # Verification arms itself exactly when the plan injects
+            # corruption: healthy runs (and latency/crash-only chaos
+            # runs) stay byte-identical to the unprotected runtime, so
+            # golden timings hold; pass an explicit policy to measure
+            # the always-on overhead.
+            integrity = (
+                IntegrityPolicy()
+                if fault_plan is not None and fault_plan.injects_corruption
+                else IntegrityPolicy.off()
+            )
+        self.integrity = integrity
         self._state = _SharedState(size)
         self._comms: list[Comm] | None = None
 
@@ -547,6 +851,7 @@ class SimMPI:
             _state=self._state,
             cluster=self.cluster,
             plan=self.fault_plan,
+            integrity=self.integrity,
             # A default clock so model time advances (and time-based fault
             # plans fire) even for bare workloads; the solver rebinds this
             # to the rank's GPU host clock via bind_timeline().
@@ -554,13 +859,17 @@ class SimMPI:
         )
 
     def fault_events(self) -> list[FaultEvent]:
-        """All injected faults, merged across ranks in a stable order."""
+        """All injected faults, merged across ranks in a stable order.
+
+        Per-rank lists are walked in rank order (never dict insertion
+        order, which tracks thread timing) and sorted with the full
+        schedule key, so the merged schedule is byte-reproducible."""
         merged = [
-            ev for events in self._state.fault_events.values() for ev in events
+            ev
+            for rank in sorted(self._state.fault_events)
+            for ev in self._state.fault_events[rank]
         ]
-        return sorted(
-            merged, key=lambda e: (e.time, e.rank, e.kind, e.op, e.peer)
-        )
+        return sorted(merged, key=schedule_sort_key)
 
     def comm_stats(self) -> list[CommStats]:
         """Per-rank comm counters of the last :meth:`run` (snapshots)."""
@@ -709,7 +1018,8 @@ def run_spmd(
     fn: Callable[[Comm], Any],
     cluster: ClusterSpec | None = None,
     fault_plan: FaultPlan | None = None,
+    integrity: IntegrityPolicy | None = None,
     **kwargs,
 ) -> list[Any] | SpmdOutcome:
     """One-shot convenience: build a world and run ``fn`` on every rank."""
-    return SimMPI(size, cluster, fault_plan).run(fn, **kwargs)
+    return SimMPI(size, cluster, fault_plan, integrity).run(fn, **kwargs)

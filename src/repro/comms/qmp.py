@@ -128,15 +128,25 @@ class QMPMachine:
         dest, tag = self._route(mu, direction)
         self.comm.send(data, dest, tag, nbytes=nbytes)
 
-    def recv_from(self, direction: int, *, mu: int = 3) -> Any:
-        """Blocking receive from the ``-mu`` or ``+mu`` neighbour."""
+    def recv_from(
+        self, direction: int, *, mu: int = 3, with_checksum: bool = False
+    ) -> Any:
+        """Blocking receive from the ``-mu`` or ``+mu`` neighbour.
+
+        ``with_checksum=True`` returns ``(data, checksum)`` so the
+        ghost-zone scatter can re-verify the stored faces end to end."""
         source, tag = self._route_recv(mu, direction)
         try:
-            return self.comm.recv(source, tag)
+            return self.comm.recv(source, tag, with_checksum=with_checksum)
         except RankFailedError as exc:
             raise exc.add_context(
                 f"ghost relay mu={mu} dir={direction:+d}"
             ) from None
+
+    def take_resident_corruption(self):
+        """One-shot poll of the plan's resident-field corruption for this
+        rank: ``(spec, plan_seed)`` once armed and due, else ``None``."""
+        return self.comm.take_resident_corruption()
 
     def start_send(
         self, direction: int, data: Any, *, mu: int = 3, nbytes: int | None = None

@@ -109,6 +109,11 @@ class QudaInvertParam:
     #: Iterations without a 10% best-residual improvement declared as
     #: stagnation.
     stagnation_window: int = 1000
+    #: Refresh-point invariant monitor: a reliable-update true residual
+    #: jumping by more than this factor over the previous refresh is
+    #: declared resident-state corruption (kind ``'corruption'``) —
+    #: rounding drift between refreshes is orders of magnitude smaller.
+    corruption_factor: float = 1e3
 
     def __post_init__(self) -> None:
         if self.matpc not in ("even-even", "odd-odd"):
@@ -131,6 +136,8 @@ class QudaInvertParam:
             raise ValueError("divergence_factor must be > 1")
         if self.stagnation_window < 1:
             raise ValueError("stagnation_window must be >= 1")
+        if self.corruption_factor <= 1:
+            raise ValueError("corruption_factor must be > 1")
 
     @property
     def mixed_precision(self) -> bool:
@@ -187,6 +194,16 @@ class SolveStats:
     #: Model time burned by failed attempts + retry backoff; included in
     #: ``model_time`` so recovered solves report their honest cost.
     lost_time: float = 0.0
+    # --- data integrity (silent-corruption protection) ----------------- #
+    #: Checksum mismatches observed (wire + collective) plus invariant-
+    #: monitor hits on resident state, summed across ranks.
+    corruptions_detected: int = 0
+    #: Corruptions repaired (NACK/resend, collective re-contribution, or
+    #: checkpoint restore) rather than escalated to a failure.
+    corruptions_corrected: int = 0
+    #: Model time spent hashing/verifying envelopes, max over ranks —
+    #: the protection cost ``bench_chaos`` reports.
+    integrity_overhead: float = 0.0
 
     @property
     def sustained_gflops(self) -> float:

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..comms.faults import RankFailedError
+from ..comms.faults import CorruptionDetected, RankFailedError, checksum_payload
 from ..comms.qmp import QMPMachine
 from ..gpu.device import VirtualGPU
 from ..gpu.fields import BACKWARD, FORWARD, DeviceCloverField, DeviceGaugeField, DeviceSpinorField
@@ -260,13 +260,15 @@ def dslash_with_exchange(
     for mu in dirs:
         s_back, s_fwd = _face_streams(mu)
         try:
-            ghost_back = qmp.recv_from(-1, mu=mu)
+            ghost_back, chk_back = qmp.recv_from(-1, mu=mu, with_checksum=True)
             _upload_face(gpu, plans[mu], BACKWARD, stream=s_back, asynchronous=True)
-            ghost_fwd = qmp.recv_from(+1, mu=mu)
+            ghost_fwd, chk_fwd = qmp.recv_from(+1, mu=mu, with_checksum=True)
         except RankFailedError as exc:
             raise exc.add_context("overlapped dslash face exchange") from None
         _upload_face(gpu, plans[mu], FORWARD, stream=s_fwd, asynchronous=True)
         _store_ghosts(gpu, src, mu, ghost_back, ghost_fwd)
+        _verify_ghost(qmp, mu, -1, ghost_back, chk_back)
+        _verify_ghost(qmp, mu, +1, ghost_fwd, chk_fwd)
 
     # Boundary kernel waits for all ghost uploads, then completes dst.
     for mu in dirs:
@@ -299,13 +301,15 @@ def _no_overlap_exchange(gpu, qmp, tables, plans, src, dagger, occupancy) -> Non
         qmp.send_to(-1, back_face, mu=mu, nbytes=plan.message_bytes)
         qmp.send_to(+1, fwd_face, mu=mu, nbytes=plan.message_bytes)
         try:
-            ghost_back = qmp.recv_from(-1, mu=mu)
-            ghost_fwd = qmp.recv_from(+1, mu=mu)
+            ghost_back, chk_back = qmp.recv_from(-1, mu=mu, with_checksum=True)
+            ghost_fwd, chk_fwd = qmp.recv_from(+1, mu=mu, with_checksum=True)
         except RankFailedError as exc:
             raise exc.add_context("serial dslash face exchange") from None
         _upload_face(gpu, plan, BACKWARD, stream=STREAM_COMPUTE, asynchronous=False)
         _upload_face(gpu, plan, FORWARD, stream=STREAM_COMPUTE, asynchronous=False)
         _store_ghosts(gpu, src, mu, ghost_back, ghost_fwd)
+        _verify_ghost(qmp, mu, -1, ghost_back, chk_back)
+        _verify_ghost(qmp, mu, +1, ghost_fwd, chk_fwd)
 
 
 def _store_ghosts(gpu, src, mu, ghost_back, ghost_fwd) -> None:
@@ -316,3 +320,20 @@ def _store_ghosts(gpu, src, mu, ghost_back, ghost_fwd) -> None:
     halves_f, norms_f = ghost_fwd
     src.set_ghost(BACKWARD, halves_b, norms_b, mu=mu)
     src.set_ghost(FORWARD, halves_f, norms_f, mu=mu)
+
+
+def _verify_ghost(qmp, mu, direction, ghost, checksum) -> None:
+    """End-to-end ghost-zone check, *after* the scatter into the end
+    zone: the face must still hash to the envelope digest once the whole
+    gather → copy → message → scatter pipeline has run, catching damage
+    introduced between wire verification and storage."""
+    if checksum is None:
+        return
+    actual = checksum_payload(ghost)
+    if actual != checksum:
+        comm = qmp.comm
+        raise CorruptionDetected(
+            comm.rank, "ghost scatter", comm._now(),
+            expected=checksum, actual=actual,
+            detail=f"face mu={mu} dir={direction:+d} damaged after scatter",
+        )

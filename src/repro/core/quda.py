@@ -30,6 +30,17 @@ triggers a bounded relaunch (optionally re-partitioned over the
 survivors) that resumes from the last checkpoint, and numerical
 breakdowns walk a deterministic escalation ladder (restart →
 BiCGstab→CG → sloppy precision up a notch) in lockstep on all ranks.
+
+**Data integrity**: with an :class:`~repro.comms.faults.IntegrityPolicy`
+active (on by default whenever the bound fault plan injects corruption),
+every message travels in a checksummed envelope verified on receive,
+ghost zones are re-verified after scatter, and the solvers monitor cheap
+algebraic invariants on their existing reductions.  Detected wire
+corruption is repaired by bounded NACK/resend; detected resident-state
+corruption walks a dedicated ``checkpoint_restore`` ladder rung that
+restores the last verified checkpoint without consuming the numerical
+escalation budget.  :class:`~repro.core.interface.SolveStats` reports
+detections, corrections, and the verification overhead.
 """
 
 from __future__ import annotations
@@ -39,7 +50,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..comms.cluster import ClusterSpec
-from ..comms.faults import FaultEvent, FaultPlan
+from ..comms.faults import FaultEvent, FaultPlan, IntegrityPolicy
 from ..comms.mpi_sim import Comm, CommStats
 from ..comms.qmp import QMPMachine
 from ..gpu.device import VirtualGPU
@@ -112,6 +123,7 @@ def invert(
     tune: bool = True,
     verify: bool = True,
     fault_plan: FaultPlan | None = None,
+    integrity: IntegrityPolicy | None = None,
 ) -> InvertResult:
     """Solve ``M x = source`` for the Wilson-clover matrix on ``gauge``.
 
@@ -138,6 +150,7 @@ def invert(
         tune=tune,
         verify=verify,
         fault_plan=fault_plan,
+        integrity=integrity,
     )[0]
 
 
@@ -155,6 +168,7 @@ def invert_multi(
     tune: bool = True,
     verify: bool = True,
     fault_plan: FaultPlan | None = None,
+    integrity: IntegrityPolicy | None = None,
 ) -> list[InvertResult]:
     """Solve ``M x = b`` for many right-hand sides on one setup.
 
@@ -186,6 +200,7 @@ def invert_multi(
         host_clover=clover_blocks,
         host_sources=sources,
         fault_plan=fault_plan,
+        integrity=integrity,
     )
     if verify:
         from ..lattice.dirac import WilsonCloverOperator
@@ -217,6 +232,7 @@ def invert_model(
     enforce_memory: bool = True,
     tune: bool = True,
     fault_plan: FaultPlan | None = None,
+    integrity: IntegrityPolicy | None = None,
 ) -> InvertResult:
     """Timing-only solve at paper scale (no field data, exact schedule).
 
@@ -243,6 +259,7 @@ def invert_model(
         host_clover=None,
         host_sources=None,
         fault_plan=fault_plan,
+        integrity=integrity,
     )[0]
 
 
@@ -275,6 +292,12 @@ def _solve_with_escalation(
     precision a notch at a time.  A relaunched attempt lands here too —
     ``store.latest`` then hands back the checkpointed configuration and
     solution of the previous attempt.
+
+    Breakdowns of kind ``'corruption'`` (invariant-monitor hits on
+    resident state) take the dedicated ``checkpoint_restore`` rung
+    instead: resume from the last *verified* checkpoint with the same
+    solver and precision, on a separate bounded budget that does not
+    consume the numerical escalation rungs.
     """
     ckpt = store.latest(source)
     if ckpt is not None:
@@ -338,7 +361,11 @@ def _solve_with_escalation(
                     **solver_kwargs,
                 )
             except SolverBreakdown as bd:
-                step = ladder.next_step()
+                step = (
+                    ladder.corruption_step(solver_name, sloppy_prec)
+                    if bd.kind == "corruption"
+                    else ladder.next_step()
+                )
                 if step is None:
                     raise
                 if rank == 0:  # one ledger entry; the decision is global
@@ -388,6 +415,7 @@ def _run(
     host_sources: list[SpinorField] | None,
     grid: tuple[int, int] | None = None,
     fault_plan: FaultPlan | None = None,
+    integrity: IntegrityPolicy | None = None,
 ) -> list[InvertResult]:
     tune_cache: TuneCache | None = autotune(gpu_spec) if tune else None
     n_sources = len(host_sources) if host_sources is not None else 1
@@ -500,6 +528,7 @@ def _run(
                     delta=inv.delta,
                     maxiter=inv.maxiter,
                     fixed_iterations=inv.fixed_iterations,
+                    corruption_factor=inv.corruption_factor,
                 )
                 if inv.use_defect_correction:
                     # The defect-correction baseline keeps its own restart
@@ -557,6 +586,7 @@ def _run(
         policy=inv.retry_policy,
         store=store,
         make_body=make_body,
+        integrity=integrity,
     )
     slicing = out.slicing
     outcomes = out.results
@@ -591,6 +621,18 @@ def _run(
             ),
             wasted_iterations=sum(e.wasted_iterations for e in src_events),
             lost_time=out.lost_time_s,
+            corruptions_detected=(
+                sum(cs.corruptions_detected for cs in out.comm_stats)
+                + sum(1 for e in src_events if e.kind == "checkpoint_restore")
+            ),
+            corruptions_corrected=(
+                sum(cs.corruptions_corrected for cs in out.comm_stats)
+                + sum(1 for e in src_events if e.kind == "checkpoint_restore")
+            ),
+            integrity_overhead=max(
+                (cs.integrity_overhead_s for cs in out.comm_stats),
+                default=0.0,
+            ),
         )
         solution = None
         if execute:

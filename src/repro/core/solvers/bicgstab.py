@@ -54,6 +54,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from ...comms.faults import resident_scribble
 from ...gpu.fields import DeviceSpinorField
 from .. import blas
 from ..dslash import DeviceSchurOperator
@@ -80,6 +81,7 @@ def bicgstab_solve(
     on_refresh: Callable[..., None] | None = None,
     divergence_factor: float = 1e5,
     stagnation_window: int = 1000,
+    corruption_factor: float = 1e3,
 ) -> LocalSolveInfo:
     """Solve ``Mhat x = b``; ``b`` and ``x_out`` are full-precision fields.
 
@@ -182,8 +184,10 @@ def bicgstab_solve(
                     history=list(history),
                 )
 
+        last_refresh_rnorm = rnorm
+
         def reliable_refresh() -> None:
-            nonlocal rnorm
+            nonlocal rnorm, last_refresh_rnorm
             rnorm = updater.refresh(x_s, r)
             if execute and not math.isfinite(rnorm):
                 # Never checkpoint a poisoned solution.
@@ -191,11 +195,42 @@ def bicgstab_solve(
                     "non_finite", iteration=iters, rnorm=rnorm,
                     detail="true residual after reliable update",
                 )
+            # Refresh-point invariant monitor (ABFT): the recurrence
+            # residual keeps falling even when resident solver state is
+            # damaged, so the *true* residual computed here is the one
+            # scalar that exposes it — a jump past corruption_factor over
+            # the previous refresh is orders of magnitude beyond rounding
+            # drift.  Raised before checkpoint(), so a poisoned solution
+            # is never committed as a recovery point.
+            if (
+                execute
+                and last_refresh_rnorm > 0
+                and rnorm > corruption_factor * last_refresh_rnorm
+            ):
+                raise SolverBreakdown(
+                    "corruption", iteration=iters, rnorm=rnorm,
+                    detail=(
+                        f"true residual jumped {rnorm / last_refresh_rnorm:.1e}x "
+                        f"over the last refresh ({last_refresh_rnorm:.6e})"
+                    ),
+                )
+            last_refresh_rnorm = rnorm
             history.append(rnorm)
             checkpoint()
 
         while iters < iters_limit and not converged:
             iters += 1
+            # Planned resident-field corruption (a soft error in device
+            # RAM) fires here — polled unconditionally so timing-only
+            # runs record the event, applied only to real field data.
+            hit = None if qmp is None else qmp.take_resident_corruption()
+            if hit is not None and execute:
+                spec, plan_seed = hit
+                damaged = x_s.get()
+                resident_scribble(
+                    damaged, seed=plan_seed, rank=qmp.rank, scale=spec.scale
+                )
+                x_s.set(damaged)
             rho_new = blas.cdot(sgpu, r0, r, qmp)
             if execute:
                 ensure_finite("rho", rho_new, iteration=iters, rnorm=rnorm)
@@ -230,6 +265,14 @@ def bicgstab_solve(
             s2 = blas.axpy_norm(sgpu, -alpha, v, r, qmp)
             if execute:
                 ensure_finite("|s|^2", s2, iteration=iters, rnorm=rnorm)
+                if s2 < 0:
+                    # A squared norm from a global sum: negativity can
+                    # only mean a poisoned reduction (free ABFT check on
+                    # an allreduce the recurrence already pays for).
+                    raise SolverBreakdown(
+                        "corruption", iteration=iters, rnorm=rnorm,
+                        detail=f"|s|^2 = {s2!r} < 0 from global reduction",
+                    )
             if execute and s2**0.5 <= conv.target:
                 # Early exit on s: x += alpha p, then verify in full precision.
                 blas.axpy(sgpu, alpha, p, x_s)
@@ -262,6 +305,11 @@ def bicgstab_solve(
             rho = rho_new
             if execute:
                 ensure_finite("|r|^2", r2, iteration=iters, rnorm=rnorm)
+                if r2 < 0:
+                    raise SolverBreakdown(
+                        "corruption", iteration=iters, rnorm=rnorm,
+                        detail=f"|r|^2 = {r2!r} < 0 from global reduction",
+                    )
                 rnorm = r2**0.5
             history.append(rnorm)
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from ...comms.faults import resident_scribble
 from ...gpu.fields import DeviceSpinorField
 from .. import blas
 from ..dslash import DeviceSchurOperator
@@ -57,6 +58,7 @@ def cg_solve(
     on_refresh: Callable[..., None] | None = None,
     divergence_factor: float = 1e5,
     stagnation_window: int = 1000,
+    corruption_factor: float = 1e3,
 ) -> LocalSolveInfo:
     """Solve ``Mhat x = b`` via CGNR with reliable updates.
 
@@ -157,19 +159,49 @@ def cg_solve(
                     history=list(history),
                 )
 
+        last_refresh_rnorm = rnorm
+
         def reliable_refresh() -> None:
-            nonlocal rnorm
+            nonlocal rnorm, last_refresh_rnorm
             rnorm = updater.refresh(x_s, r)
             if execute and not math.isfinite(rnorm):
                 raise SolverBreakdown(
                     "non_finite", iteration=iters, rnorm=rnorm,
                     detail="true residual after reliable update",
                 )
+            # Refresh-point invariant monitor (ABFT) — same contract as
+            # the BiCGstab solver: a true-residual jump past
+            # corruption_factor over the previous refresh means resident
+            # state was damaged; raise before checkpoint() so the
+            # poisoned solution is never committed.
+            if (
+                execute
+                and last_refresh_rnorm > 0
+                and rnorm > corruption_factor * last_refresh_rnorm
+            ):
+                raise SolverBreakdown(
+                    "corruption", iteration=iters, rnorm=rnorm,
+                    detail=(
+                        f"true residual jumped {rnorm / last_refresh_rnorm:.1e}x "
+                        f"over the last refresh ({last_refresh_rnorm:.6e})"
+                    ),
+                )
+            last_refresh_rnorm = rnorm
             history.append(rnorm)
             checkpoint()
 
         while iters < iters_limit and not converged:
             iters += 1
+            # Planned resident-field corruption (polled unconditionally
+            # so timing-only runs record the event).
+            hit = None if qmp is None else qmp.take_resident_corruption()
+            if hit is not None and execute:
+                spec, plan_seed = hit
+                damaged = x_s.get()
+                resident_scribble(
+                    damaged, seed=plan_seed, rank=qmp.rank, scale=spec.scale
+                )
+                x_s.set(damaged)
             _apply_normal(op_sloppy, p, tmp, mid, q)
             pq = blas.redot(sgpu, p, q, qmp)
             if execute:
@@ -187,6 +219,14 @@ def cg_solve(
             rr_new = blas.axpy_norm(sgpu, -alpha, q, r, qmp)
             if execute:
                 ensure_finite("|r|^2", rr_new, iteration=iters, rnorm=rnorm)
+                if rr_new < 0:
+                    # Squared norms from a global sum cannot be negative:
+                    # a poisoned reduction (free ABFT check on an
+                    # allreduce the recurrence already pays for).
+                    raise SolverBreakdown(
+                        "corruption", iteration=iters, rnorm=rnorm,
+                        detail=f"|r|^2 = {rr_new!r} < 0 from global reduction",
+                    )
                 beta = rr_new / rr
                 ensure_finite("beta", beta, iteration=iters, rnorm=rnorm)
             else:

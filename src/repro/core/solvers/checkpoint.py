@@ -13,6 +13,10 @@ solver identity, sloppy precision).  Serialization is hand-rolled
 (length-prefixed JSON header + the raw ``.npy`` stream of the solution)
 so the bytes are a pure function of the state — no zip timestamps, no
 pickle — and two same-seed runs produce byte-identical checkpoints.
+Each snapshot carries an xxhash-style digest of its payload, validated
+on load: a torn or corrupted checkpoint is rejected (``ValueError``),
+and the store falls back to the previous verified commit instead of
+resuming a solve from damaged state.
 
 :class:`CheckpointStore` is the rank-collective side: every rank
 contributes its slab at a refresh; when all ranks of the current attempt
@@ -32,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...comms.faults import checksum_bytes
 from .resilience import RecoveryEvent
 
 __all__ = ["SolveCheckpoint", "CheckpointStore"]
@@ -63,7 +68,16 @@ class SolveCheckpoint:
     # ------------------------------------------------------------------ #
 
     def to_bytes(self) -> bytes:
-        """Serialize to deterministic bytes (same state → same bytes)."""
+        """Serialize to deterministic bytes (same state → same bytes).
+
+        The header embeds a digest of the payload (the ``.npy`` stream),
+        so a snapshot validates itself on load."""
+        body = io.BytesIO()
+        if self.x_full is not None:
+            np.lib.format.write_array(
+                body, np.ascontiguousarray(self.x_full), version=(1, 0)
+            )
+        body_bytes = body.getvalue()
         header = {
             "iteration": self.iteration,
             "rnorm": self.rnorm,
@@ -72,16 +86,14 @@ class SolveCheckpoint:
             "solver": self.solver,
             "sloppy_precision": self.sloppy_precision,
             "has_x": self.x_full is not None,
+            "checksum": checksum_bytes(body_bytes),
         }
         blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
         out = io.BytesIO()
         out.write(_MAGIC)
         out.write(struct.pack("<I", len(blob)))
         out.write(blob)
-        if self.x_full is not None:
-            np.lib.format.write_array(
-                out, np.ascontiguousarray(self.x_full), version=(1, 0)
-            )
+        out.write(body_bytes)
         return out.getvalue()
 
     @classmethod
@@ -92,7 +104,20 @@ class SolveCheckpoint:
             raise ValueError("not a SolveCheckpoint stream")
         (hlen,) = struct.unpack("<I", buf.read(4))
         header = json.loads(buf.read(hlen).decode())
-        x_full = np.lib.format.read_array(buf) if header["has_x"] else None
+        body_bytes = buf.read()
+        expected = header.get("checksum")
+        if expected is not None:
+            actual = checksum_bytes(body_bytes)
+            if actual != expected:
+                raise ValueError(
+                    f"checkpoint checksum mismatch: {actual:#010x} != "
+                    f"{expected:#010x} (iteration {header['iteration']})"
+                )
+        x_full = (
+            np.lib.format.read_array(io.BytesIO(body_bytes))
+            if header["has_x"]
+            else None
+        )
         return cls(
             iteration=header["iteration"],
             rnorm=header["rnorm"],
@@ -125,7 +150,10 @@ class CheckpointStore:
         # source -> iteration -> rank -> (slab | None)
         self._pending: dict[int, dict[int, dict[int, np.ndarray | None]]] = {}
         self._meta: dict[tuple[int, int], dict] = {}
-        self._latest: dict[int, SolveCheckpoint] = {}
+        # source -> committed snapshots as *serialized, self-validating
+        # bytes* (most recent last; the previous commit is retained as
+        # the fallback when the latest fails its checksum on load).
+        self._latest: dict[int, list[bytes]] = {}
         # Highest iteration any attempt reached per source (for honest
         # wasted-iteration accounting on resume).
         self._progress: dict[int, int] = {}
@@ -195,7 +223,7 @@ class CheckpointStore:
                 else self._gather(slabs)
             )
             del self._pending[source][iteration]
-            self._latest[source] = SolveCheckpoint(
+            ckpt = SolveCheckpoint(
                 iteration=iteration,
                 rnorm=meta["rnorm"],
                 reliable_updates=meta["reliable_updates"],
@@ -204,6 +232,9 @@ class CheckpointStore:
                 sloppy_precision=meta["sloppy_precision"],
                 x_full=x_full,
             )
+            blobs = self._latest.setdefault(source, [])
+            blobs.append(ckpt.to_bytes())
+            del blobs[:-2]  # latest + one verified fallback
 
     def record_result(self, source: int, rank: int, *, slab, info) -> None:
         """One rank's final-solution contribution; a completed source is
@@ -229,8 +260,37 @@ class CheckpointStore:
     # ------------------------------------------------------------------ #
 
     def latest(self, source: int) -> SolveCheckpoint | None:
+        """Most recent checkpoint whose checksum validates.
+
+        A snapshot that fails validation is discarded (once, under the
+        lock, with one ``checkpoint_fallback`` ledger entry — every rank
+        of the attempt then resumes from the same surviving commit)
+        rather than resuming the solve from torn or corrupted state."""
         with self._lock:
-            return self._latest.get(source)
+            blobs = self._latest.get(source)
+            if not blobs:
+                return None
+            while blobs:
+                try:
+                    return SolveCheckpoint.from_bytes(blobs[-1])
+                except ValueError as exc:
+                    blobs.pop()
+                    self._events.append(
+                        RecoveryEvent(
+                            "checkpoint_fallback",
+                            attempt=self.attempt,
+                            source=source,
+                            detail=(
+                                f"discarded corrupt snapshot ({exc}); "
+                                + (
+                                    "falling back to previous commit"
+                                    if blobs
+                                    else "no verified checkpoint left"
+                                )
+                            ),
+                        )
+                    )
+            return None
 
     def completed(self, source: int) -> tuple[np.ndarray | None, object] | None:
         with self._lock:

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ...comms.cluster import ClusterSpec
-from ...comms.faults import FaultEvent, FaultPlan, RankFailedError
+from ...comms.faults import FaultEvent, FaultPlan, IntegrityPolicy, RankFailedError
 from ...comms.mpi_sim import CommStats, SimMPI
 from ...gpu.precision import Precision
 
@@ -63,8 +63,10 @@ class SolverBreakdown(RuntimeError):
     ``kind`` is one of ``'rho_breakdown'`` (BiCGstab shadow-residual
     orthogonality lost), ``'pivot_breakdown'`` (``<r0, v>`` or ``<p, q>``
     vanished), ``'omega_breakdown'`` (``|t|^2`` vanished or ω = 0),
-    ``'non_finite'`` (NaN/Inf in a reduction), ``'divergence'``, or
-    ``'stagnation'``.
+    ``'non_finite'`` (NaN/Inf in a reduction), ``'divergence'``,
+    ``'stagnation'``, or ``'corruption'`` (a refresh-point invariant
+    monitor caught resident-state damage — handled by its own ladder
+    rung, a restore from the last verified checkpoint).
     """
 
     def __init__(
@@ -137,8 +139,12 @@ class RecoveryEvent:
     ``'relaunch'`` (the supervisor rebuilt the world), ``'resume'`` (a
     source restarted from its checkpoint after a relaunch),
     ``'restart'`` / ``'solver_switch'`` / ``'precision_escalation'``
-    (breakdown-ladder rungs).  The full sequence is deterministic for a
-    given fault-plan seed — tests compare it byte for byte.
+    (breakdown-ladder rungs), ``'checkpoint_restore'`` (corruption
+    detected by an invariant monitor; solve rewound to the last verified
+    checkpoint), or ``'checkpoint_fallback'`` (a stored snapshot failed
+    its checksum on load and was discarded).  The full sequence is
+    deterministic for a given fault-plan seed — tests compare it byte
+    for byte.
     """
 
     kind: str
@@ -206,6 +212,7 @@ class EscalationLadder:
         sloppy: Precision,
         full: Precision,
         max_steps: int = 3,
+        max_corruption_restores: int = 2,
     ) -> None:
         rungs: list[EscalationStep] = [EscalationStep("restart", solver, sloppy)]
         if solver == "bicgstab":
@@ -218,10 +225,16 @@ class EscalationLadder:
             up = _PRECISION_UP.get(sloppy)
         self._rungs = rungs[: max(0, max_steps)]
         self._taken = 0
+        self._restores = 0
+        self._max_restores = max(0, max_corruption_restores)
 
     @property
     def taken(self) -> int:
         return self._taken
+
+    @property
+    def restores_taken(self) -> int:
+        return self._restores
 
     def next_step(self) -> EscalationStep | None:
         """The next rung, or ``None`` when the ladder is exhausted."""
@@ -230,6 +243,23 @@ class EscalationLadder:
         step = self._rungs[self._taken]
         self._taken += 1
         return step
+
+    def corruption_step(
+        self, solver: str, sloppy: Precision
+    ) -> EscalationStep | None:
+        """The corruption rung: restore from the last *verified*
+        checkpoint with the current configuration unchanged.
+
+        Kept on its own bounded counter rather than consuming the
+        numerical rungs — detected corruption says nothing about the
+        solver or precision being wrong, so switching either would waste
+        the ladder.  ``None`` once ``max_corruption_restores`` restores
+        have been spent (a plan corrupting state faster than the solve
+        progresses must fail loudly, not loop forever)."""
+        if self._restores >= self._max_restores:
+            return None
+        self._restores += 1
+        return EscalationStep("checkpoint_restore", solver, sloppy)
 
 
 # ------------------------------------------------------------------------ #
@@ -282,6 +312,7 @@ def run_with_recovery(
     policy: RetryPolicy,
     store,
     make_body: Callable[[Any, dict[int, int] | None], Callable],
+    integrity: IntegrityPolicy | None = None,
 ) -> RecoveryOutcome:
     """Run an SPMD solve body, surviving planned rank failures.
 
@@ -304,7 +335,7 @@ def run_with_recovery(
     while True:
         slicing, qmp_grid = _slice(geometry, current, grid)
         store.rebind(slicing, attempt=attempt)
-        world = SimMPI(slicing.n_ranks, cluster, plan)
+        world = SimMPI(slicing.n_ranks, cluster, plan, integrity)
         body = make_body(slicing, qmp_grid)
         recovery_active = (
             policy.enabled and plan is not None and plan.lethal

@@ -72,6 +72,34 @@ class TestSerialization:
         with pytest.raises(ValueError, match="not a SolveCheckpoint"):
             SolveCheckpoint.from_bytes(b"NOPE" + b"\x00" * 32)
 
+    def test_flipped_payload_byte_rejected(self):
+        """Snapshots are self-validating: one damaged body byte fails the
+        embedded checksum on load."""
+        blob = bytearray(_checkpoint(np.complex128, "SINGLE").to_bytes())
+        blob[-10] ^= 0x40
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            SolveCheckpoint.from_bytes(bytes(blob))
+
+    def test_headerless_checksum_tolerated(self):
+        """Back-compat: a stream without the checksum key still loads."""
+        import io
+        import json
+        import struct
+
+        raw = _checkpoint(np.complex64, "HALF").to_bytes()
+        buf = io.BytesIO(raw)
+        magic = buf.read(5)
+        (hlen,) = struct.unpack("<I", buf.read(4))
+        header = json.loads(buf.read(hlen).decode())
+        body = buf.read()
+        del header["checksum"]
+        blob = json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode()
+        legacy = magic + struct.pack("<I", len(blob)) + blob + body
+        back = SolveCheckpoint.from_bytes(legacy)
+        assert back.iteration == 12
+
 
 class TestCheckpointStore:
     def _contribute(self, store, source, rank, iteration, slab):
@@ -157,3 +185,50 @@ class TestCheckpointStore:
         store.log_event(RecoveryEvent("relaunch", attempt=1, detail="2 ranks"))
         (ev,) = store.events()
         assert "relaunch" in ev.render() and "2 ranks" in ev.render()
+
+    def _corrupt_latest(self, store, source):
+        blobs = store._latest[source]
+        bad = bytearray(blobs[-1])
+        bad[-7] ^= 0x01
+        blobs[-1] = bytes(bad)
+
+    def test_corrupt_latest_falls_back_to_previous_commit(self):
+        store = CheckpointStore(1)
+        store.rebind(FakeSlicing(1))
+        self._contribute(store, 0, 0, 5, np.ones((4, 4, 3), np.complex64))
+        self._contribute(store, 0, 0, 10, np.full((4, 4, 3), 2, np.complex64))
+        self._corrupt_latest(store, 0)
+        ck = store.latest(0)
+        assert ck is not None and ck.iteration == 5  # previous verified
+        np.testing.assert_array_equal(ck.x_full, 1.0)
+        events = [e for e in store.events() if e.kind == "checkpoint_fallback"]
+        assert len(events) == 1
+        assert "falling back to previous commit" in events[0].detail
+        # The corrupt blob was discarded once; further loads are silent.
+        assert store.latest(0).iteration == 5
+        assert len(
+            [e for e in store.events() if e.kind == "checkpoint_fallback"]
+        ) == 1
+
+    def test_all_snapshots_corrupt_yields_none(self):
+        store = CheckpointStore(1)
+        store.rebind(FakeSlicing(1))
+        self._contribute(store, 0, 0, 5, np.ones((4, 4, 3), np.complex64))
+        self._contribute(store, 0, 0, 10, np.ones((4, 4, 3), np.complex64))
+        blobs = store._latest[0]  # corrupt every retained snapshot
+        for i in range(len(blobs)):
+            bad = bytearray(blobs[i])
+            bad[-7] ^= 0x01
+            blobs[i] = bytes(bad)
+        assert store.latest(0) is None
+        events = [e for e in store.events() if e.kind == "checkpoint_fallback"]
+        assert events
+        assert "no verified checkpoint left" in events[-1].detail
+
+    def test_only_two_snapshots_retained(self):
+        store = CheckpointStore(1)
+        store.rebind(FakeSlicing(1))
+        for it in (3, 6, 9, 12):
+            self._contribute(store, 0, 0, it, None)
+        assert len(store._latest[0]) == 2
+        assert store.latest(0).iteration == 12

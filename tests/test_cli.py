@@ -148,6 +148,56 @@ class TestChaos:
         assert rc == 1
         assert "solver died: rank 1 stalled" in out
 
+    _CORRUPT_ARGS = [
+        "chaos", "--corrupt", "--dims", "4,4,4,8", "--gpus", "2",
+        "--iterations", "3", "--seed", "9", "--bitflip-rate", "1.0",
+        "--corrupt-budget", "1", "--jitter-prob", "0", "--spike-prob", "0",
+        "--send-fail-prob", "0",
+    ]
+
+    def test_corrupt_run_detects_and_recovers(self, capsys):
+        rc = main(self._CORRUPT_ARGS)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "data integrity:" in out
+        assert "2 detected, 2 corrected" in out
+        assert "solver completed" in out
+
+    def test_corrupt_functional_converges(self, capsys):
+        rc = main(self._CORRUPT_ARGS + ["--functional", "--recover"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged:     True" in out
+        assert "2 detected, 2 corrected" in out
+
+    def test_corrupt_budgetless_run_dies_loudly(self, capsys):
+        rc = main([
+            "chaos", "--corrupt", "--dims", "4,4,4,8", "--gpus", "2",
+            "--iterations", "3", "--seed", "9", "--bitflip-rate", "1.0",
+            "--jitter-prob", "0", "--spike-prob", "0", "--send-fail-prob", "0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "solver died:" in out and "corrupted" in out
+
+    def test_corruption_events_in_schedule(self, capsys):
+        rc = main(self._CORRUPT_ARGS + ["--schedule"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bitflip" in out
+        assert "nack_resend" in out
+
+    def test_resident_corruption_checkpoint_restore(self, capsys):
+        rc = main([
+            "chaos", "--resident", "0", "--functional", "--recover",
+            "--dims", "4,4,4,8", "--gpus", "2", "--seed", "5",
+            "--jitter-prob", "0", "--spike-prob", "0", "--send-fail-prob", "0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "checkpoint_restore" in out
+        assert "converged:     True" in out
+
 
 class TestExperiments:
     @pytest.mark.slow
