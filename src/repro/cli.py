@@ -162,6 +162,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-resend", type=int, default=3,
                    help="NACK/resend budget per corrupted message")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the solve service: queued, batched, SLO-aware campaign "
+        "scheduling over a pool of simulated multi-GPU workers",
+    )
+    p.add_argument("--requests", type=int, default=32,
+                   help="synthetic campaign size (solver calls)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size (each an n-rank SimMPI cluster)")
+    p.add_argument("--ranks", type=int, default=2,
+                   help="GPUs (ranks) per worker")
+    p.add_argument("--dims", type=_dims, default=(8, 8, 8, 32))
+    p.add_argument("--mode", default="single-half",
+                   choices=["single", "double", "single-half", "double-half"])
+    p.add_argument("--mass", type=float, default=0.2)
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="arrival rate (requests per model second)")
+    p.add_argument("--configs", type=int, default=1,
+                   help="distinct gauge configurations in the campaign "
+                   "(only same-config requests share a batch)")
+    p.add_argument("--batch-max", type=int, default=8,
+                   help="multi-RHS batch size cap (1 disables batching)")
+    p.add_argument("--batch-wait-us", type=float, default=500.0,
+                   help="batching window: max model time a batch head waits")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="admission queue bound (beyond it: reject with "
+                   "retry-after)")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="re-dispatches after a worker failure before a "
+                   "request fails terminally")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request SLO slack in model ms (goodput metric)")
+    p.add_argument("--iterations", type=int, default=15,
+                   help="solver iterations per request (timing-only mode)")
+    p.add_argument("--seed", type=int, default=2010)
+    p.add_argument("--functional", action="store_true",
+                   help="real numerics on weak-field configurations "
+                   "instead of the timing-only schedule")
+    p.add_argument("--chaos", action="store_true",
+                   help="inject a rank crash into one worker mid-campaign")
+    p.add_argument("--crash-worker", type=int, default=0,
+                   help="worker hit by the chaos crash")
+    p.add_argument("--crash-rank", type=int, default=1,
+                   help="rank of that worker's cluster that dies")
+    p.add_argument("--fail-after-us", type=float, default=500.0,
+                   help="model time into a batch at which the rank dies")
+    p.add_argument("--recover", action="store_true",
+                   help="worker-level self-healing (checkpoint resume over "
+                   "survivors) instead of service-level re-dispatch")
+    p.add_argument("--max-attempts", type=int, default=2,
+                   help="worker relaunch budget when --recover is given")
+    p.add_argument("--trace", type=int, default=None, metavar="REQ_ID",
+                   help="print one request's full lifecycle trace")
+    p.add_argument("--json", default=None,
+                   help="also write the report as JSON to this path")
+
     p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
     p.add_argument("--out", default="EXPERIMENTS.md")
     p.add_argument("--iterations", type=int, default=40)
@@ -406,6 +462,100 @@ def _cmd_chaos(args) -> int:
     return 1
 
 
+def _cmd_serve(args) -> int:
+    from .comms import FaultPlan
+    from .core import RetryPolicy
+    from .service import (
+        BatchPolicy,
+        ServiceConfig,
+        ServiceInvariantError,
+        SolveService,
+        synthetic_workload,
+    )
+
+    try:
+        fault_plan = None
+        chaos_workers: tuple[int, ...] = ()
+        if args.chaos:
+            fault_plan = FaultPlan(seed=args.seed).with_stall(
+                args.crash_rank,
+                after_s=args.fail_after_us * 1e-6,
+                mode="crash",
+            )
+            chaos_workers = (args.crash_worker,)
+        retry_policy = None
+        if args.recover:
+            retry_policy = RetryPolicy(max_attempts=args.max_attempts)
+        config = ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            policy=BatchPolicy(
+                max_batch=args.batch_max,
+                max_wait_s=args.batch_wait_us * 1e-6,
+            ),
+            n_workers=args.workers,
+            ranks_per_worker=args.ranks,
+            max_retries=args.max_retries,
+            functional=args.functional,
+            fixed_iterations=args.iterations,
+            fault_plan=fault_plan,
+            chaos_workers=chaos_workers,
+            retry_policy=retry_policy,
+            seed=args.seed,
+        )
+        workload = synthetic_workload(
+            args.requests,
+            seed=args.seed,
+            rate_rps=args.rate,
+            dims=args.dims,
+            mode=args.mode,
+            mass=args.mass,
+            n_configs=args.configs,
+            deadline_slack_s=(
+                args.deadline_ms * 1e-3 if args.deadline_ms is not None else None
+            ),
+        )
+        if args.chaos:
+            plan = fault_plan.reseeded(args.crash_worker)
+            print(
+                f"chaos: worker {args.crash_worker} runs under {plan.describe()}"
+            )
+        service = SolveService(config)
+        result = service.run(workload)
+    except ValueError as exc:
+        print(f"repro serve: error: {exc}")
+        return 2
+    except ServiceInvariantError as exc:
+        print(f"repro serve: INVARIANT VIOLATED: {exc}", file=sys.stderr)
+        return 1
+    print(result.report.render())
+    if args.trace is not None:
+        try:
+            rec = result.record_for(args.trace)
+        except KeyError:
+            print(f"repro serve: no request {args.trace} in this campaign",
+                  file=sys.stderr)
+            return 2
+        print(f"\nlifecycle of request {args.trace}:")
+        print(rec.render_trace())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.report.render_json() + "\n")
+        print(f"wrote {args.json}")
+    report = result.report
+    # Every admitted request must be terminal (the service itself raises
+    # on a lost request); without chaos, any terminal failure is a bug.
+    accounted = report.completed + report.failed + report.rejected
+    if accounted != report.n_requests:
+        print(f"repro serve: {report.n_requests - accounted} request(s) "
+              "unaccounted for", file=sys.stderr)
+        return 1
+    if not args.chaos and report.failed:
+        print(f"repro serve: {report.failed} failure(s) without chaos",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from .bench.experiments_md import generate
 
@@ -422,6 +572,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "experiments": _cmd_experiments,
 }
 

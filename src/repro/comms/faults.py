@@ -545,6 +545,20 @@ class FaultPlan:
             resident=self.resident + (ResidentCorruption(rank, after_s, scale),),
         )
 
+    def reseeded(self, stream: int) -> "FaultPlan":
+        """A copy of this plan on an independent random stream.
+
+        A solve *service* binds one plan template to many workers; each
+        worker's schedule must be independent (workers run their own
+        SimMPI worlds with clocks restarting per batch) yet reproducible
+        from the campaign seed alone.  SeedSequence-style mixing keeps
+        the derived seeds collision-free and platform-stable.
+        """
+        mixed = int(
+            np.random.SeedSequence([self.seed, 0x5EED, stream]).generate_state(1)[0]
+        )
+        return replace(self, seed=mixed)
+
     def without_ranks(self, ranks) -> "FaultPlan":
         """A copy with the given ranks' stalls/crashes retired.
 

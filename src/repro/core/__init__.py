@@ -20,7 +20,13 @@ from .interface import (
     paper_invert_param,
 )
 from .parallel_dslash import dslash_with_exchange
-from .quda import InvertResult, invert, invert_model, invert_multi
+from .quda import (
+    InvertResult,
+    invert,
+    invert_model,
+    invert_model_multi,
+    invert_multi,
+)
 from .solvers import (
     CheckpointStore,
     RecoveryEvent,
@@ -47,6 +53,7 @@ __all__ = [
     "invert",
     "invert_multi",
     "invert_model",
+    "invert_model_multi",
     "InvertResult",
     "bicgstab_solve",
     "cg_solve",

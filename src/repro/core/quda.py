@@ -75,7 +75,13 @@ from .solvers.resilience import (
 )
 from .solvers.stopping import LocalSolveInfo
 
-__all__ = ["InvertResult", "invert", "invert_multi", "invert_model"]
+__all__ = [
+    "InvertResult",
+    "invert",
+    "invert_multi",
+    "invert_model",
+    "invert_model_multi",
+]
 
 
 @dataclass
@@ -180,6 +186,15 @@ def invert_multi(
     """
     if not sources:
         raise ValueError("need at least one source")
+    for i, src in enumerate(sources):
+        if src.geometry.dims != gauge.geometry.dims:
+            raise ValueError(
+                f"source {i} geometry {src.geometry.dims} does not match the "
+                f"gauge geometry {gauge.geometry.dims}: every source of one "
+                "invert_multi call shares a single device setup (gauge "
+                "upload, ghost exchange, operators), so all sources must "
+                "share one geometry and one precision recipe"
+            )
     clover_blocks = (
         make_clover(gauge, c_sw=inv.clover_coeff).data
         if inv.clover_coeff != 0.0
@@ -243,6 +258,51 @@ def invert_model(
     exactly as the paper describes for the 32^3 x 256 mixed-precision
     solve on fewer than 8 GPUs.
     """
+    return invert_model_multi(
+        dims,
+        inv,
+        n_sources=1,
+        n_gpus=n_gpus,
+        grid=grid,
+        gauge_param=gauge_param,
+        cluster=cluster,
+        gpu_spec=gpu_spec,
+        enforce_memory=enforce_memory,
+        tune=tune,
+        fault_plan=fault_plan,
+        integrity=integrity,
+    )[0]
+
+
+def invert_model_multi(
+    dims: tuple[int, int, int, int],
+    inv: QudaInvertParam,
+    *,
+    n_sources: int = 1,
+    n_gpus: int = 1,
+    grid: tuple[int, int] | None = None,
+    gauge_param: QudaGaugeParam | None = None,
+    cluster: ClusterSpec | None = None,
+    gpu_spec: GPUSpec = GTX285,
+    enforce_memory: bool = True,
+    tune: bool = True,
+    fault_plan: FaultPlan | None = None,
+    integrity: IntegrityPolicy | None = None,
+) -> list[InvertResult]:
+    """Timing-only multi-RHS solve: ``n_sources`` solver loops, one setup.
+
+    The schedule analogue of :func:`invert_multi` — the gauge/clover
+    upload, the gauge ghost exchange, and the autotuning are paid once,
+    then ``inv.fixed_iterations`` iterations run per source.  This is the
+    batch a solve *service* dispatches: the amortization it buys is
+    exactly what a batching policy trades queueing delay against.
+    Returns one :class:`InvertResult` per source; per-rank
+    ``t_start``/``t_end`` bracket each source's window on the shared
+    timeline, so ``per_rank[i].t_end`` of the last source is the total
+    batch model time on rank ``i``.
+    """
+    if n_sources < 1:
+        raise ValueError("need at least one source")
     geometry = LatticeGeometry(dims)
     return _run(
         geometry=geometry,
@@ -258,9 +318,10 @@ def invert_model(
         host_gauge=None,
         host_clover=None,
         host_sources=None,
+        n_model_sources=n_sources,
         fault_plan=fault_plan,
         integrity=integrity,
-    )[0]
+    )
 
 
 # ------------------------------------------------------------------------ #
@@ -414,11 +475,14 @@ def _run(
     host_clover: np.ndarray | None,
     host_sources: list[SpinorField] | None,
     grid: tuple[int, int] | None = None,
+    n_model_sources: int = 1,
     fault_plan: FaultPlan | None = None,
     integrity: IntegrityPolicy | None = None,
 ) -> list[InvertResult]:
     tune_cache: TuneCache | None = autotune(gpu_spec) if tune else None
-    n_sources = len(host_sources) if host_sources is not None else 1
+    n_sources = (
+        len(host_sources) if host_sources is not None else n_model_sources
+    )
     store = CheckpointStore(n_sources)
 
     def make_body(slicing, qmp_grid):

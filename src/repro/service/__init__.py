@@ -1,0 +1,73 @@
+"""Solve service: a queued, batched, SLO-aware campaign scheduler.
+
+The paper's production workload is not one solve but a *campaign*: "The
+calculations involve 32768 calls to the solver for each configuration"
+(Section VIII), running for days on a shared cluster ("Scaling Lattice
+QCD beyond 100 GPUs", arXiv:1109.2935).  This package serves that
+workload the way an inference-serving stack serves model traffic:
+
+* :class:`~repro.service.request.SolveRequest` — one solver call (gauge
+  config id, source, precision recipe, priority, deadline);
+* :class:`~repro.service.queueing.AdmissionQueue` — bounded admission
+  with priority/deadline ordering and reject-with-retry-after
+  backpressure;
+* :class:`~repro.service.batching.BatchPolicy` — groups compatible
+  requests into multi-RHS batches (max size + max wait window),
+  amortizing the device setup the way
+  :func:`repro.core.invert_multi` does;
+* :class:`~repro.service.workers.SimWorker` — a simulated multi-GPU
+  worker (an n-rank SimMPI cluster per batch), optionally under a
+  :class:`~repro.comms.faults.FaultPlan`, optionally self-healing via
+  the resilience stack;
+* :class:`~repro.service.service.SolveService` — the deterministic
+  event-driven scheduler tying it together, with per-request lifecycle
+  tracing and p50/p95/p99 latency accounting
+  (:class:`~repro.service.metrics.ServiceReport`).
+
+Everything is driven by *model time* — the same discrete-event clock the
+rest of the repository runs on — so a campaign with a fixed seed is
+fully deterministic: identical completion order, identical percentiles,
+byte-identical reports, on any machine.
+"""
+
+from .batching import Batch, BatchPolicy, select_batch
+from .metrics import ServiceReport, percentile
+from .queueing import AdmissionQueue
+from .request import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    RequestRecord,
+    SolveRequest,
+    StructuredFailure,
+)
+from .service import (
+    ServiceConfig,
+    ServiceInvariantError,
+    ServiceResult,
+    SolveService,
+)
+from .workers import BatchExecution, SimWorker
+from .workload import synthetic_workload
+
+__all__ = [
+    "SolveRequest",
+    "RequestRecord",
+    "StructuredFailure",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+    "AdmissionQueue",
+    "BatchPolicy",
+    "Batch",
+    "select_batch",
+    "SimWorker",
+    "BatchExecution",
+    "SolveService",
+    "ServiceConfig",
+    "ServiceInvariantError",
+    "ServiceResult",
+    "ServiceReport",
+    "percentile",
+    "synthetic_workload",
+]

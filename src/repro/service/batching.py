@@ -1,0 +1,116 @@
+"""Batching policy: when compatible requests become one multi-RHS batch.
+
+One device setup (gauge/clover upload, ghost exchange, autotune) serves
+every right-hand side in a batch — the amortization ``invert_multi``
+provides and ``bench_multi_rhs`` measures.  Batching therefore trades a
+bounded queueing delay for setup amortization:
+
+* a batch dispatches as soon as ``max_batch`` compatible requests are
+  queued (the setup amortizes fully), or
+* when its oldest member has waited ``max_wait_s`` of model time (the
+  latency bound — a lone request is never parked indefinitely), or
+* immediately, when its head request's priority is at or above
+  ``expedite_priority`` (the interactive tier pays setup for latency).
+
+Selection walks the queue in scheduling order, so a high-priority
+request's group is always considered before lower tiers: a full
+low-priority batch can never capture the worker a waiting high-priority
+request is entitled to (no priority inversion through batching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .request import PRIORITY_HIGH, RequestRecord
+
+__all__ = ["BatchPolicy", "Batch", "select_batch"]
+
+#: Window-expiry slack: a timeout scheduled at ``arrival + max_wait``
+#: re-enters the scheduler at a clock where ``(arrival + max_wait) -
+#: arrival`` can round *below* ``max_wait``, which would strand the
+#: request until some unrelated event revisits the queue (or forever).
+#: One nanosecond of model time is far below any modeled duration and
+#: far above double rounding error at any reachable model time.
+_WAIT_SLACK_S = 1e-9
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The two-knob batching contract (size cap + wait window)."""
+
+    #: Maximum right-hand sides per batch (1 = batching disabled).
+    max_batch: int = 8
+    #: Longest model time a batch head may wait before dispatching
+    #: partially filled.
+    max_wait_s: float = 500e-6
+    #: Priorities at or above this (numerically <=) skip the wait window
+    #: entirely: dispatched at the next scheduling opportunity, batched
+    #: only with whatever compatible work is already queued.
+    expedite_priority: int = PRIORITY_HIGH
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass
+class Batch:
+    """One dispatched multi-RHS batch and its lifecycle."""
+
+    batch_id: int
+    records: list[RequestRecord]
+    key: tuple
+    formed_s: float
+    worker_id: int = -1
+    completed_s: float | None = None
+    duration_s: float | None = None
+    ok: bool | None = None
+    #: Worker-side recovery accounting (self-healing batches).
+    recoveries: int = 0
+    detail: str = ""
+    #: Lifecycle trace mirroring the per-request traces.
+    trace: list[tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.records)
+
+    def occupancy(self, policy: BatchPolicy) -> float:
+        return self.size / policy.max_batch
+
+
+def select_batch(
+    ordered: list[RequestRecord], now: float, policy: BatchPolicy
+) -> list[RequestRecord] | None:
+    """The next dispatchable batch, or ``None`` to keep waiting.
+
+    ``ordered`` is the queue in scheduling order (priority, deadline,
+    arrival).  Records are grouped by compatibility key; the first group
+    (in scheduling order) that is *ready* — full, window-expired, or
+    expedited — is returned, truncated to ``max_batch``.  Groups that
+    are not ready are skipped, so a ready low-priority batch may use an
+    idle worker while a fresher high-priority singleton still rides its
+    window — but a ready high-priority group always wins the worker.
+    """
+    groups: dict[tuple, list[RequestRecord]] = {}
+    order: list[tuple] = []
+    for rec in ordered:
+        key = rec.request.compat_key
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(rec)
+    for key in order:
+        group = groups[key][: policy.max_batch]
+        head = group[0]
+        ready = (
+            len(group) >= policy.max_batch
+            or now - head.request.arrival_s >= policy.max_wait_s - _WAIT_SLACK_S
+            or head.request.priority <= policy.expedite_priority
+        )
+        if ready:
+            return group
+    return None

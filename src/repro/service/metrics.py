@@ -1,0 +1,180 @@
+"""Latency/throughput accounting for a served campaign.
+
+Everything a serving stack's dashboard shows, computed from the model
+clock so the numbers are deterministic: queue-wait and end-to-end
+latency percentiles (nearest-rank, so two same-seed runs agree to the
+last bit), batch occupancy (how full the batching policy keeps the
+multi-RHS slots), per-worker utilization, throughput and *goodput*
+(completions that honoured their deadline).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .batching import Batch, BatchPolicy
+from .request import COMPLETED, FAILED, REJECTED, RequestRecord
+
+__all__ = ["percentile", "ServiceReport"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class ServiceReport:
+    """One campaign's scorecard."""
+
+    n_requests: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Dispatches beyond each request's first (service-level retries
+    #: after worker failures).
+    retries: int = 0
+    #: Worker-side self-healing relaunches observed inside batches.
+    recoveries: int = 0
+    #: Batch executions that died with a structured failure.
+    worker_crashes: int = 0
+    n_batches: int = 0
+    mean_batch_size: float = 0.0
+    batch_occupancy: float = 0.0
+    #: Queue-wait percentiles (arrival -> first dispatch), seconds.
+    wait_p50_s: float = 0.0
+    wait_p95_s: float = 0.0
+    wait_p99_s: float = 0.0
+    #: End-to-end latency percentiles (arrival -> terminal), seconds.
+    latency_p50_s: float = 0.0
+    latency_p99_s: float = 0.0
+    #: Model time from first arrival to last completion.
+    makespan_s: float = 0.0
+    throughput_rps: float = 0.0
+    goodput_rps: float = 0.0
+    #: Completions that met their deadline / completions with one.
+    slo_attainment: float = 1.0
+    worker_utilization: list[float] = field(default_factory=list)
+
+    @classmethod
+    def collect(
+        cls,
+        records: list[RequestRecord],
+        batches: list[Batch],
+        policy: BatchPolicy,
+        *,
+        worker_busy_s: list[float],
+        makespan_s: float,
+    ) -> "ServiceReport":
+        completed = [r for r in records if r.state == COMPLETED]
+        failed = [r for r in records if r.state == FAILED]
+        rejected = [r for r in records if r.state == REJECTED]
+        waits = sorted(
+            r.wait_s for r in records if r.wait_s is not None
+        )
+        latencies = sorted(
+            r.latency_s for r in completed if r.latency_s is not None
+        )
+        with_deadline = [
+            r for r in completed if r.request.deadline_s is not None
+        ]
+        met = [r for r in completed if r.met_deadline]
+        met_with_deadline = [
+            r for r in with_deadline if r.met_deadline
+        ]
+        horizon = makespan_s if makespan_s > 0 else 1.0
+        sizes = [b.size for b in batches]
+        return cls(
+            n_requests=len(records),
+            admitted=len(records) - len(rejected),
+            rejected=len(rejected),
+            completed=len(completed),
+            failed=len(failed),
+            retries=sum(max(0, r.attempts - 1) for r in records),
+            recoveries=sum(b.recoveries for b in batches),
+            worker_crashes=sum(1 for b in batches if b.ok is False),
+            n_batches=len(batches),
+            mean_batch_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
+            batch_occupancy=(
+                sum(sizes) / (len(sizes) * policy.max_batch) if sizes else 0.0
+            ),
+            wait_p50_s=percentile(waits, 50),
+            wait_p95_s=percentile(waits, 95),
+            wait_p99_s=percentile(waits, 99),
+            latency_p50_s=percentile(latencies, 50),
+            latency_p99_s=percentile(latencies, 99),
+            makespan_s=makespan_s,
+            throughput_rps=len(completed) / horizon,
+            goodput_rps=len(met) / horizon,
+            slo_attainment=(
+                len(met_with_deadline) / len(with_deadline)
+                if with_deadline
+                else 1.0
+            ),
+            worker_utilization=[
+                min(1.0, busy / horizon) for busy in worker_busy_s
+            ],
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "requests": self.n_requests,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "worker_crashes": self.worker_crashes,
+            "batches": self.n_batches,
+            "mean_batch_size": round(self.mean_batch_size, 4),
+            "batch_occupancy": round(self.batch_occupancy, 4),
+            "wait_p50_us": round(self.wait_p50_s * 1e6, 3),
+            "wait_p95_us": round(self.wait_p95_s * 1e6, 3),
+            "wait_p99_us": round(self.wait_p99_s * 1e6, 3),
+            "latency_p50_us": round(self.latency_p50_s * 1e6, 3),
+            "latency_p99_us": round(self.latency_p99_s * 1e6, 3),
+            "makespan_us": round(self.makespan_s * 1e6, 3),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "goodput_rps": round(self.goodput_rps, 3),
+            "slo_attainment": round(self.slo_attainment, 4),
+            "worker_utilization": [
+                round(u, 4) for u in self.worker_utilization
+            ],
+        }
+
+    def render(self) -> str:
+        util = ", ".join(
+            f"w{i} {u * 100:.1f}%" for i, u in enumerate(self.worker_utilization)
+        )
+        lines = [
+            f"requests: {self.n_requests} submitted, {self.admitted} admitted, "
+            f"{self.rejected} rejected (backpressure)",
+            f"terminal: {self.completed} completed, {self.failed} failed, "
+            f"{self.retries} retries, {self.recoveries} recoveries, "
+            f"{self.worker_crashes} worker crash(es)",
+            f"batches:  {self.n_batches} dispatched, mean size "
+            f"{self.mean_batch_size:.2f} "
+            f"(occupancy {self.batch_occupancy * 100:.1f}%)",
+            f"queue wait:   p50 {self.wait_p50_s * 1e6:10.3f} us   "
+            f"p95 {self.wait_p95_s * 1e6:10.3f} us   "
+            f"p99 {self.wait_p99_s * 1e6:10.3f} us",
+            f"latency:      p50 {self.latency_p50_s * 1e6:10.3f} us   "
+            f"p99 {self.latency_p99_s * 1e6:10.3f} us",
+            f"throughput:   {self.throughput_rps:.1f} req/s over "
+            f"{self.makespan_s * 1e3:.3f} ms (goodput {self.goodput_rps:.1f} "
+            f"req/s, SLO attainment {self.slo_attainment * 100:.1f}%)",
+            f"utilization:  {util}" if util else "utilization:  (no workers)",
+        ]
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)

@@ -1,0 +1,68 @@
+"""Bounded admission queue with priority/deadline-aware ordering.
+
+The queue is the service's backpressure point: admission beyond
+``capacity`` is refused (the caller gets a retry-after hint computed
+from the live backlog) rather than letting latency grow without bound —
+the same load-shedding contract a serving stack's admission controller
+provides.  Ordering is (priority, deadline, arrival): urgent tiers
+first, earliest SLO first within a tier, FIFO within equal SLOs, so the
+schedule is a pure function of the submitted workload.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .request import RequestRecord
+
+__all__ = ["AdmissionQueue"]
+
+
+def _order_key(rec: RequestRecord) -> tuple:
+    req = rec.request
+    deadline = req.deadline_s if req.deadline_s is not None else math.inf
+    return (req.priority, deadline, req.arrival_s, req.req_id)
+
+
+class AdmissionQueue:
+    """Bounded, priority/deadline-ordered request queue."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: list[RequestRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def offer(self, rec: RequestRecord, *, force: bool = False) -> bool:
+        """Admit ``rec`` unless the queue is full.
+
+        ``force`` bypasses the capacity check — used when the service
+        *re*-queues a request that a worker failure handed back: that
+        request was already admitted once, and bouncing it would break
+        the no-lost-requests invariant.
+        """
+        if self.full and not force:
+            return False
+        self._items.append(rec)
+        return True
+
+    def ordered(self) -> list[RequestRecord]:
+        """The scheduling order: priority, then deadline, then arrival."""
+        return sorted(self._items, key=_order_key)
+
+    def remove(self, recs: list[RequestRecord]) -> None:
+        """Withdraw dispatched records (identity comparison)."""
+        drop = {id(r) for r in recs}
+        self._items = [r for r in self._items if id(r) not in drop]
+
+    def oldest_arrival(self) -> float | None:
+        if not self._items:
+            return None
+        return min(r.request.arrival_s for r in self._items)

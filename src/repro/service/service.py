@@ -1,0 +1,357 @@
+"""The solve service: a deterministic event-driven campaign scheduler.
+
+:class:`SolveService` consumes a workload of
+:class:`~repro.service.request.SolveRequest` arrivals and drives them to
+terminal states on a pool of simulated multi-GPU workers, entirely on
+the model clock:
+
+1. **Admission** — arrivals enter the bounded
+   :class:`~repro.service.queueing.AdmissionQueue`; a full queue rejects
+   with a retry-after hint computed from the live backlog (backpressure,
+   never unbounded latency).
+2. **Batching** — the :class:`~repro.service.batching.BatchPolicy`
+   groups compatible requests into multi-RHS batches: dispatch on full
+   batch, window expiry, or expedited priority, always considering
+   higher-priority groups first.
+3. **Execution** — each batch occupies a
+   :class:`~repro.service.workers.SimWorker` (an n-rank SimMPI cluster)
+   for its deterministic model duration; faults injected by the worker's
+   :class:`~repro.comms.faults.FaultPlan` either self-heal inside the
+   batch (worker retry policy) or surface as a structured failure the
+   service answers with bounded re-dispatch.
+4. **Accounting** — every transition is stamped on the request's
+   lifecycle trace; the final
+   :class:`~repro.service.metrics.ServiceReport` carries the wait/latency
+   percentiles, occupancy, utilization and goodput.
+
+The event loop orders (time, kind, sequence) totally, every duration is
+model time, and every scheduling decision is a pure function of the
+workload and the seed — so two runs of the same campaign produce
+identical completion orders and identical percentiles, and the
+*no-lost-requests* invariant (every admitted request ends COMPLETED or
+FAILED-with-structure) is checked, not hoped for.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field as dataclass_field
+
+from ..comms.cluster import ClusterSpec
+from ..comms.faults import FaultPlan, IntegrityPolicy
+from ..core import RetryPolicy
+from ..gpu.specs import GTX285, GPUSpec
+from .batching import Batch, BatchPolicy, select_batch
+from .metrics import ServiceReport
+from .queueing import AdmissionQueue
+from .request import (
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    RequestRecord,
+    SolveRequest,
+    StructuredFailure,
+)
+from .workers import SimWorker
+
+__all__ = ["ServiceConfig", "ServiceResult", "SolveService", "ServiceInvariantError"]
+
+# Event kinds, in same-time processing order: completions free workers
+# before new arrivals are admitted; timeouts merely re-trigger dispatch.
+_EV_DONE = 0
+_EV_ARRIVAL = 1
+_EV_TIMEOUT = 2
+
+
+class ServiceInvariantError(RuntimeError):
+    """A request left the event loop in a non-terminal state — the
+    service lost work, which must never pass silently."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that shapes a campaign's schedule."""
+
+    queue_capacity: int = 64
+    policy: BatchPolicy = dataclass_field(default_factory=BatchPolicy)
+    n_workers: int = 2
+    ranks_per_worker: int = 2
+    #: Additional dispatches after a worker failure before the request
+    #: fails terminally.
+    max_retries: int = 1
+    #: Real numerics (weak-field configs, actual sources) instead of the
+    #: timing-only schedule.
+    functional: bool = False
+    fixed_iterations: int = 15
+    overlap: bool = True
+    #: Fault template: worker ``w`` in ``chaos_workers`` runs under
+    #: ``fault_plan.reseeded(w)`` — independent schedules, one seed.
+    fault_plan: FaultPlan | None = None
+    chaos_workers: tuple[int, ...] = ()
+    #: Worker-side self-healing (checkpoint resume over survivors);
+    #: ``None`` leaves recovery to service-level re-dispatch.
+    retry_policy: RetryPolicy | None = None
+    integrity: IntegrityPolicy | None = None
+    #: Seeds the service's own bookkeeping (reserved; scheduling is
+    #: already deterministic without randomness).
+    seed: int = 0
+    #: Retry-after fallback before any batch has been measured.
+    service_time_hint_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        for w in self.chaos_workers:
+            if not 0 <= w < self.n_workers:
+                raise ValueError(f"chaos worker {w} outside the pool")
+        if self.chaos_workers and self.fault_plan is None:
+            raise ValueError("chaos_workers requires a fault_plan")
+
+
+@dataclass
+class ServiceResult:
+    """A served campaign: the report plus every artifact behind it."""
+
+    report: ServiceReport
+    records: list[RequestRecord]
+    batches: list[Batch]
+    #: Request ids in completion order — the determinism witness.
+    completion_order: list[int]
+    workers: list[SimWorker]
+
+    def record_for(self, req_id: int) -> RequestRecord:
+        for rec in self.records:
+            if rec.request.req_id == req_id:
+                return rec
+        raise KeyError(req_id)
+
+
+class SolveService:
+    """Deterministic scheduler over a simulated worker pool."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        gpu_spec: GPUSpec = GTX285,
+        cluster: ClusterSpec | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.workers = [
+            SimWorker(
+                w,
+                ranks=cfg.ranks_per_worker,
+                gpu_spec=gpu_spec,
+                cluster=cluster,
+                fault_plan=(
+                    cfg.fault_plan.reseeded(w)
+                    if cfg.fault_plan is not None and w in cfg.chaos_workers
+                    else None
+                ),
+                retry_policy=cfg.retry_policy,
+                integrity=cfg.integrity,
+                functional=cfg.functional,
+                fixed_iterations=cfg.fixed_iterations,
+                overlap=cfg.overlap,
+            )
+            for w in range(cfg.n_workers)
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, requests: list[SolveRequest]) -> ServiceResult:
+        """Serve a whole campaign; returns when every request is terminal."""
+        cfg = self.config
+        queue = AdmissionQueue(cfg.queue_capacity)
+        records = [RequestRecord(request=req) for req in requests]
+        seq = 0
+        events: list[tuple] = []
+        for rec in records:
+            heapq.heappush(
+                events, (rec.request.arrival_s, _EV_ARRIVAL, seq, rec)
+            )
+            seq += 1
+
+        batches: list[Batch] = []
+        completion_order: list[int] = []
+        idle = list(range(len(self.workers)))  # ascending worker ids
+        duration_sum = 0.0
+        duration_n = 0
+        now = 0.0
+        makespan = 0.0
+
+        def estimate_retry_after() -> float:
+            est = (
+                duration_sum / duration_n
+                if duration_n
+                else cfg.service_time_hint_s
+            )
+            backlog_batches = -(-max(len(queue), 1) // cfg.policy.max_batch)
+            return est * (backlog_batches + 1) / len(self.workers)
+
+        def dispatch() -> None:
+            nonlocal seq, duration_sum, duration_n
+            while idle and len(queue):
+                selected = select_batch(queue.ordered(), now, cfg.policy)
+                if selected is None:
+                    return
+                queue.remove(selected)
+                worker = self.workers[idle.pop(0)]
+                batch = Batch(
+                    batch_id=len(batches),
+                    records=selected,
+                    key=selected[0].request.compat_key,
+                    formed_s=now,
+                    worker_id=worker.worker_id,
+                )
+                batches.append(batch)
+                for rec in selected:
+                    rec.state = RUNNING
+                    rec.attempts += 1
+                    if rec.dispatched_s is None:
+                        rec.dispatched_s = now
+                    rec.batch_ids.append(batch.batch_id)
+                    rec.note(
+                        now,
+                        "dispatch",
+                        f"batch {batch.batch_id} (size {batch.size}) "
+                        f"on worker {worker.worker_id}, attempt {rec.attempts}",
+                    )
+                batch.trace.append(
+                    (now, "dispatch", f"worker {worker.worker_id}")
+                )
+                execution = worker.execute([r.request for r in selected])
+                worker.busy_s += execution.duration_s
+                duration_sum += execution.duration_s
+                duration_n += 1
+                heapq.heappush(
+                    events,
+                    (
+                        now + execution.duration_s,
+                        _EV_DONE,
+                        seq,
+                        (batch, execution),
+                    ),
+                )
+                seq += 1
+
+        def complete(batch: Batch, execution) -> None:
+            nonlocal seq, makespan
+            worker = self.workers[batch.worker_id]
+            idle.append(worker.worker_id)
+            idle.sort()
+            batch.completed_s = now
+            batch.duration_s = execution.duration_s
+            batch.ok = execution.ok
+            batch.recoveries = execution.recoveries
+            makespan = max(makespan, now)
+            if execution.ok:
+                batch.trace.append((now, "complete", ""))
+                for rec, outcome in zip(batch.records, execution.outcomes):
+                    rec.state = COMPLETED
+                    rec.completed_s = now
+                    rec.iterations = outcome["iterations"]
+                    rec.converged = outcome["converged"]
+                    rec.residual_norm = outcome["residual_norm"]
+                    rec.recoveries = outcome["recoveries"]
+                    rec.note(
+                        now,
+                        "complete",
+                        f"{outcome['iterations']} iterations"
+                        + (
+                            f", {outcome['recoveries']} recover(ies)"
+                            if outcome["recoveries"]
+                            else ""
+                        ),
+                    )
+                    completion_order.append(rec.request.req_id)
+                return
+            failure = execution.failure
+            batch.detail = str(failure)
+            batch.trace.append((now, "worker_failure", str(failure)))
+            for rec in batch.records:
+                if rec.attempts <= cfg.max_retries:
+                    rec.state = QUEUED
+                    queue.offer(rec, force=True)
+                    rec.note(
+                        now,
+                        "requeue",
+                        f"worker {batch.worker_id} failed "
+                        f"(rank {failure.rank} {failure.mode}); "
+                        f"retry {rec.attempts}/{cfg.max_retries}",
+                    )
+                else:
+                    rec.state = FAILED
+                    rec.completed_s = now
+                    rec.failure = StructuredFailure(
+                        kind="worker_crash",
+                        detail=str(failure),
+                        failed_rank=failure.rank,
+                        model_time=now,
+                        attempts=rec.attempts,
+                    )
+                    rec.note(
+                        now,
+                        "fail",
+                        f"retries exhausted after {rec.attempts} attempts: "
+                        f"{failure}",
+                    )
+                    completion_order.append(rec.request.req_id)
+
+        while events:
+            t, kind, _, payload = heapq.heappop(events)
+            now = t
+            if kind == _EV_DONE:
+                batch, execution = payload
+                complete(batch, execution)
+            elif kind == _EV_ARRIVAL:
+                rec = payload
+                rec.note(now, "arrive", f"priority {rec.request.priority}")
+                if not queue.offer(rec):
+                    rec.state = REJECTED
+                    rec.completed_s = now
+                    rec.retry_after_s = estimate_retry_after()
+                    rec.note(
+                        now,
+                        "reject",
+                        f"queue full ({cfg.queue_capacity}); retry after "
+                        f"{rec.retry_after_s * 1e6:.1f}us",
+                    )
+                    continue
+                rec.admitted_s = now
+                rec.note(now, "admit", f"depth {len(queue)}")
+                heapq.heappush(
+                    events,
+                    (now + cfg.policy.max_wait_s, _EV_TIMEOUT, seq, None),
+                )
+                seq += 1
+            # _EV_TIMEOUT carries no payload: it exists to revisit the
+            # queue once a batching window has expired.
+            dispatch()
+
+        stuck = [rec for rec in records if not rec.terminal]
+        if stuck:
+            raise ServiceInvariantError(
+                f"{len(stuck)} request(s) left non-terminal: "
+                f"{[r.request.req_id for r in stuck]}"
+            )
+
+        report = ServiceReport.collect(
+            records,
+            batches,
+            cfg.policy,
+            worker_busy_s=[w.busy_s for w in self.workers],
+            makespan_s=makespan,
+        )
+        return ServiceResult(
+            report=report,
+            records=records,
+            batches=batches,
+            completion_order=completion_order,
+            workers=self.workers,
+        )

@@ -1,0 +1,293 @@
+"""Simulated multi-GPU workers: each batch runs on an n-rank cluster.
+
+A :class:`SimWorker` is the service's execution unit — the analogue of
+one multi-GPU job slot on the paper's cluster.  Executing a batch spins
+up an n-rank SimMPI world (exactly what :func:`repro.core.invert_multi`
+/ :func:`repro.core.invert_model_multi` do), pays the device setup once,
+and runs one solver loop per right-hand side.  The batch's *service
+time* is the model time the worker was occupied: the max over ranks of
+the last source's timeline end, plus any model time lost to recovery.
+
+Fault integration: a :class:`~repro.comms.faults.FaultPlan` bound to the
+worker perturbs its batches.  With a
+:class:`~repro.core.solvers.resilience.RetryPolicy` the worker
+*self-heals* (relaunch over survivors, resume from checkpoint) and the
+batch completes with recovery accounting; without one the batch dies
+with a structured :class:`~repro.comms.faults.RankFailedError` and the
+service decides (retry elsewhere or fail the requests).  Either way a
+fired rank fault is retired from the worker's plan — a planned crash is
+a one-shot event, not a curse on every later batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..comms.cluster import ClusterSpec
+from ..comms.faults import FaultPlan, IntegrityPolicy, RankFailedError
+from ..core import (
+    InvertResult,
+    RetryPolicy,
+    invert_model_multi,
+    invert_multi,
+    paper_invert_param,
+)
+from ..gpu.specs import GTX285, GPUSpec
+from .request import SolveRequest
+
+__all__ = ["BatchExecution", "SimWorker"]
+
+
+def _root_rank_failure(exc: BaseException) -> RankFailedError | None:
+    """The RankFailedError at the root of a SimMPI failure, if any."""
+    seen: set[int] = set()
+    while exc is not None and id(exc) not in seen:
+        if isinstance(exc, RankFailedError):
+            return exc
+        seen.add(id(exc))
+        exc = exc.__cause__ or exc.__context__
+    return None
+
+
+@dataclass
+class BatchExecution:
+    """What one batch run cost and produced."""
+
+    ok: bool
+    #: Model time the worker was occupied (successful batches: setup +
+    #: all solver loops + recovery; failed batches: time to the failure
+    #: plus the teardown penalty).
+    duration_s: float
+    failure: RankFailedError | None = None
+    #: Per-request solver outcomes, aligned with the submitted batch
+    #: (empty for failed executions).
+    outcomes: list[dict] = field(default_factory=list)
+    recoveries: int = 0
+    restarts: int = 0
+    corruptions_detected: int = 0
+    #: Ranks whose planned stall/crash fired during this execution.
+    fired_ranks: tuple[int, ...] = ()
+
+
+class SimWorker:
+    """One simulated multi-GPU worker slot."""
+
+    #: Model-mode service times are pure functions of the schedule, so
+    #: identical clean batches share one measurement (a wall-clock
+    #: optimization only — model time is unaffected).
+    _model_cache: dict[tuple, tuple[float, list[dict]]] = {}
+
+    def __init__(
+        self,
+        worker_id: int,
+        *,
+        ranks: int = 2,
+        gpu_spec: GPUSpec = GTX285,
+        cluster: ClusterSpec | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        integrity: IntegrityPolicy | None = None,
+        functional: bool = False,
+        fixed_iterations: int = 15,
+        overlap: bool = True,
+        gauge_noise: float = 0.1,
+        #: Model time charged for tearing down a crashed batch before
+        #: the worker can accept new work.
+        failure_penalty_s: float = 1e-3,
+    ) -> None:
+        if ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        self.worker_id = worker_id
+        self.ranks = ranks
+        self.gpu_spec = gpu_spec
+        self.cluster = cluster
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.integrity = integrity
+        self.functional = functional
+        self.fixed_iterations = fixed_iterations
+        self.overlap = overlap
+        self.gauge_noise = gauge_noise
+        self.failure_penalty_s = failure_penalty_s
+        self.batches_run = 0
+        self.busy_s = 0.0
+        self._gauges: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _invert_param(self, head: SolveRequest):
+        return paper_invert_param(
+            head.mode,
+            mass=head.mass,
+            solver=head.solver,
+            overlap_comms=self.overlap,
+            fixed_iterations=self.fixed_iterations,
+            retry_policy=self.retry_policy,
+        )
+
+    def _gauge_for(self, head: SolveRequest):
+        """The worker's resident copy of a gauge configuration (weak
+        field derived deterministically from the config id)."""
+        from ..lattice import LatticeGeometry, weak_field_gauge
+
+        key = (head.config_id, head.dims)
+        if key not in self._gauges:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([head.config_id, 0xC0F1])
+            )
+            self._gauges[key] = weak_field_gauge(
+                LatticeGeometry(head.dims), rng, noise=self.gauge_noise
+            )
+        return self._gauges[key]
+
+    @staticmethod
+    def _batch_duration(results: list[InvertResult]) -> float:
+        last = results[-1]
+        return max(i.t_end for i in last.per_rank) + last.stats.lost_time
+
+    @staticmethod
+    def _outcomes(results: list[InvertResult]) -> list[dict]:
+        return [
+            {
+                "iterations": r.stats.iterations,
+                "converged": r.stats.converged,
+                "residual_norm": r.stats.residual_norm,
+                "recoveries": r.stats.recoveries,
+            }
+            for r in results
+        ]
+
+    def _retire_fired(self, events) -> tuple[int, ...]:
+        """Drop rank faults that fired from this worker's plan (each
+        batch restarts model clocks at zero, so a fired stall/crash
+        would otherwise replay on every subsequent batch)."""
+        fired = tuple(
+            sorted({e.rank for e in events if e.kind in ("stall", "crash")})
+        )
+        if fired and self.fault_plan is not None:
+            self.fault_plan = self.fault_plan.without_ranks(fired)
+        return fired
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, requests: list[SolveRequest]) -> BatchExecution:
+        """Run one batch to completion or structured failure.
+
+        All requests share a compatibility key (the scheduler's
+        invariant); the head request supplies the recipe.
+        """
+        if not requests:
+            raise ValueError("empty batch")
+        head = requests[0]
+        self.batches_run += 1
+        try:
+            if self.functional:
+                results = self._execute_functional(head, requests)
+            else:
+                cached = self._execute_model(head, len(requests))
+                if cached is not None:
+                    duration, outcomes = cached
+                    return BatchExecution(
+                        ok=True, duration_s=duration, outcomes=outcomes
+                    )
+                results = invert_model_multi(
+                    head.dims,
+                    self._invert_param(head),
+                    n_sources=len(requests),
+                    n_gpus=self.ranks,
+                    cluster=self.cluster,
+                    gpu_spec=self.gpu_spec,
+                    enforce_memory=False,
+                    fault_plan=self.fault_plan,
+                    integrity=self.integrity,
+                )
+        except RuntimeError as exc:
+            failure = _root_rank_failure(exc)
+            if failure is None:
+                raise
+            fired = self._retire_fired(getattr(exc, "fault_events", []))
+            return BatchExecution(
+                ok=False,
+                duration_s=max(failure.model_time, 0.0) + self.failure_penalty_s,
+                failure=failure,
+                fired_ranks=fired or (failure.rank,),
+            )
+        fired = self._retire_fired(
+            [e for r in results for e in r.fault_events]
+        )
+        execution = BatchExecution(
+            ok=True,
+            duration_s=self._batch_duration(results),
+            outcomes=self._outcomes(results),
+            recoveries=max(r.stats.recoveries for r in results),
+            restarts=max(r.stats.restarts for r in results),
+            corruptions_detected=max(
+                r.stats.corruptions_detected for r in results
+            ),
+            fired_ranks=fired,
+        )
+        self._maybe_cache(head, len(requests), execution)
+        return execution
+
+    def _execute_functional(
+        self, head: SolveRequest, requests: list[SolveRequest]
+    ) -> list[InvertResult]:
+        from ..lattice import random_spinor
+
+        gauge = self._gauge_for(head)
+        sources = [
+            random_spinor(
+                gauge.geometry,
+                np.random.default_rng(
+                    np.random.SeedSequence([r.source_seed, r.req_id, 0x50CE])
+                ),
+            )
+            for r in requests
+        ]
+        return invert_multi(
+            gauge,
+            sources,
+            self._invert_param(head),
+            n_gpus=self.ranks,
+            cluster=self.cluster,
+            gpu_spec=self.gpu_spec,
+            verify=False,
+            fault_plan=self.fault_plan,
+            integrity=self.integrity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Model-mode duration cache (wall-clock only; model time unaffected)
+    # ------------------------------------------------------------------ #
+
+    def _cache_key(self, head: SolveRequest, n: int) -> tuple | None:
+        if (
+            self.functional
+            or self.fault_plan is not None
+            or self.cluster is not None
+            or self.integrity is not None
+        ):
+            return None
+        return (
+            head.dims, head.mode, head.solver, head.mass, n,
+            self.ranks, self.gpu_spec.name, self.fixed_iterations,
+            self.overlap,
+        )
+
+    def _execute_model(self, head: SolveRequest, n: int):
+        key = self._cache_key(head, n)
+        if key is None:
+            return None
+        return self._model_cache.get(key)
+
+    def _maybe_cache(
+        self, head: SolveRequest, n: int, execution: BatchExecution
+    ) -> None:
+        key = self._cache_key(head, n)
+        if key is not None:
+            self._model_cache[key] = (
+                execution.duration_s,
+                execution.outcomes,
+            )

@@ -1,0 +1,94 @@
+"""Deterministic synthetic workloads for the solve service.
+
+Open-loop arrivals with exponential interarrival times (the standard
+serving-stack load model), priorities drawn from a configurable mix, and
+per-priority deadline slack — all keyed on one seed through
+``SeedSequence`` so a workload is byte-identical across runs and
+platforms, which is what makes whole-campaign schedules replayable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .request import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, SolveRequest
+
+__all__ = ["synthetic_workload"]
+
+_SALT_ARRIVAL = 0xA881
+_SALT_PRIORITY = 0xA882
+_SALT_CONFIG = 0xA883
+
+
+def synthetic_workload(
+    n_requests: int,
+    *,
+    seed: int = 2010,
+    rate_rps: float = 2000.0,
+    dims: tuple[int, int, int, int] = (8, 8, 8, 32),
+    mode: str = "single-half",
+    solver: str = "bicgstab",
+    mass: float = 0.2,
+    n_configs: int = 1,
+    priority_mix: tuple[float, float, float] = (0.1, 0.7, 0.2),
+    #: Deadline slack in model seconds for a NORMAL-priority request;
+    #: HIGH gets half, LOW double.  ``None`` disables deadlines.
+    deadline_slack_s: float | None = None,
+) -> list[SolveRequest]:
+    """``n_requests`` arrivals of a Section-VIII-style campaign."""
+    if n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if n_configs < 1:
+        raise ValueError("n_configs must be >= 1")
+    mix = np.asarray(priority_mix, dtype=float)
+    if mix.min() < 0 or mix.sum() <= 0:
+        raise ValueError("priority_mix must be nonnegative with positive sum")
+    mix = mix / mix.sum()
+
+    arrival_rng = np.random.default_rng(
+        np.random.SeedSequence([seed, _SALT_ARRIVAL])
+    )
+    prio_rng = np.random.default_rng(
+        np.random.SeedSequence([seed, _SALT_PRIORITY])
+    )
+    config_rng = np.random.default_rng(
+        np.random.SeedSequence([seed, _SALT_CONFIG])
+    )
+    gaps = arrival_rng.exponential(1.0 / rate_rps, size=n_requests)
+    arrivals = np.cumsum(gaps)
+    priorities = prio_rng.choice(
+        [PRIORITY_HIGH, PRIORITY_NORMAL, PRIORITY_LOW],
+        size=n_requests,
+        p=mix,
+    )
+    configs = config_rng.integers(0, n_configs, size=n_requests)
+
+    slack_by_priority = {
+        PRIORITY_HIGH: 0.5,
+        PRIORITY_NORMAL: 1.0,
+        PRIORITY_LOW: 2.0,
+    }
+    requests = []
+    for i in range(n_requests):
+        arrival = float(arrivals[i])
+        priority = int(priorities[i])
+        deadline = None
+        if deadline_slack_s is not None:
+            deadline = arrival + deadline_slack_s * slack_by_priority[priority]
+        requests.append(
+            SolveRequest(
+                req_id=i,
+                config_id=int(configs[i]),
+                dims=dims,
+                mode=mode,
+                solver=solver,
+                mass=mass,
+                source_seed=seed,
+                priority=priority,
+                arrival_s=arrival,
+                deadline_s=deadline,
+            )
+        )
+    return requests

@@ -1,0 +1,129 @@
+"""Batching policy edge cases: windows, fullness, priority, compatibility."""
+
+import pytest
+
+from repro.service import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    BatchPolicy,
+    SolveRequest,
+    select_batch,
+)
+from repro.service.request import RequestRecord
+
+
+def _rec(req_id, *, priority=PRIORITY_NORMAL, arrival=0.0, config=0, mass=0.2):
+    return RequestRecord(
+        request=SolveRequest(
+            req_id=req_id,
+            config_id=config,
+            mass=mass,
+            priority=priority,
+            arrival_s=arrival,
+        )
+    )
+
+
+POLICY = BatchPolicy(max_batch=4, max_wait_s=100e-6, expedite_priority=PRIORITY_HIGH)
+
+
+class TestReadiness:
+    def test_fresh_partial_batch_waits(self):
+        recs = [_rec(0, arrival=0.0), _rec(1, arrival=0.0)]
+        assert select_batch(recs, 50e-6, POLICY) is None
+
+    def test_window_expiry_dispatches_single_request(self):
+        # A lone request is never parked indefinitely: once its window
+        # expires it goes out as a batch of one.
+        recs = [_rec(0, arrival=0.0)]
+        assert select_batch(recs, 99e-6, POLICY) is None
+        batch = select_batch(recs, 100e-6, POLICY)
+        assert batch is not None and [r.request.req_id for r in batch] == [0]
+
+    def test_full_batch_dispatches_immediately(self):
+        recs = [_rec(i, arrival=0.0) for i in range(4)]
+        batch = select_batch(recs, 0.0, POLICY)
+        assert batch is not None and len(batch) == 4
+
+    def test_overfull_group_truncates_to_max_batch(self):
+        recs = [_rec(i, arrival=0.0) for i in range(7)]
+        batch = select_batch(recs, 0.0, POLICY)
+        assert [r.request.req_id for r in batch] == [0, 1, 2, 3]
+
+    def test_high_priority_expedited_past_window(self):
+        recs = [_rec(0, priority=PRIORITY_HIGH, arrival=0.0)]
+        batch = select_batch(recs, 0.0, POLICY)
+        assert batch is not None and batch[0].request.req_id == 0
+
+
+class TestPriorityInversion:
+    def test_high_priority_not_stuck_behind_full_low_batch(self):
+        # A full LOW batch (other gauge config) is ready, but the
+        # waiting HIGH request's group is considered first — the worker
+        # goes to HIGH, not the full low-priority batch.
+        recs = sorted(
+            [
+                _rec(i, priority=PRIORITY_LOW, arrival=0.0, config=1)
+                for i in range(4)
+            ]
+            + [_rec(9, priority=PRIORITY_HIGH, arrival=10e-6)],
+            key=lambda r: (r.request.priority, r.request.arrival_s),
+        )
+        batch = select_batch(recs, 20e-6, POLICY)
+        assert [r.request.req_id for r in batch] == [9]
+
+    def test_compatible_low_work_rides_along_with_high(self):
+        # Same compat group: expediting HIGH still fills the batch with
+        # compatible queued work — latency for HIGH, occupancy for free.
+        recs = sorted(
+            [_rec(i, priority=PRIORITY_LOW, arrival=0.0) for i in range(2)]
+            + [_rec(9, priority=PRIORITY_HIGH, arrival=10e-6)],
+            key=lambda r: (r.request.priority, r.request.arrival_s),
+        )
+        batch = select_batch(recs, 20e-6, POLICY)
+        assert [r.request.req_id for r in batch] == [9, 0, 1]
+
+    def test_ready_low_batch_uses_worker_while_normal_rides_window(self):
+        # The inverse must not deadlock either: a fresh NORMAL singleton
+        # still inside its window is skipped, and the ready LOW batch
+        # takes the idle worker.
+        recs = [_rec(0, priority=PRIORITY_NORMAL, arrival=90e-6)] + [
+            _rec(i, priority=PRIORITY_LOW, arrival=0.0, config=1)
+            for i in range(1, 5)
+        ]
+        batch = select_batch(recs, 100e-6, POLICY)
+        assert all(r.request.priority == PRIORITY_LOW for r in batch)
+        assert len(batch) == 4
+
+
+class TestCompatibility:
+    def test_incompatible_recipes_never_share_a_batch(self):
+        # Same arrival, different mass: two groups, each window-expired;
+        # the first in scheduling order dispatches alone.
+        recs = [_rec(0, mass=0.2), _rec(1, mass=0.3)]
+        batch = select_batch(recs, 200e-6, POLICY)
+        assert len(batch) == 1
+
+    def test_different_configs_never_share_a_batch(self):
+        recs = [_rec(i, config=i % 2, arrival=0.0) for i in range(8)]
+        batch = select_batch(recs, 0.0, POLICY)
+        assert len({r.request.config_id for r in batch}) == 1
+        assert len(batch) == 4
+
+    def test_compat_key_covers_the_setup(self):
+        a = SolveRequest(req_id=0, config_id=1, mass=0.2)
+        b = SolveRequest(req_id=1, config_id=1, mass=0.2)
+        c = SolveRequest(req_id=2, config_id=2, mass=0.2)
+        assert a.compat_key == b.compat_key
+        assert a.compat_key != c.compat_key
+
+
+class TestPolicyValidation:
+    def test_max_batch_validated(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+
+    def test_max_wait_validated(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_s=-1.0)

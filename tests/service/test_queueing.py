@@ -1,0 +1,88 @@
+"""Admission queue: ordering, capacity, backpressure semantics."""
+
+import pytest
+
+from repro.service import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    AdmissionQueue,
+    SolveRequest,
+)
+from repro.service.request import RequestRecord
+
+
+def _rec(req_id, *, priority=PRIORITY_NORMAL, arrival=0.0, deadline=None):
+    return RequestRecord(
+        request=SolveRequest(
+            req_id=req_id,
+            priority=priority,
+            arrival_s=arrival,
+            deadline_s=deadline,
+        )
+    )
+
+
+class TestOrdering:
+    def test_priority_first(self):
+        q = AdmissionQueue(8)
+        q.offer(_rec(0, priority=PRIORITY_LOW))
+        q.offer(_rec(1, priority=PRIORITY_HIGH, arrival=5.0))
+        q.offer(_rec(2, priority=PRIORITY_NORMAL))
+        assert [r.request.req_id for r in q.ordered()] == [1, 2, 0]
+
+    def test_deadline_breaks_priority_ties(self):
+        q = AdmissionQueue(8)
+        q.offer(_rec(0, arrival=0.0, deadline=9.0))
+        q.offer(_rec(1, arrival=1.0, deadline=2.0))
+        assert [r.request.req_id for r in q.ordered()] == [1, 0]
+
+    def test_fifo_within_tier(self):
+        q = AdmissionQueue(8)
+        q.offer(_rec(1, arrival=1.0))
+        q.offer(_rec(0, arrival=0.5))
+        assert [r.request.req_id for r in q.ordered()] == [0, 1]
+
+    def test_no_deadline_sorts_last_within_tier(self):
+        q = AdmissionQueue(8)
+        q.offer(_rec(0, arrival=0.0))
+        q.offer(_rec(1, arrival=1.0, deadline=5.0))
+        assert [r.request.req_id for r in q.ordered()] == [1, 0]
+
+
+class TestCapacity:
+    def test_rejects_when_full(self):
+        q = AdmissionQueue(2)
+        assert q.offer(_rec(0))
+        assert q.offer(_rec(1))
+        assert q.full
+        assert not q.offer(_rec(2))
+        assert len(q) == 2
+
+    def test_force_bypasses_capacity(self):
+        q = AdmissionQueue(1)
+        assert q.offer(_rec(0))
+        assert q.offer(_rec(1), force=True)
+        assert len(q) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+class TestRemove:
+    def test_remove_by_identity(self):
+        q = AdmissionQueue(8)
+        a, b = _rec(0), _rec(0)  # equal payloads, distinct records
+        q.offer(a)
+        q.offer(b)
+        q.remove([a])
+        assert len(q) == 1
+        assert q.ordered()[0] is b
+
+    def test_oldest_arrival(self):
+        q = AdmissionQueue(8)
+        assert q.oldest_arrival() is None
+        q.offer(_rec(0, arrival=3.0))
+        q.offer(_rec(1, arrival=1.0))
+        assert q.oldest_arrival() == 1.0

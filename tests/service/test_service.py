@@ -1,0 +1,241 @@
+"""End-to-end service tests: determinism, backpressure, chaos, SLOs."""
+
+import pytest
+
+from repro.comms import FaultPlan
+from repro.core import RetryPolicy
+from repro.service import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    BatchPolicy,
+    ServiceConfig,
+    SolveService,
+    SolveRequest,
+    synthetic_workload,
+)
+
+DIMS = (4, 4, 4, 8)
+
+
+def _config(**kwargs):
+    defaults = dict(
+        queue_capacity=64,
+        policy=BatchPolicy(max_batch=4),
+        n_workers=2,
+        ranks_per_worker=2,
+        fixed_iterations=10,
+    )
+    defaults.update(kwargs)
+    return ServiceConfig(**defaults)
+
+
+def _campaign(n, **kwargs):
+    defaults = dict(seed=7, rate_rps=2000.0, dims=DIMS)
+    defaults.update(kwargs)
+    return synthetic_workload(n, **defaults)
+
+
+class TestEndToEnd:
+    def test_campaign_completes(self):
+        result = SolveService(_config()).run(_campaign(16))
+        report = result.report
+        assert report.completed == 16
+        assert report.failed == 0 and report.rejected == 0
+        assert report.n_batches >= 4  # max_batch=4 caps batch size
+        assert all(rec.terminal for rec in result.records)
+        assert report.throughput_rps > 0
+        assert 0 < report.batch_occupancy <= 1.0
+        assert len(report.worker_utilization) == 2
+
+    def test_every_request_traced(self):
+        result = SolveService(_config()).run(_campaign(8))
+        for rec in result.records:
+            events = [e for _, e, _ in rec.trace]
+            assert events[0] == "arrive"
+            assert "dispatch" in events
+            assert events[-1] == "complete"
+            assert rec.wait_s is not None and rec.wait_s >= 0
+            assert rec.latency_s >= rec.wait_s
+
+    def test_empty_campaign(self):
+        report = SolveService(_config()).run([]).report
+        assert report.n_requests == 0
+        assert report.completed == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        # The determinism witness: two runs of the same campaign produce
+        # the identical completion order and byte-identical reports.
+        workload = _campaign(24)
+        a = SolveService(_config()).run(workload)
+        b = SolveService(_config()).run(workload)
+        assert a.completion_order == b.completion_order
+        assert a.report.render_json() == b.report.render_json()
+        assert a.report.wait_p99_s == b.report.wait_p99_s
+
+    def test_different_seed_different_schedule(self):
+        a = SolveService(_config()).run(_campaign(24, seed=7))
+        b = SolveService(_config()).run(_campaign(24, seed=8))
+        assert a.completion_order != b.completion_order
+
+    def test_workload_is_reproducible(self):
+        assert _campaign(32) == _campaign(32)
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_after(self):
+        # Capacity 2 against a burst: overflow must be rejected at
+        # arrival with a positive retry-after hint, never silently
+        # queued or lost.
+        config = _config(queue_capacity=2, n_workers=1)
+        result = SolveService(config).run(_campaign(16, rate_rps=1e6))
+        report = result.report
+        assert report.rejected > 0
+        assert report.completed + report.failed + report.rejected == 16
+        for rec in result.records:
+            if rec.state == "rejected":
+                assert rec.retry_after_s is not None
+                assert rec.retry_after_s > 0
+
+    def test_requeue_after_crash_bypasses_capacity(self):
+        # A retried request was already admitted once; a full queue must
+        # not bounce it (that would lose work the service accepted).
+        plan = FaultPlan(seed=3).with_stall(1, after_s=200e-6, mode="crash")
+        config = _config(
+            queue_capacity=1,
+            n_workers=1,
+            fault_plan=plan,
+            chaos_workers=(0,),
+            max_retries=1,
+        )
+        result = SolveService(config).run(_campaign(2, rate_rps=10.0))
+        assert all(rec.terminal for rec in result.records)
+
+
+class TestPriority:
+    def test_high_priority_jumps_low_backlog(self):
+        # A HIGH request arriving into a LOW backlog must dispatch ahead
+        # of queued LOW work (no priority inversion through batching).
+        low = [
+            SolveRequest(req_id=i, dims=DIMS, priority=PRIORITY_LOW,
+                         arrival_s=i * 1e-6)
+            for i in range(12)
+        ]
+        high = SolveRequest(
+            req_id=99, dims=DIMS, priority=PRIORITY_HIGH, arrival_s=20e-6
+        )
+        config = _config(n_workers=1)
+        result = SolveService(config).run(low + [high])
+        completed = result.completion_order
+        # One LOW batch may already occupy the worker when HIGH arrives,
+        # but HIGH must complete before the bulk of the LOW tier.
+        assert completed.index(99) <= len(low) // 2
+        rec = result.record_for(99)
+        later_low = [
+            result.record_for(i) for i in completed[completed.index(99) + 1:]
+        ]
+        assert all(r.request.priority == PRIORITY_LOW for r in later_low)
+        assert rec.wait_s < max(r.wait_s for r in later_low)
+
+
+class TestChaos:
+    def test_crash_never_loses_a_request(self):
+        plan = FaultPlan(seed=11).with_stall(1, after_s=500e-6, mode="crash")
+        config = _config(
+            fault_plan=plan, chaos_workers=(0,), max_retries=1
+        )
+        result = SolveService(config).run(_campaign(12))
+        report = result.report
+        assert report.worker_crashes >= 1
+        assert report.retries >= 1
+        assert report.completed == 12 and report.failed == 0
+        assert all(rec.terminal for rec in result.records)
+
+    def test_exhausted_retries_fail_with_structure(self):
+        # max_retries=0: the crashed batch's requests must fail
+        # terminally with a structured reason, not hang or vanish.
+        plan = FaultPlan(seed=11).with_stall(1, after_s=500e-6, mode="crash")
+        config = _config(
+            fault_plan=plan, chaos_workers=(0, 1), max_retries=0
+        )
+        result = SolveService(config).run(_campaign(12))
+        report = result.report
+        assert report.failed >= 1
+        assert report.completed + report.failed == 12
+        for rec in result.records:
+            assert rec.terminal
+            if rec.state == "failed":
+                assert rec.failure is not None
+                assert rec.failure.kind == "worker_crash"
+                assert rec.failure.failed_rank == 1
+                assert rec.failure.attempts >= 1
+
+    def test_worker_self_heals_with_retry_policy(self):
+        # With a RetryPolicy the worker absorbs the crash (checkpoint
+        # resume over survivors): no service-level crash accounting.
+        plan = FaultPlan(seed=11).with_stall(1, after_s=500e-6, mode="crash")
+        config = _config(
+            fault_plan=plan,
+            chaos_workers=(0,),
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        report = SolveService(config).run(_campaign(12)).report
+        assert report.completed == 12 and report.failed == 0
+        assert report.worker_crashes == 0
+        assert report.recoveries >= 1
+
+
+class TestSLO:
+    def test_goodput_and_attainment(self):
+        workload = _campaign(16, deadline_slack_s=5e-3)
+        report = SolveService(_config()).run(workload).report
+        assert report.completed == 16
+        assert 0.0 <= report.slo_attainment <= 1.0
+        assert report.goodput_rps <= report.throughput_rps + 1e-9
+
+    def test_tight_deadlines_hurt_goodput_not_throughput(self):
+        loose = SolveService(_config()).run(
+            _campaign(16, deadline_slack_s=10.0)
+        ).report
+        tight = SolveService(_config()).run(
+            _campaign(16, deadline_slack_s=1e-6)
+        ).report
+        assert loose.completed == tight.completed == 16
+        assert tight.slo_attainment < loose.slo_attainment
+
+
+class TestConfigValidation:
+    def test_chaos_workers_require_plan(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(chaos_workers=(0,))
+
+    def test_chaos_worker_in_pool(self):
+        plan = FaultPlan(seed=1).with_stall(0, after_s=1e-3, mode="crash")
+        with pytest.raises(ValueError):
+            ServiceConfig(n_workers=2, fault_plan=plan, chaos_workers=(5,))
+
+    def test_workers_positive(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(n_workers=0)
+
+
+class TestWorkloadValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_workload(-1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_workload(4, rate_rps=0.0)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_workload(4, priority_mix=(0.0, 0.0, 0.0))
+
+    def test_configs_partition_batches(self):
+        workload = _campaign(16, n_configs=3)
+        result = SolveService(_config()).run(workload)
+        for batch in result.batches:
+            configs = {r.request.config_id for r in batch.records}
+            assert len(configs) == 1

@@ -199,6 +199,62 @@ class TestChaos:
         assert "converged:     True" in out
 
 
+class TestServe:
+    _ARGS = [
+        "serve", "--requests", "16", "--workers", "2", "--dims", "4,4,4,8",
+        "--iterations", "10", "--seed", "7",
+    ]
+
+    def test_basic_campaign(self, capsys):
+        rc = main(self._ARGS)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "16 submitted, 16 admitted" in out
+        assert "16 completed, 0 failed" in out
+        assert "queue wait:" in out and "p99" in out
+        assert "utilization:" in out
+
+    def test_byte_identical_output_for_same_seed(self, capsys):
+        main(self._ARGS)
+        first = capsys.readouterr().out
+        main(self._ARGS)
+        second = capsys.readouterr().out
+        assert first == second  # completion order AND percentiles
+
+    def test_chaos_campaign_loses_nothing(self, capsys):
+        rc = main(self._ARGS + [
+            "--chaos", "--crash-rank", "1", "--fail-after-us", "500",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos: worker 0" in out
+        assert "16 completed, 0 failed" in out
+        assert "worker crash(es)" in out
+
+    def test_trace_renders_lifecycle(self, capsys):
+        rc = main(self._ARGS + ["--trace", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lifecycle of request 0:" in out
+        assert "arrive" in out and "dispatch" in out and "complete" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "serve.json"
+        rc = main(self._ARGS + ["--json", str(path)])
+        assert rc == 0
+        report = json.loads(path.read_text())
+        assert report["completed"] == 16
+        assert "wait_p99_us" in report
+
+    def test_bad_config_exits_2(self, capsys):
+        rc = main(["serve", "--requests", "4", "--batch-max", "0"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "error" in out
+
+
 class TestExperiments:
     @pytest.mark.slow
     def test_writes_report(self, tmp_path, capsys):
