@@ -13,7 +13,7 @@ model time (higher throughput) by a measured margin.
 import json
 import pathlib
 
-from repro.bench.harness import service_benchmark
+from repro.bench.harness import residency_benchmark, service_benchmark
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -58,3 +58,34 @@ def test_batched_service_beats_unbatched(run_once):
     # singles): mean batch size well above 1.
     assert batched["mean_batch_size"] > 2.0
     assert unbatched["mean_batch_size"] == 1.0
+
+
+def test_warm_pool_beats_cold_pool(run_once):
+    """Gauge-residency ablation: a two-configuration campaign over two
+    workers settles into one-config-per-worker affinity when residency
+    routing is on, so most batches skip the host→device gauge upload and
+    the whole campaign finishes strictly sooner than the cold run."""
+    result = run_once(lambda: residency_benchmark(iterations=ITERATIONS))
+    warm = result["warm"]
+    cold = result["cold"]
+    print(
+        f"\nwarm: {warm['makespan_us'] / 1e3:.1f} ms "
+        f"({warm['placement']['residency_hits']} residency hits, "
+        f"gauge saved {warm['placement']['gauge_saved_us']:.0f} us)"
+        f"\ncold: {cold['makespan_us'] / 1e3:.1f} ms "
+        f"({cold['placement']['residency_hits']} residency hits)"
+        f"\ncold/warm makespan: {result['cold_vs_warm_makespan']:.4f}x"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_residency.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    for report in (warm, cold):
+        assert report["failed"] == 0
+        assert report["rejected"] == 0
+    # The warm pool must actually get warm — and the cold pool must not.
+    assert warm["placement"]["residency_hits"] > 0
+    assert warm["placement"]["gauge_saved_us"] > 0
+    assert cold["placement"]["residency_hits"] == 0
+    # The acceptance bar: strictly lower total campaign latency warm.
+    assert warm["makespan_us"] < cold["makespan_us"]

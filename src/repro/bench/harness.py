@@ -397,13 +397,94 @@ def service_benchmark(
     }
 
 
+def residency_benchmark(
+    n_requests: int = 48,
+    *,
+    dims: tuple[int, int, int, int] = (16, 16, 16, 64),
+    mode: str = "single-half",
+    workers: int = 2,
+    ranks: int = 2,
+    n_configs: int = 2,
+    max_batch: int = 8,
+    rate_rps: float = 2000.0,
+    iterations: int = 10,
+    seed: int = 2010,
+) -> dict:
+    """Serve one ``n_configs``-configuration campaign twice — gauge
+    residency on (*warm pool*: batches route to a worker whose device
+    already holds the configuration, the upload is charged only on a
+    miss) versus off (*cold*: every batch pays the host→device gauge
+    upload) — and report both scorecards plus the makespan ratio.
+
+    With two configurations interleaving over two workers, the warm run
+    settles into one-config-per-worker affinity and most batches are
+    residency hits; the cold run re-uploads on every batch.  The shared
+    tunecache is enabled in both runs, so the measured margin isolates
+    the residency credit.
+    """
+    from ..service import (
+        BatchPolicy,
+        PlacementPolicy,
+        ServiceConfig,
+        SolveService,
+        synthetic_workload,
+    )
+
+    workload = synthetic_workload(
+        n_requests,
+        seed=seed,
+        rate_rps=rate_rps,
+        dims=dims,
+        mode=mode,
+        n_configs=n_configs,
+    )
+
+    def serve(residency: bool) -> dict:
+        config = ServiceConfig(
+            queue_capacity=max(n_requests, 1),
+            policy=BatchPolicy(max_batch=max_batch),
+            n_workers=workers,
+            ranks_per_worker=ranks,
+            fixed_iterations=iterations,
+            placement=PlacementPolicy(residency=residency),
+        )
+        return SolveService(config).run(workload).report.to_json()
+
+    warm = serve(True)
+    cold = serve(False)
+    ratio = (
+        cold["makespan_us"] / warm["makespan_us"]
+        if warm["makespan_us"]
+        else float("inf")
+    )
+    return {
+        "campaign": {
+            "requests": n_requests,
+            "dims": list(dims),
+            "mode": mode,
+            "workers": workers,
+            "ranks_per_worker": ranks,
+            "configs": n_configs,
+            "max_batch": max_batch,
+            "rate_rps": rate_rps,
+            "iterations": iterations,
+            "seed": seed,
+        },
+        "warm": warm,
+        "cold": cold,
+        "cold_vs_warm_makespan": round(ratio, 4),
+    }
+
+
 def write_service_bench(path: str = "BENCH_service.json", **kwargs) -> dict:
-    """Run :func:`service_benchmark` and write the machine-readable
-    scorecard (wait percentiles, throughput, batch occupancy) to
-    ``path``."""
+    """Run :func:`service_benchmark` plus the gauge-residency ablation
+    (:func:`residency_benchmark`) and write the machine-readable
+    scorecard (wait percentiles, throughput, batch occupancy, warm- vs
+    cold-pool makespans) to ``path``."""
     import json
 
     result = service_benchmark(**kwargs)
+    result["residency_ablation"] = residency_benchmark()
     with open(path, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

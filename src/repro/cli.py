@@ -17,6 +17,7 @@ paper-vs-measured report.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -36,6 +37,16 @@ def _grid(text: str) -> tuple[int, int]:
     if len(parts) != 2:
         raise argparse.ArgumentTypeError("grid must be RANKS_Z,RANKS_T")
     return parts
+
+
+def _grid_policy(text: str):
+    """The serve-side grid knob: 'auto' (score per request), 'time'
+    (pin the paper's time-only slicing), or a pinned RANKS_Z,RANKS_T."""
+    if text == "auto":
+        return "auto"
+    if text in ("time", "none"):
+        return None
+    return _grid(text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -213,6 +224,22 @@ def build_parser() -> argparse.ArgumentParser:
                    "survivors) instead of service-level re-dispatch")
     p.add_argument("--max-attempts", type=int, default=2,
                    help="worker relaunch budget when --recover is given")
+    p.add_argument("--grid", type=_grid_policy, default="auto",
+                   metavar="auto|time|RANKS_Z,RANKS_T",
+                   help="process-grid policy: 'auto' scores every feasible "
+                   "decomposition per request with the perf model, 'time' "
+                   "pins the paper's time-only slicing, RANKS_Z,RANKS_T "
+                   "pins one grid")
+    p.add_argument("--no-residency", action="store_true",
+                   help="disable gauge-resident routing (every batch "
+                   "re-uploads its configuration)")
+    p.add_argument("--no-tunecache", action="store_true",
+                   help="disable the shared tunecache (per-batch retuning, "
+                   "uncharged, as before the placement layer)")
+    p.add_argument("--tunecache", default=None, metavar="PATH",
+                   help="persist the shared tunecache as JSON at PATH: "
+                   "loaded before the campaign if present, saved after, so "
+                   "the autotune sweep amortizes across campaigns")
     p.add_argument("--trace", type=int, default=None, metavar="REQ_ID",
                    help="print one request's full lifecycle trace")
     p.add_argument("--json", default=None,
@@ -467,8 +494,10 @@ def _cmd_serve(args) -> int:
     from .core import RetryPolicy
     from .service import (
         BatchPolicy,
+        PlacementPolicy,
         ServiceConfig,
         ServiceInvariantError,
+        SharedTuneCache,
         SolveService,
         synthetic_workload,
     )
@@ -501,7 +530,21 @@ def _cmd_serve(args) -> int:
             chaos_workers=chaos_workers,
             retry_policy=retry_policy,
             seed=args.seed,
+            placement=PlacementPolicy(
+                grid=args.grid,
+                residency=not args.no_residency,
+                tunecache=not args.no_tunecache,
+            ),
         )
+        tune_cache = None
+        if args.tunecache and not args.no_tunecache and os.path.exists(
+            args.tunecache
+        ):
+            tune_cache = SharedTuneCache.load(args.tunecache)
+            print(
+                f"tunecache: loaded {len(tune_cache)} entr(ies) "
+                f"from {args.tunecache}"
+            )
         workload = synthetic_workload(
             args.requests,
             seed=args.seed,
@@ -519,7 +562,7 @@ def _cmd_serve(args) -> int:
             print(
                 f"chaos: worker {args.crash_worker} runs under {plan.describe()}"
             )
-        service = SolveService(config)
+        service = SolveService(config, tune_cache=tune_cache)
         result = service.run(workload)
     except ValueError as exc:
         print(f"repro serve: error: {exc}")
@@ -528,6 +571,12 @@ def _cmd_serve(args) -> int:
         print(f"repro serve: INVARIANT VIOLATED: {exc}", file=sys.stderr)
         return 1
     print(result.report.render())
+    if args.tunecache and service.placement.tune_cache is not None:
+        service.placement.tune_cache.save(args.tunecache)
+        print(
+            f"tunecache: saved {len(service.placement.tune_cache)} "
+            f"entr(ies) to {args.tunecache}"
+        )
     if args.trace is not None:
         try:
             rec = result.record_for(args.trace)

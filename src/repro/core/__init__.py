@@ -10,7 +10,7 @@ tie it together.  :func:`repro.core.invert` is the one-call entry point
 """
 
 from . import blas
-from .autotune import TuneCache, TuneResult, autotune
+from .autotune import TuneCache, TuneResult, autotune, tune_sweep_cost_s
 from .dslash import DeviceSchurOperator
 from .interface import (
     PRECISION_MODES,
@@ -41,6 +41,7 @@ from .solvers import (
 __all__ = [
     "blas",
     "autotune",
+    "tune_sweep_cost_s",
     "TuneCache",
     "TuneResult",
     "DeviceSchurOperator",

@@ -22,11 +22,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..gpu.perfmodel import occupancy_factor
+from ..gpu.perfmodel import (
+    DEFAULT_PARAMS,
+    PerfModelParams,
+    kernel_time,
+    occupancy_factor,
+)
 from ..gpu.precision import Precision
 from ..gpu.specs import GPUSpec, GTX285
 
-__all__ = ["TuneResult", "TuneCache", "occupancy_of", "autotune", "KERNEL_REGISTERS"]
+__all__ = [
+    "TuneResult",
+    "TuneCache",
+    "occupancy_of",
+    "autotune",
+    "tune_sweep_cost_s",
+    "KERNEL_REGISTERS",
+]
 
 #: Representative register usage per thread (32-bit registers) for each
 #: kernel family on GT200.  Double-precision values occupy two registers,
@@ -54,6 +66,25 @@ class TuneResult:
     @property
     def bandwidth_factor(self) -> float:
         return occupancy_factor(self.occupancy)
+
+    def to_json(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "precision": self.precision.name,
+            "block_size": self.block_size,
+            "blocks_per_mp": self.blocks_per_mp,
+            "occupancy": self.occupancy,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TuneResult":
+        return cls(
+            kernel=data["kernel"],
+            precision=Precision[data["precision"]],
+            block_size=int(data["block_size"]),
+            blocks_per_mp=int(data["blocks_per_mp"]),
+            occupancy=float(data["occupancy"]),
+        )
 
 
 def occupancy_of(
@@ -93,6 +124,22 @@ class TuneCache:
 
     def result(self, kernel: str, precision: Precision) -> TuneResult:
         return self.results[(kernel, precision)]
+
+    def to_json(self) -> dict:
+        return {
+            "spec": self.spec_name,
+            "results": [res.to_json() for _, res in sorted(
+                self.results.items(), key=lambda kv: (kv[0][0], kv[0][1].name)
+            )],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TuneCache":
+        cache = cls(spec_name=data["spec"])
+        for entry in data["results"]:
+            res = TuneResult.from_json(entry)
+            cache.results[(res.kernel, res.precision)] = res
+        return cache
 
     def as_header(self) -> str:
         """The QUDA-style generated header ("written out to a header file
@@ -142,3 +189,56 @@ def autotune(
                 )
             cache.results[(kernel, precision)] = best
     return cache
+
+
+#: Streaming bytes per lattice site a representative tuning workload
+#: moves, in units of the precision's real size: one spinor read, one
+#: spinor write (24 reals each) — the blas-like probe QUDA's tuner times
+#: for every candidate launch configuration.
+_TRIAL_REALS_PER_SITE = 48
+
+#: Wall-trials per candidate configuration (QUDA times each candidate a
+#: few times and keeps the best to suppress timer noise).
+_TRIALS_PER_CANDIDATE = 3
+
+
+def tune_sweep_cost_s(
+    spec: GPUSpec = GTX285,
+    *,
+    local_volume: int,
+    params: PerfModelParams = DEFAULT_PARAMS,
+    kernels: dict[str, dict[Precision, int]] | None = None,
+) -> float:
+    """Model time of the exhaustive autotune sweep on one rank.
+
+    "All possible combinations of parameters are tested for each
+    kernel" (Section V-E): every legal (kernel, precision, block size)
+    candidate is actually launched on the device, several times, against
+    the rank's local volume.  This is the setup cost a persisted
+    tunecache amortizes away — real QUDA ships ``tunecache.tsv`` for
+    exactly this reason — and it is a pure function of (spec, local
+    volume), so two ranks of equal slab size pay it concurrently and the
+    batch-level cost equals the per-rank cost.
+    """
+    if local_volume < 1:
+        raise ValueError("local_volume must be >= 1")
+    kernels = kernels or KERNEL_REGISTERS
+    total = 0.0
+    for _, per_prec in sorted(kernels.items()):
+        for precision, regs in sorted(per_prec.items(), key=lambda kv: kv[0].name):
+            for block in BLOCK_SIZES:
+                blocks, occ = occupancy_of(spec, precision, regs, block)
+                if blocks == 0:
+                    continue
+                trial = kernel_time(
+                    spec,
+                    params,
+                    precision,
+                    bytes_moved=local_volume
+                    * _TRIAL_REALS_PER_SITE
+                    * precision.real_bytes,
+                    flops=0,
+                    occupancy=occ,
+                ) + params.submit_overhead_s
+                total += _TRIALS_PER_CANDIDATE * trial
+    return total

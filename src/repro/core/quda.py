@@ -108,6 +108,10 @@ class InvertResult:
     #: resumes, and breakdown-ladder rungs, in decision order.
     #: Deterministic for a given fault-plan seed.
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
+    #: Process grid the solve actually ran on: ``(ranks_z, ranks_t)``
+    #: for the multi-dimensional decomposition, ``None`` for the paper's
+    #: time-only slicing — the placement layer's audit trail.
+    grid: tuple[int, int] | None = None
 
     @property
     def recoveries(self) -> int:
@@ -127,6 +131,7 @@ def invert(
     gpu_spec: GPUSpec = GTX285,
     enforce_memory: bool = False,
     tune: bool = True,
+    tune_cache: TuneCache | None = None,
     verify: bool = True,
     fault_plan: FaultPlan | None = None,
     integrity: IntegrityPolicy | None = None,
@@ -154,6 +159,7 @@ def invert(
         gpu_spec=gpu_spec,
         enforce_memory=enforce_memory,
         tune=tune,
+        tune_cache=tune_cache,
         verify=verify,
         fault_plan=fault_plan,
         integrity=integrity,
@@ -172,6 +178,7 @@ def invert_multi(
     gpu_spec: GPUSpec = GTX285,
     enforce_memory: bool = False,
     tune: bool = True,
+    tune_cache: TuneCache | None = None,
     verify: bool = True,
     fault_plan: FaultPlan | None = None,
     integrity: IntegrityPolicy | None = None,
@@ -210,6 +217,7 @@ def invert_multi(
         gpu_spec=gpu_spec,
         enforce_memory=enforce_memory,
         tune=tune,
+        tune_cache=tune_cache,
         execute=True,
         host_gauge=gauge,
         host_clover=clover_blocks,
@@ -246,6 +254,7 @@ def invert_model(
     gpu_spec: GPUSpec = GTX285,
     enforce_memory: bool = True,
     tune: bool = True,
+    tune_cache: TuneCache | None = None,
     fault_plan: FaultPlan | None = None,
     integrity: IntegrityPolicy | None = None,
 ) -> InvertResult:
@@ -269,6 +278,7 @@ def invert_model(
         gpu_spec=gpu_spec,
         enforce_memory=enforce_memory,
         tune=tune,
+        tune_cache=tune_cache,
         fault_plan=fault_plan,
         integrity=integrity,
     )[0]
@@ -286,6 +296,7 @@ def invert_model_multi(
     gpu_spec: GPUSpec = GTX285,
     enforce_memory: bool = True,
     tune: bool = True,
+    tune_cache: TuneCache | None = None,
     fault_plan: FaultPlan | None = None,
     integrity: IntegrityPolicy | None = None,
 ) -> list[InvertResult]:
@@ -314,6 +325,7 @@ def invert_model_multi(
         gpu_spec=gpu_spec,
         enforce_memory=enforce_memory,
         tune=tune,
+        tune_cache=tune_cache,
         execute=False,
         host_gauge=None,
         host_clover=None,
@@ -471,6 +483,7 @@ def _run(
     enforce_memory: bool,
     tune: bool,
     execute: bool,
+    tune_cache: TuneCache | None = None,
     host_gauge: GaugeField | None,
     host_clover: np.ndarray | None,
     host_sources: list[SpinorField] | None,
@@ -479,7 +492,13 @@ def _run(
     fault_plan: FaultPlan | None = None,
     integrity: IntegrityPolicy | None = None,
 ) -> list[InvertResult]:
-    tune_cache: TuneCache | None = autotune(gpu_spec) if tune else None
+    if tune_cache is None and tune:
+        # No shared cache supplied: derive the tunings fresh (the
+        # pre-placement-layer behaviour; the service hands in a
+        # SharedTuneCache-backed cache to amortize this).
+        tune_cache = autotune(gpu_spec)
+    if not tune:
+        tune_cache = None
     n_sources = (
         len(host_sources) if host_sources is not None else n_model_sources
     )
@@ -711,6 +730,7 @@ def _run(
                 fault_events=out.fault_events,
                 comm_stats=out.comm_stats,
                 recovery_events=src_events,
+                grid=grid,
             )
         )
     return results

@@ -15,6 +15,13 @@ workload the way an inference-serving stack serves model traffic:
   requests into multi-RHS batches (max size + max wait window),
   amortizing the device setup the way
   :func:`repro.core.invert_multi` does;
+* :mod:`repro.service.placement` — the topology/residency layer: a
+  :class:`~repro.service.placement.GridSelector` scoring per-request
+  process grids with the calibrated perf model, a
+  :class:`~repro.service.placement.ResidencyRouter` steering batches to
+  gauge-resident workers, and a persistent
+  :class:`~repro.service.placement.SharedTuneCache` amortizing the
+  Section V-E autotune sweep across batches and campaigns;
 * :class:`~repro.service.workers.SimWorker` — a simulated multi-GPU
   worker (an n-rank SimMPI cluster per batch), optionally under a
   :class:`~repro.comms.faults.FaultPlan`, optionally self-healing via
@@ -32,7 +39,18 @@ byte-identical reports, on any machine.
 
 from .batching import Batch, BatchPolicy, select_batch
 from .metrics import ServiceReport, percentile
-from .queueing import AdmissionQueue
+from .placement import (
+    GridCandidate,
+    GridSelector,
+    PlacementDecision,
+    PlacementEngine,
+    PlacementPolicy,
+    ResidencyRouter,
+    SharedTuneCache,
+    gauge_upload_s,
+    residency_key,
+)
+from .queueing import AdmissionQueue, DrainEstimator
 from .request import (
     PRIORITY_HIGH,
     PRIORITY_LOW,
@@ -58,9 +76,19 @@ __all__ = [
     "PRIORITY_NORMAL",
     "PRIORITY_LOW",
     "AdmissionQueue",
+    "DrainEstimator",
     "BatchPolicy",
     "Batch",
     "select_batch",
+    "GridCandidate",
+    "GridSelector",
+    "ResidencyRouter",
+    "SharedTuneCache",
+    "PlacementPolicy",
+    "PlacementDecision",
+    "PlacementEngine",
+    "gauge_upload_s",
+    "residency_key",
     "SimWorker",
     "BatchExecution",
     "SolveService",

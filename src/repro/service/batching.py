@@ -65,6 +65,10 @@ class Batch:
     key: tuple
     formed_s: float
     worker_id: int = -1
+    #: Process grid the batch ran on (``None`` = time-only slicing).
+    grid: tuple[int, int] | None = None
+    #: The placement layer routed this batch to a gauge-resident worker.
+    residency_hit: bool = False
     completed_s: float | None = None
     duration_s: float | None = None
     ok: bool | None = None

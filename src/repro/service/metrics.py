@@ -63,6 +63,27 @@ class ServiceReport:
     #: Completions that met their deadline / completions with one.
     slo_attainment: float = 1.0
     worker_utilization: list[float] = field(default_factory=list)
+    #: Placement scorecard (:meth:`PlacementEngine.summary`): batches per
+    #: decomposition, gauge-residency hits/misses and upload seconds
+    #: saved, shared-tunecache hits/misses and sweep seconds spent/saved.
+    placement: dict = field(default_factory=dict)
+
+    @property
+    def residency_hit_rate(self) -> float:
+        return self.placement.get("residency_hit_rate", 0.0)
+
+    @property
+    def tunecache_hit_rate(self) -> float:
+        return self.placement.get("tunecache_hit_rate", 0.0)
+
+    @property
+    def setup_saved_s(self) -> float:
+        """Total modeled setup time placement avoided: gauge uploads
+        skipped on residency hits plus autotune sweeps skipped on
+        tunecache hits."""
+        return self.placement.get("gauge_saved_s", 0.0) + self.placement.get(
+            "tune_setup_saved_s", 0.0
+        )
 
     @classmethod
     def collect(
@@ -73,6 +94,7 @@ class ServiceReport:
         *,
         worker_busy_s: list[float],
         makespan_s: float,
+        placement: dict | None = None,
     ) -> "ServiceReport":
         completed = [r for r in records if r.state == COMPLETED]
         failed = [r for r in records if r.state == FAILED]
@@ -122,6 +144,7 @@ class ServiceReport:
             worker_utilization=[
                 min(1.0, busy / horizon) for busy in worker_busy_s
             ],
+            placement=placement or {},
         )
 
     def to_json(self) -> dict:
@@ -149,6 +172,28 @@ class ServiceReport:
             "worker_utilization": [
                 round(u, 4) for u in self.worker_utilization
             ],
+            "placement": self._placement_json(),
+        }
+
+    def _placement_json(self) -> dict:
+        p = self.placement
+        if not p:
+            return {}
+        return {
+            "grids": dict(p.get("grids", {})),
+            "residency_hits": p.get("residency_hits", 0),
+            "residency_misses": p.get("residency_misses", 0),
+            "residency_hit_rate": round(p.get("residency_hit_rate", 0.0), 4),
+            "gauge_saved_us": round(p.get("gauge_saved_s", 0.0) * 1e6, 3),
+            "tunecache_hits": p.get("tunecache_hits", 0),
+            "tunecache_misses": p.get("tunecache_misses", 0),
+            "tunecache_hit_rate": round(p.get("tunecache_hit_rate", 0.0), 4),
+            "tune_setup_spent_us": round(
+                p.get("tune_setup_spent_s", 0.0) * 1e6, 3
+            ),
+            "tune_setup_saved_us": round(
+                p.get("tune_setup_saved_s", 0.0) * 1e6, 3
+            ),
         }
 
     def render(self) -> str:
@@ -174,6 +219,26 @@ class ServiceReport:
             f"req/s, SLO attainment {self.slo_attainment * 100:.1f}%)",
             f"utilization:  {util}" if util else "utilization:  (no workers)",
         ]
+        p = self.placement
+        if p:
+            grids = ", ".join(
+                f"{label} x{count}"
+                for label, count in sorted(p.get("grids", {}).items())
+            )
+            lines.append(
+                f"placement:    grids [{grids}]; residency "
+                f"{p.get('residency_hits', 0)}/"
+                f"{p.get('residency_hits', 0) + p.get('residency_misses', 0)}"
+                f" hits ({p.get('residency_hit_rate', 0.0) * 100:.1f}%), "
+                f"gauge saved {p.get('gauge_saved_s', 0.0) * 1e6:.1f} us"
+            )
+            lines.append(
+                f"tunecache:    {p.get('tunecache_hits', 0)} hit(s), "
+                f"{p.get('tunecache_misses', 0)} miss(es) "
+                f"({p.get('tunecache_hit_rate', 0.0) * 100:.1f}%); sweep "
+                f"spent {p.get('tune_setup_spent_s', 0.0) * 1e6:.1f} us, "
+                f"saved {p.get('tune_setup_saved_s', 0.0) * 1e6:.1f} us"
+            )
         return "\n".join(lines)
 
     def render_json(self) -> str:

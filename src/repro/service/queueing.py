@@ -15,7 +15,60 @@ import math
 
 from .request import RequestRecord
 
-__all__ = ["AdmissionQueue"]
+__all__ = ["AdmissionQueue", "DrainEstimator"]
+
+
+class DrainEstimator:
+    """EWMA of observed batch service times, for retry-after hints.
+
+    A rejected request is told when to come back; the quality of that
+    hint is the quality of the service-time estimate behind it.  A
+    campaign's batch durations are not stationary — residency hits,
+    tunecache warm-up and grid routing all make *later* batches cheaper
+    than earlier ones — so a global mean (the old estimator) lags the
+    live drain rate and over-quotes the backlog.  An exponentially
+    weighted moving average tracks the recent regime instead: with
+    smoothing factor ``alpha``, a sample ``k`` batches old carries weight
+    ``alpha * (1 - alpha)**k``, so the estimate converges to the current
+    per-batch cost within a few observations of a regime change.
+    """
+
+    def __init__(self, *, alpha: float = 0.3, initial_s: float = 2e-3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if initial_s <= 0:
+            raise ValueError("initial_s must be > 0")
+        self.alpha = alpha
+        self.initial_s = initial_s
+        self.samples = 0
+        self._ewma: float | None = None
+
+    def observe(self, duration_s: float) -> None:
+        """Fold one measured batch duration into the estimate."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        self.samples += 1
+        if self._ewma is None:
+            self._ewma = duration_s
+        else:
+            self._ewma = self.alpha * duration_s + (1 - self.alpha) * self._ewma
+
+    @property
+    def batch_s(self) -> float:
+        """Current per-batch service-time estimate (the configured hint
+        until the first batch has been measured)."""
+        return self._ewma if self._ewma is not None else self.initial_s
+
+    def retry_after_s(
+        self, backlog: int, *, max_batch: int, n_workers: int
+    ) -> float:
+        """How long a rejected caller should wait before resubmitting:
+        the backlog (in batches, plus the one slot the caller needs)
+        drained at the estimated rate across the worker pool."""
+        if max_batch < 1 or n_workers < 1:
+            raise ValueError("max_batch and n_workers must be >= 1")
+        backlog_batches = -(-max(backlog, 1) // max_batch)
+        return self.batch_s * (backlog_batches + 1) / n_workers
 
 
 def _order_key(rec: RequestRecord) -> tuple:

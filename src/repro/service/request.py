@@ -118,6 +118,9 @@ class RequestRecord:
     #: Backpressure hint stamped on rejection: resubmit after this many
     #: model seconds and admission is expected to succeed.
     retry_after_s: float | None = None
+    #: Process grid the completing dispatch ran on (``None`` = time-only
+    #: slicing), stamped by the placement layer at dispatch.
+    grid: tuple[int, int] | None = None
     #: Solver outcome of the completing attempt.
     iterations: int = 0
     converged: bool = False

@@ -13,16 +13,25 @@ the model clock:
    groups compatible requests into multi-RHS batches: dispatch on full
    batch, window expiry, or expedited priority, always considering
    higher-priority groups first.
-3. **Execution** — each batch occupies a
+3. **Placement** — the dispatch loop no longer pulls the lowest-id idle
+   worker: each selected batch is handed to the
+   :class:`~repro.service.placement.PlacementEngine`, which picks the
+   process grid (time-only vs. ``(ranks_z, ranks_t)``, scored with the
+   calibrated perf model), routes toward a gauge-resident worker (the
+   host→device upload is charged only on a miss), and supplies the
+   shared tunecache (the Section V-E sweep is charged once per shape).
+4. **Execution** — each batch occupies a
    :class:`~repro.service.workers.SimWorker` (an n-rank SimMPI cluster)
    for its deterministic model duration; faults injected by the worker's
    :class:`~repro.comms.faults.FaultPlan` either self-heal inside the
    batch (worker retry policy) or surface as a structured failure the
    service answers with bounded re-dispatch.
-4. **Accounting** — every transition is stamped on the request's
+5. **Accounting** — every transition is stamped on the request's
    lifecycle trace; the final
    :class:`~repro.service.metrics.ServiceReport` carries the wait/latency
-   percentiles, occupancy, utilization and goodput.
+   percentiles, occupancy, utilization, goodput and the placement
+   scorecard (grid histogram, residency and tunecache hit rates, setup
+   seconds saved).
 
 The event loop orders (time, kind, sequence) totally, every duration is
 model time, and every scheduling decision is a pure function of the
@@ -43,7 +52,8 @@ from ..core import RetryPolicy
 from ..gpu.specs import GTX285, GPUSpec
 from .batching import Batch, BatchPolicy, select_batch
 from .metrics import ServiceReport
-from .queueing import AdmissionQueue
+from .placement import PlacementEngine, PlacementPolicy, SharedTuneCache
+from .queueing import AdmissionQueue, DrainEstimator
 from .request import (
     COMPLETED,
     FAILED,
@@ -99,10 +109,24 @@ class ServiceConfig:
     seed: int = 0
     #: Retry-after fallback before any batch has been measured.
     service_time_hint_s: float = 2e-3
+    #: EWMA smoothing factor of the drain-rate estimator behind the
+    #: retry-after hint (1.0 = last batch only).
+    drain_alpha: float = 0.3
+    #: The placement layer's knobs: grid selection, residency routing,
+    #: shared tunecache.
+    placement: PlacementPolicy = dataclass_field(default_factory=PlacementPolicy)
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if not 0.0 < self.drain_alpha <= 1.0:
+            raise ValueError("drain_alpha must be in (0, 1]")
+        g = self.placement.grid
+        if isinstance(g, tuple) and g[0] * g[1] != self.ranks_per_worker:
+            raise ValueError(
+                f"pinned grid {g} needs {g[0] * g[1]} ranks but workers "
+                f"have {self.ranks_per_worker}"
+            )
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         for w in self.chaos_workers:
@@ -139,6 +163,7 @@ class SolveService:
         *,
         gpu_spec: GPUSpec = GTX285,
         cluster: ClusterSpec | None = None,
+        tune_cache: SharedTuneCache | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         cfg = self.config
@@ -158,9 +183,19 @@ class SolveService:
                 functional=cfg.functional,
                 fixed_iterations=cfg.fixed_iterations,
                 overlap=cfg.overlap,
+                residency=cfg.placement.residency,
             )
             for w in range(cfg.n_workers)
         ]
+        #: The dispatch loop's oracle; ``tune_cache`` may be a store
+        #: loaded from disk (``repro serve --tunecache``) so the sweep
+        #: amortizes across campaigns.
+        self.placement = PlacementEngine(
+            cfg.placement,
+            self.workers,
+            gpu_spec=gpu_spec,
+            tune_cache=tune_cache,
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -180,34 +215,52 @@ class SolveService:
         batches: list[Batch] = []
         completion_order: list[int] = []
         idle = list(range(len(self.workers)))  # ascending worker ids
-        duration_sum = 0.0
-        duration_n = 0
+        drain = DrainEstimator(
+            alpha=cfg.drain_alpha, initial_s=cfg.service_time_hint_s
+        )
+        self.placement.reset_stats()
         now = 0.0
         makespan = 0.0
 
-        def estimate_retry_after() -> float:
-            est = (
-                duration_sum / duration_n
-                if duration_n
-                else cfg.service_time_hint_s
-            )
-            backlog_batches = -(-max(len(queue), 1) // cfg.policy.max_batch)
-            return est * (backlog_batches + 1) / len(self.workers)
+        def grid_label(grid: tuple[int, int] | None) -> str:
+            return "time-sliced" if grid is None else f"grid {grid[0]}x{grid[1]}"
+
+        def fail_placement(selected, detail: str) -> None:
+            """No decomposition fits the pool: the request can never run
+            here, so it fails terminally (structured, not silently)."""
+            for rec in selected:
+                rec.state = FAILED
+                rec.completed_s = now
+                rec.failure = StructuredFailure(
+                    kind="infeasible_volume",
+                    detail=detail,
+                    model_time=now,
+                    attempts=rec.attempts,
+                )
+                rec.note(now, "fail", f"placement: {detail}")
+                completion_order.append(rec.request.req_id)
 
         def dispatch() -> None:
-            nonlocal seq, duration_sum, duration_n
+            nonlocal seq
             while idle and len(queue):
                 selected = select_batch(queue.ordered(), now, cfg.policy)
                 if selected is None:
                     return
                 queue.remove(selected)
-                worker = self.workers[idle.pop(0)]
+                try:
+                    decision = self.placement.place(selected, idle)
+                except ValueError as exc:
+                    fail_placement(selected, str(exc))
+                    continue
+                idle.remove(decision.worker_id)
+                worker = self.workers[decision.worker_id]
                 batch = Batch(
                     batch_id=len(batches),
                     records=selected,
                     key=selected[0].request.compat_key,
                     formed_s=now,
                     worker_id=worker.worker_id,
+                    grid=decision.grid,
                 )
                 batches.append(batch)
                 for rec in selected:
@@ -216,19 +269,32 @@ class SolveService:
                     if rec.dispatched_s is None:
                         rec.dispatched_s = now
                     rec.batch_ids.append(batch.batch_id)
+                    rec.grid = decision.grid
                     rec.note(
                         now,
                         "dispatch",
                         f"batch {batch.batch_id} (size {batch.size}) "
-                        f"on worker {worker.worker_id}, attempt {rec.attempts}",
+                        f"on worker {worker.worker_id} "
+                        f"({grid_label(decision.grid)}"
+                        + (", gauge-resident" if decision.predicted_hit else "")
+                        + f"), attempt {rec.attempts}",
                     )
                 batch.trace.append(
-                    (now, "dispatch", f"worker {worker.worker_id}")
+                    (
+                        now,
+                        "dispatch",
+                        f"worker {worker.worker_id}, "
+                        f"{grid_label(decision.grid)}"
+                        + (", gauge-resident" if decision.predicted_hit else ""),
+                    )
                 )
-                execution = worker.execute([r.request for r in selected])
+                execution = worker.execute(
+                    [r.request for r in selected],
+                    grid=decision.grid,
+                    tune_cache=self.placement.tune_cache,
+                )
                 worker.busy_s += execution.duration_s
-                duration_sum += execution.duration_s
-                duration_n += 1
+                drain.observe(execution.duration_s)
                 heapq.heappush(
                     events,
                     (
@@ -249,6 +315,8 @@ class SolveService:
             batch.duration_s = execution.duration_s
             batch.ok = execution.ok
             batch.recoveries = execution.recoveries
+            batch.residency_hit = execution.residency_hit
+            self.placement.observe(execution)
             makespan = max(makespan, now)
             if execution.ok:
                 batch.trace.append((now, "complete", ""))
@@ -315,7 +383,11 @@ class SolveService:
                 if not queue.offer(rec):
                     rec.state = REJECTED
                     rec.completed_s = now
-                    rec.retry_after_s = estimate_retry_after()
+                    rec.retry_after_s = drain.retry_after_s(
+                        len(queue),
+                        max_batch=cfg.policy.max_batch,
+                        n_workers=len(self.workers),
+                    )
                     rec.note(
                         now,
                         "reject",
@@ -347,6 +419,7 @@ class SolveService:
             cfg.policy,
             worker_busy_s=[w.busy_s for w in self.workers],
             makespan_s=makespan,
+            placement=self.placement.summary(),
         )
         return ServiceResult(
             report=report,

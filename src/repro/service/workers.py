@@ -8,6 +8,23 @@ and runs one solver loop per right-hand side.  The batch's *service
 time* is the model time the worker was occupied: the max over ranks of
 the last source's timeline end, plus any model time lost to recovery.
 
+**Placement integration** (the placement layer decides, the worker
+executes):
+
+* ``grid=(ranks_z, ranks_t)`` runs the batch on the multi-dimensional
+  decomposition instead of time-only slicing — the worker's rank count
+  is fixed; the grid reshapes it.
+* The worker tracks the :func:`~repro.service.placement.residency_key`
+  of its last successful batch.  When the next batch matches, the
+  device already holds the gauge configuration in the right precisions
+  and the right slicing, and the modeled host→device gauge upload is
+  credited back (charged only on a miss).  A failed batch tears the
+  context down, clearing residency.
+* A :class:`~repro.service.placement.SharedTuneCache` replaces per-batch
+  retuning: on a miss the worker pays the Section V-E exhaustive-sweep
+  model time and stores the tunings; on a hit the stored launch
+  parameters are reused for free.
+
 Fault integration: a :class:`~repro.comms.faults.FaultPlan` bound to the
 worker perturbs its batches.  With a
 :class:`~repro.core.solvers.resilience.RetryPolicy` the worker
@@ -22,6 +39,7 @@ a one-shot event, not a curse on every later batch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import prod
 
 import numpy as np
 
@@ -35,6 +53,7 @@ from ..core import (
     paper_invert_param,
 )
 from ..gpu.specs import GTX285, GPUSpec
+from .placement import SharedTuneCache, gauge_upload_s, residency_key
 from .request import SolveRequest
 
 __all__ = ["BatchExecution", "SimWorker"]
@@ -57,8 +76,9 @@ class BatchExecution:
 
     ok: bool
     #: Model time the worker was occupied (successful batches: setup +
-    #: all solver loops + recovery; failed batches: time to the failure
-    #: plus the teardown penalty).
+    #: all solver loops + recovery, plus any tunecache-miss sweep, minus
+    #: any residency-hit upload credit; failed batches: time to the
+    #: failure plus the teardown penalty).
     duration_s: float
     failure: RankFailedError | None = None
     #: Per-request solver outcomes, aligned with the submitted batch
@@ -69,6 +89,17 @@ class BatchExecution:
     corruptions_detected: int = 0
     #: Ranks whose planned stall/crash fired during this execution.
     fired_ranks: tuple[int, ...] = ()
+    # ---- placement outcome ------------------------------------------- #
+    #: Process grid the batch ran on (``None`` = time-only slicing).
+    grid: tuple[int, int] | None = None
+    #: The gauge configuration was already device-resident: the modeled
+    #: host→device upload was credited back.
+    residency_hit: bool = False
+    gauge_saved_s: float = 0.0
+    #: Shared-tunecache outcome: a miss charges the exhaustive-sweep
+    #: model time, a hit charges nothing.
+    tune_hit: bool = False
+    tune_cost_s: float = 0.0
 
 
 class SimWorker:
@@ -76,7 +107,9 @@ class SimWorker:
 
     #: Model-mode service times are pure functions of the schedule, so
     #: identical clean batches share one measurement (a wall-clock
-    #: optimization only — model time is unaffected).
+    #: optimization only — model time is unaffected).  Durations are
+    #: cached *cold*: before the residency credit and the tunecache
+    #: charge, which are applied per execution.
     _model_cache: dict[tuple, tuple[float, list[dict]]] = {}
 
     def __init__(
@@ -93,6 +126,8 @@ class SimWorker:
         fixed_iterations: int = 15,
         overlap: bool = True,
         gauge_noise: float = 0.1,
+        #: Track gauge residency and credit the upload on hits.
+        residency: bool = True,
         #: Model time charged for tearing down a crashed batch before
         #: the worker can accept new work.
         failure_penalty_s: float = 1e-3,
@@ -110,9 +145,15 @@ class SimWorker:
         self.fixed_iterations = fixed_iterations
         self.overlap = overlap
         self.gauge_noise = gauge_noise
+        self.residency = residency
         self.failure_penalty_s = failure_penalty_s
         self.batches_run = 0
         self.busy_s = 0.0
+        #: Identity of the gauge setup left on the device by the last
+        #: successful batch (config, dims, mode, grid) — ``None`` after
+        #: a failure (the crashed context is torn down) or before any
+        #: batch ran.
+        self.resident_key: tuple | None = None
         self._gauges: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------ #
@@ -127,13 +168,20 @@ class SimWorker:
             retry_policy=self.retry_policy,
         )
 
-    def _gauge_for(self, head: SolveRequest):
+    def _gauge_for(self, head: SolveRequest, grid: tuple[int, int] | None):
         """The worker's resident copy of a gauge configuration (weak
-        field derived deterministically from the config id)."""
-        from ..lattice import LatticeGeometry, weak_field_gauge
+        field derived deterministically from the config id).
 
-        key = (head.config_id, head.dims)
+        The cache key includes the grid: the *device-resident* slabs of
+        a grid-routed upload are a different object from the T-sliced
+        slabs of the same configuration, so the two must never alias
+        (the host field's values are identical either way — the identity
+        is per-slicing on purpose).
+        """
+        key = (head.config_id, head.dims, grid)
         if key not in self._gauges:
+            from ..lattice import LatticeGeometry, weak_field_gauge
+
             rng = np.random.default_rng(
                 np.random.SeedSequence([head.config_id, 0xC0F1])
             )
@@ -172,71 +220,136 @@ class SimWorker:
 
     # ------------------------------------------------------------------ #
 
-    def execute(self, requests: list[SolveRequest]) -> BatchExecution:
+    def local_volume(self, dims: tuple[int, int, int, int]) -> int:
+        """Sites per rank — the tunecache key's volume component (equal
+        for time-only slicing and any grid over the same rank count)."""
+        volume = prod(dims)
+        if volume % self.ranks:
+            raise ValueError(
+                f"volume {volume} not divisible over {self.ranks} ranks"
+            )
+        return volume // self.ranks
+
+    def execute(
+        self,
+        requests: list[SolveRequest],
+        *,
+        grid: tuple[int, int] | None = None,
+        tune_cache: SharedTuneCache | None = None,
+    ) -> BatchExecution:
         """Run one batch to completion or structured failure.
 
         All requests share a compatibility key (the scheduler's
-        invariant); the head request supplies the recipe.
+        invariant); the head request supplies the recipe.  ``grid``
+        reshapes the worker's ranks into a (Z, T) process grid;
+        ``tune_cache`` swaps per-batch retuning for the shared store.
         """
         if not requests:
             raise ValueError("empty batch")
         head = requests[0]
+        if grid is not None and grid[0] * grid[1] != self.ranks:
+            raise ValueError(
+                f"grid {grid} needs {grid[0] * grid[1]} ranks; worker "
+                f"{self.worker_id} has {self.ranks}"
+            )
         self.batches_run += 1
+
+        key = residency_key(head.config_id, head.dims, head.mode, grid)
+        hit = self.residency and self.resident_key == key
+        saved_s = (
+            gauge_upload_s(head.dims, self.ranks, mode=head.mode) if hit else 0.0
+        )
+        tunings = None
+        tune_hit = False
+        tune_cost = 0.0
+        if tune_cache is not None:
+            tunings, tune_cost = tune_cache.acquire(
+                self.gpu_spec, self.local_volume(head.dims)
+            )
+            tune_hit = tune_cost == 0.0
+
         try:
             if self.functional:
-                results = self._execute_functional(head, requests)
+                results = self._execute_functional(head, requests, grid, tunings)
             else:
-                cached = self._execute_model(head, len(requests))
+                cached = self._execute_model(head, len(requests), grid)
                 if cached is not None:
                     duration, outcomes = cached
-                    return BatchExecution(
-                        ok=True, duration_s=duration, outcomes=outcomes
+                    results = None
+                else:
+                    results = invert_model_multi(
+                        head.dims,
+                        self._invert_param(head),
+                        n_sources=len(requests),
+                        n_gpus=self.ranks,
+                        grid=grid,
+                        cluster=self.cluster,
+                        gpu_spec=self.gpu_spec,
+                        enforce_memory=False,
+                        tune_cache=tunings,
+                        fault_plan=self.fault_plan,
+                        integrity=self.integrity,
                     )
-                results = invert_model_multi(
-                    head.dims,
-                    self._invert_param(head),
-                    n_sources=len(requests),
-                    n_gpus=self.ranks,
-                    cluster=self.cluster,
-                    gpu_spec=self.gpu_spec,
-                    enforce_memory=False,
-                    fault_plan=self.fault_plan,
-                    integrity=self.integrity,
-                )
         except RuntimeError as exc:
             failure = _root_rank_failure(exc)
             if failure is None:
                 raise
             fired = self._retire_fired(getattr(exc, "fault_events", []))
+            # The crashed context is torn down with the batch: whatever
+            # gauge the device held is gone (residency eviction), and no
+            # upload credit is taken — the setup must be repaid.
+            self.resident_key = None
             return BatchExecution(
                 ok=False,
-                duration_s=max(failure.model_time, 0.0) + self.failure_penalty_s,
+                duration_s=max(failure.model_time, 0.0)
+                + self.failure_penalty_s
+                + tune_cost,
                 failure=failure,
                 fired_ranks=fired or (failure.rank,),
+                grid=grid,
+                tune_hit=tune_hit,
+                tune_cost_s=tune_cost,
             )
-        fired = self._retire_fired(
-            [e for r in results for e in r.fault_events]
-        )
+        if results is not None:
+            fired = self._retire_fired(
+                [e for r in results for e in r.fault_events]
+            )
+            duration = self._batch_duration(results)
+            outcomes = self._outcomes(results)
+            recoveries = max(r.stats.recoveries for r in results)
+            restarts = max(r.stats.restarts for r in results)
+            corruptions = max(r.stats.corruptions_detected for r in results)
+            self._maybe_cache(head, len(requests), grid, duration, outcomes)
+        else:
+            fired = ()
+            recoveries = restarts = corruptions = 0
+        self.resident_key = key
         execution = BatchExecution(
             ok=True,
-            duration_s=self._batch_duration(results),
-            outcomes=self._outcomes(results),
-            recoveries=max(r.stats.recoveries for r in results),
-            restarts=max(r.stats.restarts for r in results),
-            corruptions_detected=max(
-                r.stats.corruptions_detected for r in results
-            ),
+            duration_s=max(duration + tune_cost - saved_s, 0.0),
+            outcomes=outcomes,
+            recoveries=recoveries,
+            restarts=restarts,
+            corruptions_detected=corruptions,
             fired_ranks=fired,
+            grid=grid,
+            residency_hit=hit,
+            gauge_saved_s=saved_s,
+            tune_hit=tune_hit,
+            tune_cost_s=tune_cost,
         )
-        self._maybe_cache(head, len(requests), execution)
         return execution
 
     def _execute_functional(
-        self, head: SolveRequest, requests: list[SolveRequest]
+        self,
+        head: SolveRequest,
+        requests: list[SolveRequest],
+        grid: tuple[int, int] | None,
+        tunings,
     ) -> list[InvertResult]:
         from ..lattice import random_spinor
 
-        gauge = self._gauge_for(head)
+        gauge = self._gauge_for(head, grid)
         sources = [
             random_spinor(
                 gauge.geometry,
@@ -251,8 +364,10 @@ class SimWorker:
             sources,
             self._invert_param(head),
             n_gpus=self.ranks,
+            grid=grid,
             cluster=self.cluster,
             gpu_spec=self.gpu_spec,
+            tune_cache=tunings,
             verify=False,
             fault_plan=self.fault_plan,
             integrity=self.integrity,
@@ -262,7 +377,9 @@ class SimWorker:
     # Model-mode duration cache (wall-clock only; model time unaffected)
     # ------------------------------------------------------------------ #
 
-    def _cache_key(self, head: SolveRequest, n: int) -> tuple | None:
+    def _cache_key(
+        self, head: SolveRequest, n: int, grid: tuple[int, int] | None
+    ) -> tuple | None:
         if (
             self.functional
             or self.fault_plan is not None
@@ -270,24 +387,31 @@ class SimWorker:
             or self.integrity is not None
         ):
             return None
+        # The grid is part of the key: a grid-routed schedule and a
+        # T-sliced schedule of the same volume have different comm
+        # patterns and must never alias.
         return (
             head.dims, head.mode, head.solver, head.mass, n,
-            self.ranks, self.gpu_spec.name, self.fixed_iterations,
+            self.ranks, grid, self.gpu_spec.name, self.fixed_iterations,
             self.overlap,
         )
 
-    def _execute_model(self, head: SolveRequest, n: int):
-        key = self._cache_key(head, n)
+    def _execute_model(
+        self, head: SolveRequest, n: int, grid: tuple[int, int] | None
+    ):
+        key = self._cache_key(head, n, grid)
         if key is None:
             return None
         return self._model_cache.get(key)
 
     def _maybe_cache(
-        self, head: SolveRequest, n: int, execution: BatchExecution
+        self,
+        head: SolveRequest,
+        n: int,
+        grid: tuple[int, int] | None,
+        duration: float,
+        outcomes: list[dict],
     ) -> None:
-        key = self._cache_key(head, n)
+        key = self._cache_key(head, n, grid)
         if key is not None:
-            self._model_cache[key] = (
-                execution.duration_s,
-                execution.outcomes,
-            )
+            self._model_cache[key] = (duration, outcomes)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.service import (
+    DrainEstimator,
     PRIORITY_HIGH,
     PRIORITY_LOW,
     PRIORITY_NORMAL,
@@ -86,3 +87,46 @@ class TestRemove:
         q.offer(_rec(0, arrival=3.0))
         q.offer(_rec(1, arrival=1.0))
         assert q.oldest_arrival() == 1.0
+
+
+class TestDrainEstimator:
+    def test_initial_hint_until_first_sample(self):
+        est = DrainEstimator(alpha=0.3, initial_s=2e-3)
+        assert est.batch_s == pytest.approx(2e-3)
+        est.observe(1e-3)
+        assert est.batch_s == pytest.approx(1e-3)
+
+    def test_ewma_tracks_regime_change(self):
+        """The hint tightens: after batches get cheap (residency and
+        tunecache warm-up), the EWMA converges to the new regime while a
+        global mean stays anchored to the expensive start."""
+        est = DrainEstimator(alpha=0.3, initial_s=2e-3)
+        samples = [10e-3] * 5 + [1e-3] * 10
+        for s in samples:
+            est.observe(s)
+        global_mean = sum(samples) / len(samples)
+        true_now = 1e-3
+        assert abs(est.batch_s - true_now) < abs(global_mean - true_now)
+        assert est.batch_s < 1.5e-3  # within 50% after ten cheap batches
+
+    def test_retry_after_scales_with_backlog_and_pool(self):
+        est = DrainEstimator(alpha=1.0, initial_s=1e-3)
+        est.observe(4e-3)
+        shallow = est.retry_after_s(4, max_batch=4, n_workers=2)
+        deep = est.retry_after_s(16, max_batch=4, n_workers=2)
+        assert deep > shallow
+        wide = est.retry_after_s(16, max_batch=4, n_workers=4)
+        assert wide == pytest.approx(deep / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DrainEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            DrainEstimator(alpha=1.5)
+        with pytest.raises(ValueError):
+            DrainEstimator(initial_s=0.0)
+        est = DrainEstimator()
+        with pytest.raises(ValueError):
+            est.observe(-1.0)
+        with pytest.raises(ValueError):
+            est.retry_after_s(1, max_batch=0, n_workers=1)

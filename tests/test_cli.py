@@ -254,6 +254,42 @@ class TestServe:
         assert rc == 2
         assert "error" in out
 
+    def test_report_includes_placement(self, capsys):
+        rc = main(self._ARGS)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "placement:" in out and "residency" in out
+        assert "tunecache:" in out
+
+    def test_pinned_grid_and_no_residency(self, capsys):
+        rc = main(self._ARGS + ["--grid", "time", "--no-residency"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "grids [time" in out
+        assert "residency 0/" in out
+
+    def test_tunecache_persists_across_campaigns(self, tmp_path, capsys):
+        import json
+
+        tc = tmp_path / "tunecache.json"
+        rc = main(self._ARGS + [
+            "--tunecache", str(tc), "--json", str(tmp_path / "r1.json"),
+        ])
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert "tunecache: saved" in first
+        rc = main(self._ARGS + [
+            "--tunecache", str(tc), "--json", str(tmp_path / "r2.json"),
+        ])
+        assert rc == 0
+        second = capsys.readouterr().out
+        assert "tunecache: loaded" in second
+        r1 = json.loads((tmp_path / "r1.json").read_text())["placement"]
+        r2 = json.loads((tmp_path / "r2.json").read_text())["placement"]
+        assert r1["tunecache_misses"] >= 1
+        assert r2["tunecache_misses"] == 0 and r2["tunecache_hits"] > 0
+        assert r2["tune_setup_spent_us"] < r1["tune_setup_spent_us"]
+
 
 class TestExperiments:
     @pytest.mark.slow
