@@ -13,7 +13,11 @@ model time (higher throughput) by a measured margin.
 import json
 import pathlib
 
-from repro.bench.harness import residency_benchmark, service_benchmark
+from repro.bench.harness import (
+    daemon_benchmark,
+    residency_benchmark,
+    service_benchmark,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -89,3 +93,41 @@ def test_warm_pool_beats_cold_pool(run_once):
     assert cold["placement"]["residency_hits"] == 0
     # The acceptance bar: strictly lower total campaign latency warm.
     assert warm["makespan_us"] < cold["makespan_us"]
+
+
+def test_preemption_improves_high_p99_on_elastic_pool(run_once):
+    """Daemon-era benchmark: one seeded bursty campaign streamed through
+    the elastic pool twice, preemption on vs off.  The burst must drive
+    at least one scale-up and the quiet tail at least one scale-down,
+    and letting HIGH arrivals claim a worker at a refresh boundary must
+    beat queueing behind a full LOW batch at the HIGH p99."""
+    result = run_once(lambda: daemon_benchmark(iterations=ITERATIONS))
+    on = result["preempt_on"]
+    off = result["preempt_off"]
+    print(
+        f"\npreempt on:  HIGH p99 {on['priority_latency']['high']['p99_us'] / 1e3:.1f} ms, "
+        f"{on['preemptions']} yield(s), {on['resumed_batches']} resume(s)"
+        f"\npreempt off: HIGH p99 {off['priority_latency']['high']['p99_us'] / 1e3:.1f} ms"
+        f"\nscale events: {on['scale_ups']} up / {on['scale_downs']} down"
+        f"\nHIGH p99 off/on: {result['high_p99_off_vs_on']:.4f}x"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_daemon.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    for report in (on, off):
+        assert report["completed"] + report["failed"] + report["rejected"] \
+            == report["requests"]
+        assert report["failed"] == 0
+        # The elastic pool must flex both ways under the burst.
+        assert report["scale_ups"] >= 1
+        assert report["scale_downs"] >= 1
+    # Preemption must actually fire and resume (not restart).
+    assert on["preemptions"] >= 1
+    assert on["resumed_batches"] >= 1
+    assert off["preemptions"] == 0
+    # The point of yielding: HIGH tail latency improves.
+    assert (
+        on["priority_latency"]["high"]["p99_us"]
+        < off["priority_latency"]["high"]["p99_us"]
+    )

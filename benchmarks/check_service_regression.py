@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Bench-regression guard: re-run the service benchmark and compare it
+against the committed ``BENCH_service.json`` baseline.
+
+The service benchmarks are *model-time* measurements — pure functions of
+the schedule, not of the machine running them — so any drift is a real
+behaviour change in the scheduler/placement stack, not noise.  The
+tolerance exists only for intentional recalibration headroom: a change
+that moves batched-vs-unbatched speedup or the placement hit rates by
+more than ``TOLERANCE`` must regenerate the baseline deliberately
+(``python -c "from repro.bench.harness import write_service_bench;
+write_service_bench()"``), not slip through CI.
+
+Usage::
+
+    python benchmarks/check_service_regression.py [BASELINE_JSON]
+
+Exits non-zero on any out-of-tolerance metric.
+"""
+
+import json
+import pathlib
+import sys
+
+TOLERANCE = 0.15  # +/-15%
+
+
+def _within(name: str, measured: float, baseline: float) -> bool:
+    if baseline == 0:
+        ok = measured == 0
+    else:
+        ok = abs(measured - baseline) <= TOLERANCE * abs(baseline)
+    verdict = "ok" if ok else f"REGRESSION (tolerance {TOLERANCE:.0%})"
+    print(f"{name:42s} measured {measured:8.4f}  baseline {baseline:8.4f}  {verdict}")
+    return ok
+
+
+def main(argv: list[str]) -> int:
+    baseline_path = pathlib.Path(
+        argv[1] if len(argv) > 1 else
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    campaign = baseline["campaign"]
+
+    from repro.bench.harness import service_benchmark
+
+    fresh = service_benchmark(
+        campaign["requests"],
+        dims=tuple(campaign["dims"]),
+        mode=campaign["mode"],
+        workers=campaign["workers"],
+        ranks=campaign["ranks_per_worker"],
+        max_batch=campaign["max_batch"],
+        rate_rps=campaign["rate_rps"],
+        iterations=campaign["iterations"],
+        seed=campaign["seed"],
+    )
+
+    checks = [
+        _within(
+            "batched_vs_unbatched_throughput",
+            fresh["batched_vs_unbatched_throughput"],
+            baseline["batched_vs_unbatched_throughput"],
+        ),
+        _within(
+            "batched.placement.residency_hit_rate",
+            fresh["batched"]["placement"]["residency_hit_rate"],
+            baseline["batched"]["placement"]["residency_hit_rate"],
+        ),
+        _within(
+            "batched.placement.tunecache_hit_rate",
+            fresh["batched"]["placement"]["tunecache_hit_rate"],
+            baseline["batched"]["placement"]["tunecache_hit_rate"],
+        ),
+        _within(
+            "batched.throughput_rps",
+            fresh["batched"]["throughput_rps"],
+            baseline["batched"]["throughput_rps"],
+        ),
+    ]
+    if all(checks):
+        print("service bench within tolerance of baseline")
+        return 0
+    print(
+        "service bench regressed against BENCH_service.json; if the "
+        "change is intentional, regenerate the baseline with "
+        "write_service_bench()",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

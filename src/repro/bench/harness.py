@@ -476,15 +476,100 @@ def residency_benchmark(
     }
 
 
+def daemon_benchmark(
+    n_requests: int = 96,
+    *,
+    dims: tuple[int, int, int, int] = (8, 8, 8, 32),
+    mode: str = "single-half",
+    ranks: int = 2,
+    max_batch: int = 8,
+    base_rps: float = 300.0,
+    burst_rps: float = 12000.0,
+    burst_start_s: float = 0.01,
+    burst_len_s: float = 0.01,
+    iterations: int = 10,
+    seed: int = 11,
+) -> dict:
+    """Stream one seeded bursty campaign through the daemon twice —
+    refresh-boundary preemption on versus off — on an elastic pool, and
+    report both scorecards plus the HIGH-priority p99 ratio.
+
+    The burst drives the autoscaler up and the quiet tail back down
+    (both runs share the scale trajectory: preemption does not change
+    arrival accounting); preemption lets HIGH arrivals claim a worker at
+    the next refresh boundary instead of queueing behind a full LOW
+    batch, so the HIGH p99 improves while LOW pays the resume overhead.
+    """
+    from ..service import (
+        BatchPolicy,
+        ElasticPolicy,
+        PreemptionPolicy,
+        ServiceConfig,
+        SolveService,
+        bursty_workload,
+    )
+
+    def serve(preempt: bool) -> dict:
+        config = ServiceConfig(
+            queue_capacity=max(4 * n_requests, 64),
+            policy=BatchPolicy(max_batch=max_batch),
+            n_workers=1,
+            ranks_per_worker=ranks,
+            fixed_iterations=iterations,
+            preemption=PreemptionPolicy(enabled=preempt),
+            elastic=ElasticPolicy(min_workers=1, max_workers=6),
+        )
+        workload = bursty_workload(
+            n_requests,
+            seed=seed,
+            base_rps=base_rps,
+            burst_rps=burst_rps,
+            burst_start_s=burst_start_s,
+            burst_len_s=burst_len_s,
+            dims=dims,
+            mode=mode,
+            priority_mix=(0.2, 0.3, 0.5),
+        )
+        return SolveService(config).serve(workload).report.to_json()
+
+    preempt_on = serve(True)
+    preempt_off = serve(False)
+    p99_on = preempt_on["priority_latency"]["high"]["p99_us"]
+    p99_off = preempt_off["priority_latency"]["high"]["p99_us"]
+    return {
+        "campaign": {
+            "requests": n_requests,
+            "dims": list(dims),
+            "mode": mode,
+            "ranks_per_worker": ranks,
+            "max_batch": max_batch,
+            "base_rps": base_rps,
+            "burst_rps": burst_rps,
+            "burst_start_ms": burst_start_s * 1e3,
+            "burst_len_ms": burst_len_s * 1e3,
+            "iterations": iterations,
+            "seed": seed,
+        },
+        "preempt_on": preempt_on,
+        "preempt_off": preempt_off,
+        "high_p99_off_vs_on": (
+            round(p99_off / p99_on, 4) if p99_on else float("inf")
+        ),
+    }
+
+
 def write_service_bench(path: str = "BENCH_service.json", **kwargs) -> dict:
     """Run :func:`service_benchmark` plus the gauge-residency ablation
-    (:func:`residency_benchmark`) and write the machine-readable
+    (:func:`residency_benchmark`) and the daemon-era preemption/elastic
+    benchmark (:func:`daemon_benchmark`), and write the machine-readable
     scorecard (wait percentiles, throughput, batch occupancy, warm- vs
-    cold-pool makespans) to ``path``."""
+    cold-pool makespans, HIGH-p99 preemption margin, scale events) to
+    ``path``."""
     import json
 
     result = service_benchmark(**kwargs)
     result["residency_ablation"] = residency_benchmark()
+    result["daemon"] = daemon_benchmark()
     with open(path, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

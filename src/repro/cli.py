@@ -39,6 +39,15 @@ def _grid(text: str) -> tuple[int, int]:
     return parts
 
 
+def _mix(text: str) -> tuple[float, float, float]:
+    parts = tuple(float(p) for p in text.split(","))
+    if len(parts) != 3 or any(p < 0 for p in parts) or not sum(parts):
+        raise argparse.ArgumentTypeError(
+            "priority mix must be three non-negative weights HIGH,NORMAL,LOW"
+        )
+    return parts
+
+
 def _grid_policy(text: str):
     """The serve-side grid knob: 'auto' (score per request), 'time'
     (pin the paper's time-only slicing), or a pinned RANKS_Z,RANKS_T."""
@@ -244,6 +253,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print one request's full lifecycle trace")
     p.add_argument("--json", default=None,
                    help="also write the report as JSON to this path")
+    # ---- daemon mode -------------------------------------------------- #
+    p.add_argument("--stream", action="store_true",
+                   help="daemon mode: requests arrive over an open channel "
+                   "(lazy seeded Poisson source) instead of a precomputed "
+                   "list; the scheduler runs until the channel closes and "
+                   "every admitted request is terminal")
+    p.add_argument("--duration-ms", type=float, default=None,
+                   help="close the arrival channel after this much model "
+                   "time (with --stream; combines with --requests)")
+    p.add_argument("--burst-rate", type=float, default=None,
+                   help="bursty arrivals: rate inside the burst window "
+                   "(base rate comes from --rate; implies --stream)")
+    p.add_argument("--burst-start-ms", type=float, default=0.0,
+                   help="model time the burst window opens")
+    p.add_argument("--burst-len-ms", type=float, default=0.0,
+                   help="burst window length in model ms")
+    p.add_argument("--priority-mix", type=_mix, default=None,
+                   metavar="HIGH,NORMAL,LOW",
+                   help="arrival priority mix as three weights "
+                   "(default 0.1,0.7,0.2)")
+    p.add_argument("--preempt", action="store_true",
+                   help="LOW batches yield to waiting HIGH arrivals at "
+                   "refresh-point boundaries and later resume from "
+                   "checkpoint")
+    p.add_argument("--refresh-points", type=int, default=4,
+                   help="refresh boundaries per batch a preempted solve "
+                   "may yield at")
+    p.add_argument("--resume-overhead-us", type=float, default=100.0,
+                   help="model time to reload a preempted batch's "
+                   "checkpoint on resume")
+    p.add_argument("--elastic", action="store_true",
+                   help="scale the worker pool against the measured "
+                   "arrival rate (--workers is the starting size)")
+    p.add_argument("--min-workers", type=int, default=1)
+    p.add_argument("--max-workers", type=int, default=8)
+    p.add_argument("--spinup-us", type=float, default=2000.0,
+                   help="model time between a scale-up decision and the "
+                   "new worker taking traffic")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="commit the campaign checkpoint to PATH at every "
+                   "batch boundary (scheduler self-healing)")
+    p.add_argument("--crash-scheduler-at-ms", type=float, default=None,
+                   help="kill the scheduler at this model time, then "
+                   "resume from the campaign checkpoint (supervisor "
+                   "pattern); exits non-zero unless the resumed run "
+                   "restores from checkpoint and terminates every "
+                   "admitted request")
 
     p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
     p.add_argument("--out", default="EXPERIMENTS.md")
@@ -494,14 +550,27 @@ def _cmd_serve(args) -> int:
     from .core import RetryPolicy
     from .service import (
         BatchPolicy,
+        CampaignCheckpointStore,
+        ElasticPolicy,
         PlacementPolicy,
+        PreemptionPolicy,
+        SchedulerCrash,
         ServiceConfig,
         ServiceInvariantError,
         SharedTuneCache,
         SolveService,
+        bursty_workload,
+        stream_workload,
         synthetic_workload,
     )
 
+    streaming = (
+        args.stream
+        or args.burst_rate is not None
+        or args.duration_ms is not None
+        or args.crash_scheduler_at_ms is not None
+    )
+    crashed = False
     try:
         fault_plan = None
         chaos_workers: tuple[int, ...] = ()
@@ -535,6 +604,20 @@ def _cmd_serve(args) -> int:
                 residency=not args.no_residency,
                 tunecache=not args.no_tunecache,
             ),
+            preemption=PreemptionPolicy(
+                enabled=args.preempt,
+                refresh_points=args.refresh_points,
+                resume_overhead_s=args.resume_overhead_us * 1e-6,
+            ),
+            elastic=(
+                ElasticPolicy(
+                    min_workers=args.min_workers,
+                    max_workers=args.max_workers,
+                    spinup_s=args.spinup_us * 1e-6,
+                )
+                if args.elastic
+                else None
+            ),
         )
         tune_cache = None
         if args.tunecache and not args.no_tunecache and os.path.exists(
@@ -545,10 +628,8 @@ def _cmd_serve(args) -> int:
                 f"tunecache: loaded {len(tune_cache)} entr(ies) "
                 f"from {args.tunecache}"
             )
-        workload = synthetic_workload(
-            args.requests,
+        shape = dict(
             seed=args.seed,
-            rate_rps=args.rate,
             dims=args.dims,
             mode=args.mode,
             mass=args.mass,
@@ -557,13 +638,63 @@ def _cmd_serve(args) -> int:
                 args.deadline_ms * 1e-3 if args.deadline_ms is not None else None
             ),
         )
+        if args.priority_mix is not None:
+            shape["priority_mix"] = args.priority_mix
+        duration_s = (
+            args.duration_ms * 1e-3 if args.duration_ms is not None else None
+        )
+
+        def make_workload():
+            """The arrival source; deterministic, so a resumed scheduler
+            can regenerate it and skip the consumed prefix."""
+            if args.burst_rate is not None:
+                return bursty_workload(
+                    args.requests,
+                    base_rps=args.rate,
+                    burst_rps=args.burst_rate,
+                    burst_start_s=args.burst_start_ms * 1e-3,
+                    burst_len_s=args.burst_len_ms * 1e-3,
+                    duration_s=duration_s,
+                    **shape,
+                )
+            if streaming:
+                return stream_workload(
+                    args.requests,
+                    rate_rps=args.rate,
+                    duration_s=duration_s,
+                    **shape,
+                )
+            return synthetic_workload(args.requests, rate_rps=args.rate, **shape)
+
         if args.chaos:
             plan = fault_plan.reseeded(args.crash_worker)
             print(
                 f"chaos: worker {args.crash_worker} runs under {plan.describe()}"
             )
+        store = None
+        if args.checkpoint or args.crash_scheduler_at_ms is not None:
+            store = CampaignCheckpointStore(args.checkpoint)
         service = SolveService(config, tune_cache=tune_cache)
-        result = service.run(workload)
+        if streaming:
+            crash_at_s = (
+                args.crash_scheduler_at_ms * 1e-3
+                if args.crash_scheduler_at_ms is not None
+                else None
+            )
+            try:
+                result = service.serve(
+                    make_workload(), checkpoint=store, crash_at_s=crash_at_s
+                )
+            except SchedulerCrash as exc:
+                # Supervisor pattern: a fresh scheduler process restores
+                # the campaign from the last verified commit; the workers
+                # (and their device-resident gauges) survived the crash.
+                crashed = True
+                print(f"daemon: {exc}; resuming from campaign checkpoint")
+                service = SolveService(config, tune_cache=tune_cache)
+                result = service.resume(make_workload(), checkpoint=exc.store)
+        else:
+            result = service.run(make_workload())
     except ValueError as exc:
         print(f"repro serve: error: {exc}")
         return 2
@@ -601,6 +732,10 @@ def _cmd_serve(args) -> int:
     if not args.chaos and report.failed:
         print(f"repro serve: {report.failed} failure(s) without chaos",
               file=sys.stderr)
+        return 1
+    if crashed and not report.checkpoint_restores:
+        print("repro serve: scheduler crashed but the resumed run reports "
+              "no checkpoint restore", file=sys.stderr)
         return 1
     return 0
 

@@ -31,6 +31,17 @@ workload the way an inference-serving stack serves model traffic:
   tracing and p50/p95/p99 latency accounting
   (:class:`~repro.service.metrics.ServiceReport`).
 
+The daemon era (PR 6) makes the service *long-lived*: requests arrive
+over an open channel (:func:`~repro.service.workload.stream_workload` /
+:func:`~repro.service.workload.bursty_workload`), the in-flight campaign
+checkpoints at batch boundaries
+(:class:`~repro.service.campaign.CampaignCheckpointStore`) so a
+scheduler crash resumes with no lost requests, LOW batches yield to HIGH
+arrivals at refresh-point boundaries
+(:class:`~repro.service.service.PreemptionPolicy`), and the worker pool
+scales elastically against the measured arrival rate
+(:class:`~repro.service.elastic.ElasticPolicy`).
+
 Everything is driven by *model time* — the same discrete-event clock the
 rest of the repository runs on — so a campaign with a fixed seed is
 fully deterministic: identical completion order, identical percentiles,
@@ -38,6 +49,13 @@ byte-identical reports, on any machine.
 """
 
 from .batching import Batch, BatchPolicy, select_batch
+from .campaign import CampaignCheckpoint, CampaignCheckpointStore, SchedulerCrash
+from .elastic import (
+    ArrivalRateEstimator,
+    ElasticPolicy,
+    PoolController,
+    ScaleEvent,
+)
 from .metrics import ServiceReport, percentile
 from .placement import (
     GridCandidate,
@@ -60,13 +78,14 @@ from .request import (
     StructuredFailure,
 )
 from .service import (
+    PreemptionPolicy,
     ServiceConfig,
     ServiceInvariantError,
     ServiceResult,
     SolveService,
 )
 from .workers import BatchExecution, SimWorker
-from .workload import synthetic_workload
+from .workload import bursty_workload, stream_workload, synthetic_workload
 
 __all__ = [
     "SolveRequest",
@@ -98,4 +117,14 @@ __all__ = [
     "ServiceReport",
     "percentile",
     "synthetic_workload",
+    "stream_workload",
+    "bursty_workload",
+    "CampaignCheckpoint",
+    "CampaignCheckpointStore",
+    "SchedulerCrash",
+    "PreemptionPolicy",
+    "ElasticPolicy",
+    "ScaleEvent",
+    "ArrivalRateEstimator",
+    "PoolController",
 ]

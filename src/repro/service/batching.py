@@ -69,6 +69,16 @@ class Batch:
     grid: tuple[int, int] | None = None
     #: The placement layer routed this batch to a gauge-resident worker.
     residency_hit: bool = False
+    #: Refresh-point boundary at which this batch will yield to
+    #: higher-priority work (``None`` = no preemption scheduled).  A
+    #: batch with a pending yield is "already checkpointing": a second
+    #: HIGH arrival must not re-preempt it.
+    preempt_at_s: float | None = None
+    #: The batch yielded at a refresh boundary; its requests resumed in a
+    #: later batch instead of restarting.
+    preempted: bool = False
+    #: Batch id this batch resumes (checkpoint handoff), or ``None``.
+    resumed_from: int | None = None
     completed_s: float | None = None
     duration_s: float | None = None
     ok: bool | None = None

@@ -1,0 +1,233 @@
+"""Campaign-level checkpointing: the scheduler self-heals like a solve.
+
+PR 2 taught *solves* to survive rank crashes: refresh-point
+:class:`~repro.core.solvers.checkpoint.SolveCheckpoint` snapshots,
+deterministic bytes, checksum-validated restore with a previous-commit
+fallback.  This module applies the identical design one level up — to
+the scheduler itself.  A long-lived daemon streaming requests for days
+*will* lose its scheduler process eventually; when it does, the in-flight
+campaign (admitted-but-unserved requests, terminal outcomes already
+acked, the worker pool's residency state, the shared tunecache, the
+drain/arrival estimators, the autoscaler's position) must not evaporate.
+
+:class:`CampaignCheckpoint` is the serializable snapshot, committed at
+batch boundaries — the campaign analogue of a reliable-update refresh
+point, where the scheduler's view is globally consistent: no event is
+half-processed, every request is in a well-defined lifecycle state.
+Serialization is the PR-2 recipe verbatim: magic + length-prefixed
+canonical-JSON header + checksum, so the bytes are a pure function of
+the state and a torn or corrupted snapshot is *rejected on load* rather
+than resuming a campaign from damaged bookkeeping.
+
+:class:`CampaignCheckpointStore` keeps the latest commit plus one
+verified fallback (exactly like the solve-level store) and optionally
+mirrors each commit to a file, so a restarted process — not just a
+surviving one — can resume.  Restore semantics are at-least-once:
+whatever happened after the last commit (completions the scheduler never
+acked, arrivals it never logged) is deterministically *replayed* by the
+resumed run, so the no-lost-requests invariant holds across the crash.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+
+from ..comms.faults import checksum_bytes
+from .request import RequestRecord
+
+__all__ = ["CampaignCheckpoint", "CampaignCheckpointStore", "SchedulerCrash"]
+
+_MAGIC = b"RPCS\x01"
+
+
+class SchedulerCrash(RuntimeError):
+    """The (simulated) scheduler process died mid-campaign.
+
+    Raised by :meth:`SolveService.serve` when the model clock reaches the
+    configured crash time.  Carries the checkpoint store so the caller
+    can hand it straight to :meth:`SolveService.resume` — the same
+    supervisor pattern ``run_with_recovery`` uses for solves.
+    """
+
+    def __init__(self, time_s: float, store: "CampaignCheckpointStore") -> None:
+        super().__init__(
+            f"scheduler crashed at {time_s * 1e6:.1f}us with "
+            f"{store.committed} checkpoint commit(s)"
+        )
+        self.time_s = time_s
+        self.store = store
+
+
+@dataclass
+class CampaignCheckpoint:
+    """One committed recovery point of a streaming campaign.
+
+    Everything the resumed scheduler needs, keyed by lifecycle class:
+
+    * ``terminal`` — records already completed/failed/rejected: restored
+      verbatim (their outcomes were acked; re-running them would violate
+      exactly-once acking).
+    * ``pending`` — records admitted but not terminal (queued, running,
+      or preempted at commit time).  Their batches died with the
+      scheduler, so they re-enter the queue on restore.
+    * ``arrivals_consumed`` — how many arrivals the scheduler had pulled
+      from the (deterministic) source; the resumed run regenerates the
+      source and skips exactly this prefix.
+    * pool state — per-worker residency keys, busy time, retired flags —
+      the *workers* survived the scheduler; their devices still hold
+      gauge configurations, and throwing that warmth away on every
+      scheduler restart would repay setup the whole placement layer
+      exists to avoid.  Plus the serialized tunecache, estimator states,
+      and autoscaler position for the same reason.
+    """
+
+    time_s: float = 0.0
+    arrivals_consumed: int = 0
+    next_batch_id: int = 0
+    next_req_seq: int = 0
+    makespan_s: float = 0.0
+    checkpoints_committed: int = 0
+    preemptions: int = 0
+    completion_order: list[int] = field(default_factory=list)
+    #: ``RequestRecord.to_json()`` dicts, split by lifecycle class.
+    terminal: list[dict] = field(default_factory=list)
+    pending: list[dict] = field(default_factory=list)
+    #: Per-worker ``{"resident": key-or-None, "busy_s": float, ...}``.
+    workers: list[dict] = field(default_factory=list)
+    #: ``SharedTuneCache.to_json()`` (``None`` when tunecache disabled).
+    tunecache: dict | None = None
+    #: EWMA states: ``{"ewma": ..., "samples": ...}``.
+    drain: dict = field(default_factory=dict)
+    arrival_rate: dict = field(default_factory=dict)
+    #: Autoscaler position: scale events so far + cooldown clock.
+    elastic: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Deterministic serialization (PR-2 recipe: magic + JSON + checksum)
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        return {
+            "time_s": self.time_s,
+            "arrivals_consumed": self.arrivals_consumed,
+            "next_batch_id": self.next_batch_id,
+            "next_req_seq": self.next_req_seq,
+            "makespan_s": self.makespan_s,
+            "checkpoints_committed": self.checkpoints_committed,
+            "preemptions": self.preemptions,
+            "completion_order": list(self.completion_order),
+            "terminal": list(self.terminal),
+            "pending": list(self.pending),
+            "workers": list(self.workers),
+            "tunecache": self.tunecache,
+            "drain": dict(self.drain),
+            "arrival_rate": dict(self.arrival_rate),
+            "elastic": dict(self.elastic),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignCheckpoint":
+        return cls(
+            time_s=float(data["time_s"]),
+            arrivals_consumed=int(data["arrivals_consumed"]),
+            next_batch_id=int(data["next_batch_id"]),
+            next_req_seq=int(data["next_req_seq"]),
+            makespan_s=float(data["makespan_s"]),
+            checkpoints_committed=int(data["checkpoints_committed"]),
+            preemptions=int(data.get("preemptions", 0)),
+            completion_order=[int(r) for r in data["completion_order"]],
+            terminal=list(data["terminal"]),
+            pending=list(data["pending"]),
+            workers=list(data["workers"]),
+            tunecache=data["tunecache"],
+            drain=dict(data["drain"]),
+            arrival_rate=dict(data["arrival_rate"]),
+            elastic=dict(data["elastic"]),
+        )
+
+    def to_bytes(self) -> bytes:
+        body = json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        ).encode()
+        out = io.BytesIO()
+        out.write(_MAGIC)
+        out.write(struct.pack("<II", len(body), checksum_bytes(body)))
+        out.write(body)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CampaignCheckpoint":
+        buf = io.BytesIO(data)
+        if buf.read(len(_MAGIC)) != _MAGIC:
+            raise ValueError("not a CampaignCheckpoint stream")
+        blen, expected = struct.unpack("<II", buf.read(8))
+        body = buf.read(blen)
+        if len(body) != blen:
+            raise ValueError("truncated CampaignCheckpoint stream")
+        actual = checksum_bytes(body)
+        if actual != expected:
+            raise ValueError(
+                f"campaign checkpoint checksum mismatch: "
+                f"{actual:#010x} != {expected:#010x}"
+            )
+        return cls.from_json(json.loads(body.decode()))
+
+    # ------------------------------------------------------------------ #
+
+    def restored_records(self) -> tuple[list[RequestRecord], list[RequestRecord]]:
+        """``(terminal, pending)`` as live records."""
+        return (
+            [RequestRecord.from_json(d) for d in self.terminal],
+            [RequestRecord.from_json(d) for d in self.pending],
+        )
+
+
+class CampaignCheckpointStore:
+    """Latest + one verified fallback commit, optionally file-mirrored.
+
+    The in-memory pair mirrors the solve-level store's contract: a
+    commit that later fails its checksum on load is discarded (once)
+    and the previous verified commit restores instead.  ``path`` makes
+    each commit durable, so a *restarted* scheduler process — not just a
+    surviving supervisor — can :meth:`load` and resume.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self.committed = 0
+        self._blobs: list[bytes] = []
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def commit(self, checkpoint: CampaignCheckpoint) -> None:
+        blob = checkpoint.to_bytes()
+        self._blobs.append(blob)
+        del self._blobs[:-2]  # latest + one verified fallback
+        self.committed += 1
+        if self.path:
+            tmp = f"{self.path}.tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, self.path)
+
+    def latest(self) -> CampaignCheckpoint | None:
+        """Most recent commit whose checksum validates (fallback on a
+        torn latest), or ``None`` when nothing committed."""
+        while self._blobs:
+            try:
+                return CampaignCheckpoint.from_bytes(self._blobs[-1])
+            except ValueError:
+                self._blobs.pop()
+        return None
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignCheckpointStore":
+        store = cls(path)
+        with open(path, "rb") as fh:
+            store._blobs = [fh.read()]
+        return store

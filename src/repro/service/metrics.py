@@ -14,9 +14,12 @@ import json
 from dataclasses import dataclass, field
 
 from .batching import Batch, BatchPolicy
-from .request import COMPLETED, FAILED, REJECTED, RequestRecord
+from .request import COMPLETED, FAILED, PRIORITY_NAMES, REJECTED, RequestRecord
 
 __all__ = ["percentile", "ServiceReport"]
+
+#: Windows the daemon-era throughput series is bucketed into.
+_N_WINDOWS = 8
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -67,6 +70,31 @@ class ServiceReport:
     #: decomposition, gauge-residency hits/misses and upload seconds
     #: saved, shared-tunecache hits/misses and sweep seconds spent/saved.
     placement: dict = field(default_factory=dict)
+    # ---- daemon era --------------------------------------------------- #
+    #: Per-priority completion latency: ``{"high": {"completed": n,
+    #: "p50_s": ..., "p99_s": ...}, ...}`` — the number preemption exists
+    #: to move is HIGH's p99.
+    priority_latency: dict = field(default_factory=dict)
+    #: Completions per window of the campaign (len :data:`_N_WINDOWS`),
+    #: as requests/second — the daemon's throughput timeline.
+    throughput_windows: list[float] = field(default_factory=list)
+    window_s: float = 0.0
+    #: Batches that yielded at a refresh boundary to higher-priority
+    #: work, and how many of those later resumed from their checkpoint.
+    preemptions: int = 0
+    resumed_batches: int = 0
+    #: Autoscaler ledger.
+    scale_ups: int = 0
+    scale_downs: int = 0
+    scale_events: list[dict] = field(default_factory=list)
+    final_workers: int = 0
+    spinup_spent_s: float = 0.0
+    #: Campaign-checkpoint accounting: commits made, restores performed
+    #: (a resumed run reports >= 1), and how many non-terminal requests
+    #: the restore re-queued.
+    checkpoints_committed: int = 0
+    checkpoint_restores: int = 0
+    restored_requests: int = 0
 
     @property
     def residency_hit_rate(self) -> float:
@@ -95,6 +123,7 @@ class ServiceReport:
         worker_busy_s: list[float],
         makespan_s: float,
         placement: dict | None = None,
+        daemon: dict | None = None,
     ) -> "ServiceReport":
         completed = [r for r in records if r.state == COMPLETED]
         failed = [r for r in records if r.state == FAILED]
@@ -114,6 +143,33 @@ class ServiceReport:
         ]
         horizon = makespan_s if makespan_s > 0 else 1.0
         sizes = [b.size for b in batches]
+
+        by_priority: dict[str, dict] = {}
+        for value, name in PRIORITY_NAMES.items():
+            tier = [
+                r.latency_s
+                for r in completed
+                if r.request.priority == value and r.latency_s is not None
+            ]
+            if tier:
+                by_priority[name] = {
+                    "completed": len(tier),
+                    "p50_s": percentile(tier, 50),
+                    "p99_s": percentile(tier, 99),
+                }
+
+        window_s = horizon / _N_WINDOWS
+        windows = [0] * _N_WINDOWS
+        for r in completed:
+            if r.completed_s is None:
+                continue
+            idx = min(int(r.completed_s / window_s), _N_WINDOWS - 1)
+            windows[idx] += 1
+        throughput_windows = (
+            [round(n / window_s, 3) for n in windows] if completed else []
+        )
+
+        daemon = daemon or {}
         return cls(
             n_requests=len(records),
             admitted=len(records) - len(rejected),
@@ -145,6 +201,19 @@ class ServiceReport:
                 min(1.0, busy / horizon) for busy in worker_busy_s
             ],
             placement=placement or {},
+            priority_latency=by_priority,
+            throughput_windows=throughput_windows,
+            window_s=window_s if completed else 0.0,
+            preemptions=daemon.get("preemptions", 0),
+            resumed_batches=daemon.get("resumed_batches", 0),
+            scale_ups=daemon.get("scale_ups", 0),
+            scale_downs=daemon.get("scale_downs", 0),
+            scale_events=daemon.get("scale_events", []),
+            final_workers=daemon.get("final_workers", len(worker_busy_s)),
+            spinup_spent_s=daemon.get("spinup_spent_s", 0.0),
+            checkpoints_committed=daemon.get("checkpoints_committed", 0),
+            checkpoint_restores=daemon.get("checkpoint_restores", 0),
+            restored_requests=daemon.get("restored_requests", 0),
         )
 
     def to_json(self) -> dict:
@@ -173,6 +242,26 @@ class ServiceReport:
                 round(u, 4) for u in self.worker_utilization
             ],
             "placement": self._placement_json(),
+            "priority_latency": {
+                name: {
+                    "completed": tier["completed"],
+                    "p50_us": round(tier["p50_s"] * 1e6, 3),
+                    "p99_us": round(tier["p99_s"] * 1e6, 3),
+                }
+                for name, tier in sorted(self.priority_latency.items())
+            },
+            "throughput_windows_rps": list(self.throughput_windows),
+            "window_us": round(self.window_s * 1e6, 3),
+            "preemptions": self.preemptions,
+            "resumed_batches": self.resumed_batches,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "scale_events": list(self.scale_events),
+            "final_workers": self.final_workers,
+            "spinup_spent_us": round(self.spinup_spent_s * 1e6, 3),
+            "checkpoints_committed": self.checkpoints_committed,
+            "checkpoint_restores": self.checkpoint_restores,
+            "restored_requests": self.restored_requests,
         }
 
     def _placement_json(self) -> dict:
@@ -238,6 +327,34 @@ class ServiceReport:
                 f"({p.get('tunecache_hit_rate', 0.0) * 100:.1f}%); sweep "
                 f"spent {p.get('tune_setup_spent_s', 0.0) * 1e6:.1f} us, "
                 f"saved {p.get('tune_setup_saved_s', 0.0) * 1e6:.1f} us"
+            )
+        if self.priority_latency:
+            tiers = "   ".join(
+                f"{name} p99 {tier['p99_s'] * 1e6:.1f} us ({tier['completed']})"
+                for name, tier in sorted(self.priority_latency.items())
+            )
+            lines.append(f"per priority: {tiers}")
+        if self.preemptions or self.resumed_batches:
+            lines.append(
+                f"preemption:   {self.preemptions} yield(s) at refresh "
+                f"boundaries, {self.resumed_batches} resumed from checkpoint"
+            )
+        if self.scale_events:
+            lines.append(
+                f"autoscaler:   {self.scale_ups} scale-up(s), "
+                f"{self.scale_downs} scale-down(s), final pool "
+                f"{self.final_workers} worker(s), spin-up spent "
+                f"{self.spinup_spent_s * 1e6:.1f} us"
+            )
+        if self.checkpoints_committed or self.checkpoint_restores:
+            lines.append(
+                f"checkpoints:  {self.checkpoints_committed} commit(s), "
+                f"{self.checkpoint_restores} restore(s)"
+                + (
+                    f", {self.restored_requests} request(s) re-queued"
+                    if self.checkpoint_restores
+                    else ""
+                )
             )
         return "\n".join(lines)
 

@@ -70,6 +70,27 @@ class DrainEstimator:
         backlog_batches = -(-max(backlog, 1) // max_batch)
         return self.batch_s * (backlog_batches + 1) / n_workers
 
+    # ------------------------------------------------------------------ #
+    # Campaign-checkpoint round trip (the estimate survives a scheduler
+    # crash — a resumed daemon should not re-learn the drain rate from
+    # the configured hint).
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "initial_s": self.initial_s,
+            "samples": self.samples,
+            "ewma": self._ewma,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DrainEstimator":
+        est = cls(alpha=float(data["alpha"]), initial_s=float(data["initial_s"]))
+        est.samples = int(data["samples"])
+        est._ewma = data["ewma"]
+        return est
+
 
 def _order_key(rec: RequestRecord) -> tuple:
     req = rec.request
@@ -119,3 +140,9 @@ class AdmissionQueue:
         if not self._items:
             return None
         return min(r.request.arrival_s for r in self._items)
+
+    def snapshot(self) -> list[RequestRecord]:
+        """The queue's contents in insertion order (for campaign
+        checkpoints — ordering is recomputed from the records, so the
+        insertion order is all a restore needs)."""
+        return list(self._items)

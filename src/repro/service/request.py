@@ -22,6 +22,8 @@ __all__ = [
     "RequestRecord",
 ]
 
+PRIORITY_NAMES = {0: "high", 1: "normal", 2: "low"}
+
 #: Priority classes, lower value = more urgent.  HIGH is the interactive
 #: tier (expedited past the batching window), NORMAL the campaign bulk,
 #: LOW the backfill tier.
@@ -83,6 +85,41 @@ class SolveRequest:
         key."""
         return (self.config_id, self.dims, self.mode, self.solver, self.mass)
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint serialization (campaign-level self-healing)
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        return {
+            "req_id": self.req_id,
+            "config_id": self.config_id,
+            "dims": list(self.dims),
+            "mode": self.mode,
+            "solver": self.solver,
+            "mass": self.mass,
+            "source_seed": self.source_seed,
+            "priority": self.priority,
+            "arrival_s": self.arrival_s,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SolveRequest":
+        return cls(
+            req_id=int(data["req_id"]),
+            config_id=int(data["config_id"]),
+            dims=tuple(data["dims"]),
+            mode=data["mode"],
+            solver=data["solver"],
+            mass=float(data["mass"]),
+            source_seed=int(data["source_seed"]),
+            priority=int(data["priority"]),
+            arrival_s=float(data["arrival_s"]),
+            deadline_s=(
+                float(data["deadline_s"]) if data["deadline_s"] is not None else None
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class StructuredFailure:
@@ -100,6 +137,25 @@ class StructuredFailure:
     failed_rank: int = -1
     model_time: float = 0.0
     attempts: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "failed_rank": self.failed_rank,
+            "model_time": self.model_time,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StructuredFailure":
+        return cls(
+            kind=data["kind"],
+            detail=data["detail"],
+            failed_rank=int(data["failed_rank"]),
+            model_time=float(data["model_time"]),
+            attempts=int(data["attempts"]),
+        )
 
 
 @dataclass
@@ -126,6 +182,9 @@ class RequestRecord:
     converged: bool = False
     residual_norm: float = float("nan")
     recoveries: int = 0
+    #: Times this request's running batch was preempted at a refresh
+    #: boundary by higher-priority work (the solve resumed, not restarted).
+    preemptions: int = 0
     #: Lifecycle trace: (model time, event, detail), in decision order.
     trace: list[tuple[float, str, str]] = field(default_factory=list)
 
@@ -164,4 +223,53 @@ class RequestRecord:
         return "\n".join(
             f"{t * 1e6:12.3f}us  {event:<12} {detail}"
             for t, event, detail in self.trace
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint serialization (campaign-level self-healing)
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        return {
+            "request": self.request.to_json(),
+            "state": self.state,
+            "admitted_s": self.admitted_s,
+            "dispatched_s": self.dispatched_s,
+            "completed_s": self.completed_s,
+            "attempts": self.attempts,
+            "batch_ids": list(self.batch_ids),
+            "failure": self.failure.to_json() if self.failure else None,
+            "retry_after_s": self.retry_after_s,
+            "grid": list(self.grid) if self.grid is not None else None,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "residual_norm": self.residual_norm,
+            "recoveries": self.recoveries,
+            "preemptions": self.preemptions,
+            "trace": [[t, event, detail] for t, event, detail in self.trace],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RequestRecord":
+        return cls(
+            request=SolveRequest.from_json(data["request"]),
+            state=data["state"],
+            admitted_s=data["admitted_s"],
+            dispatched_s=data["dispatched_s"],
+            completed_s=data["completed_s"],
+            attempts=int(data["attempts"]),
+            batch_ids=[int(b) for b in data["batch_ids"]],
+            failure=(
+                StructuredFailure.from_json(data["failure"])
+                if data["failure"]
+                else None
+            ),
+            retry_after_s=data["retry_after_s"],
+            grid=tuple(data["grid"]) if data["grid"] is not None else None,
+            iterations=int(data["iterations"]),
+            converged=bool(data["converged"]),
+            residual_norm=float(data["residual_norm"]),
+            recoveries=int(data["recoveries"]),
+            preemptions=int(data.get("preemptions", 0)),
+            trace=[(t, event, detail) for t, event, detail in data["trace"]],
         )

@@ -1,62 +1,68 @@
-"""The solve service: a deterministic event-driven campaign scheduler.
+"""The solve service: a long-lived, self-healing campaign daemon.
 
-:class:`SolveService` consumes a workload of
-:class:`~repro.service.request.SolveRequest` arrivals and drives them to
-terminal states on a pool of simulated multi-GPU workers, entirely on
-the model clock:
+PR 4 built a one-shot scheduler — ``run(requests)`` drained a fixed list
+and returned.  This module is the daemon era: requests arrive over an
+open admission channel (any iterator of
+:class:`~repro.service.request.SolveRequest` in event-time order — a
+materialized list or a lazy :func:`~repro.service.workload.stream_workload`),
+and the :class:`~repro.service.queueing.AdmissionQueue`,
+:class:`~repro.service.batching.BatchPolicy` and
+:class:`~repro.service.placement.PlacementEngine` operate *continuously*
+instead of draining a snapshot.  On top of the PR 4/5 pipeline
+(admission → batching → placement → execution → accounting), the daemon
+adds three behaviours a service that "never stops" needs:
 
-1. **Admission** — arrivals enter the bounded
-   :class:`~repro.service.queueing.AdmissionQueue`; a full queue rejects
-   with a retry-after hint computed from the live backlog (backpressure,
-   never unbounded latency).
-2. **Batching** — the :class:`~repro.service.batching.BatchPolicy`
-   groups compatible requests into multi-RHS batches: dispatch on full
-   batch, window expiry, or expedited priority, always considering
-   higher-priority groups first.
-3. **Placement** — the dispatch loop no longer pulls the lowest-id idle
-   worker: each selected batch is handed to the
-   :class:`~repro.service.placement.PlacementEngine`, which picks the
-   process grid (time-only vs. ``(ranks_z, ranks_t)``, scored with the
-   calibrated perf model), routes toward a gauge-resident worker (the
-   host→device upload is charged only on a miss), and supplies the
-   shared tunecache (the Section V-E sweep is charged once per shape).
-4. **Execution** — each batch occupies a
-   :class:`~repro.service.workers.SimWorker` (an n-rank SimMPI cluster)
-   for its deterministic model duration; faults injected by the worker's
-   :class:`~repro.comms.faults.FaultPlan` either self-heal inside the
-   batch (worker retry policy) or surface as a structured failure the
-   service answers with bounded re-dispatch.
-5. **Accounting** — every transition is stamped on the request's
-   lifecycle trace; the final
-   :class:`~repro.service.metrics.ServiceReport` carries the wait/latency
-   percentiles, occupancy, utilization, goodput and the placement
-   scorecard (grid histogram, residency and tunecache hit rates, setup
-   seconds saved).
+1. **Scheduler self-healing** — the in-flight campaign (queue contents,
+   per-request lifecycle, worker residency, tunecache, estimator and
+   autoscaler state) commits to a
+   :class:`~repro.service.campaign.CampaignCheckpointStore` at batch
+   boundaries — the campaign analogue of PR 2's refresh-point solve
+   checkpoints.  A simulated scheduler crash (:class:`SchedulerCrash`)
+   resumes via :meth:`SolveService.resume`: terminal outcomes restore
+   verbatim, admitted-but-unserved requests re-enter the queue, and
+   everything after the last commit replays deterministically — the
+   no-lost-requests invariant holds *across* the crash.
 
-The event loop orders (time, kind, sequence) totally, every duration is
-model time, and every scheduling decision is a pure function of the
-workload and the seed — so two runs of the same campaign produce
-identical completion orders and identical percentiles, and the
-*no-lost-requests* invariant (every admitted request ends COMPLETED or
-FAILED-with-structure) is checked, not hoped for.
+2. **Preemption** — when HIGH work lands mid-batch with no idle worker,
+   a running LOW batch yields at its next refresh-point boundary (the
+   same boundaries PR 2 checkpoints solves at, so the preempted solve
+   *resumes* from checkpoint rather than restarting: the re-dispatch
+   charges only the remaining work plus a modeled resume overhead).
+
+3. **Elastic workers** — a :class:`~repro.service.elastic.PoolController`
+   scales the simulated pool against an EWMA of the measured arrival
+   rate (the PR 5 :class:`~repro.service.queueing.DrainEstimator`
+   pointed at interarrival gaps), charging a modeled spin-up delay on
+   scale-up and draining gauge residency on scale-down.
+
+The event loop still orders (time, kind, sequence) totally, every
+duration is model time, and every decision — including preemption
+points, scale events and checkpoint commits — is a pure function of the
+workload and the seed, so daemon campaigns replay byte-identically.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field as dataclass_field
+import itertools
+from dataclasses import dataclass, field as dataclass_field, replace
+from typing import Iterable, Iterator
 
 from ..comms.cluster import ClusterSpec
 from ..comms.faults import FaultPlan, IntegrityPolicy
 from ..core import RetryPolicy
 from ..gpu.specs import GTX285, GPUSpec
 from .batching import Batch, BatchPolicy, select_batch
+from .campaign import CampaignCheckpoint, CampaignCheckpointStore, SchedulerCrash
+from .elastic import ArrivalRateEstimator, ElasticPolicy, PoolController
 from .metrics import ServiceReport
 from .placement import PlacementEngine, PlacementPolicy, SharedTuneCache
 from .queueing import AdmissionQueue, DrainEstimator
 from .request import (
     COMPLETED,
     FAILED,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
     QUEUED,
     REJECTED,
     RUNNING,
@@ -64,20 +70,69 @@ from .request import (
     SolveRequest,
     StructuredFailure,
 )
-from .workers import SimWorker
+from .workers import BatchExecution, SimWorker
 
-__all__ = ["ServiceConfig", "ServiceResult", "SolveService", "ServiceInvariantError"]
+__all__ = [
+    "ServiceConfig",
+    "ServiceResult",
+    "SolveService",
+    "ServiceInvariantError",
+    "PreemptionPolicy",
+    "SchedulerCrash",
+]
 
 # Event kinds, in same-time processing order: completions free workers
-# before new arrivals are admitted; timeouts merely re-trigger dispatch.
+# first; preemption yields fire before new arrivals are admitted (the
+# boundary belongs to the batch, not the trigger); spun-up workers join
+# before arrivals so fresh capacity takes same-instant traffic; timeouts
+# merely re-trigger dispatch.
 _EV_DONE = 0
-_EV_ARRIVAL = 1
-_EV_TIMEOUT = 2
+_EV_PREEMPT = 1
+_EV_WORKER_UP = 2
+_EV_ARRIVAL = 3
+_EV_TIMEOUT = 4
+
+#: Float-rounding slack for refresh-boundary arithmetic (same scale as
+#: the batching window slack).
+_BOUNDARY_SLACK_S = 1e-9
 
 
 class ServiceInvariantError(RuntimeError):
     """A request left the event loop in a non-terminal state — the
     service lost work, which must never pass silently."""
+
+
+@dataclass(frozen=True)
+class PreemptionPolicy:
+    """When running batches yield to more urgent work.
+
+    A batch is *preemptible* when every member sits at or below
+    ``victim_priority`` (numerically >=); an arrival at or above
+    ``trigger_priority`` (numerically <=) that finds no idle worker
+    schedules the victim's yield at its next refresh-point boundary —
+    the instant PR 2's machinery has a consistent checkpoint, so the
+    preempted solve later *resumes* (remaining work + a modeled
+    checkpoint-reload overhead) instead of restarting.
+    """
+
+    enabled: bool = False
+    #: Refresh-point boundaries per batch (the reliable-update cadence):
+    #: a batch can yield at ``k/N`` of its duration, ``k = 1..N-1``.
+    refresh_points: int = 4
+    #: Model time to reload the checkpoint and re-establish device state
+    #: when a preempted batch resumes.
+    resume_overhead_s: float = 100e-6
+    #: Arrivals at or above this urgency (numerically <=) may trigger.
+    trigger_priority: int = PRIORITY_HIGH
+    #: Batches whose every member is at or below this urgency
+    #: (numerically >=) may be preempted.
+    victim_priority: int = PRIORITY_LOW
+
+    def __post_init__(self) -> None:
+        if self.refresh_points < 1:
+            raise ValueError("refresh_points must be >= 1")
+        if self.resume_overhead_s < 0:
+            raise ValueError("resume_overhead_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -115,6 +170,12 @@ class ServiceConfig:
     #: The placement layer's knobs: grid selection, residency routing,
     #: shared tunecache.
     placement: PlacementPolicy = dataclass_field(default_factory=PlacementPolicy)
+    #: Refresh-boundary preemption of LOW batches by HIGH arrivals.
+    preemption: PreemptionPolicy = dataclass_field(default_factory=PreemptionPolicy)
+    #: Autoscaling of the worker pool (``None`` = fixed ``n_workers``).
+    elastic: ElasticPolicy | None = None
+    #: Campaign-checkpoint cadence, in batch completions per commit.
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -134,6 +195,15 @@ class ServiceConfig:
                 raise ValueError(f"chaos worker {w} outside the pool")
         if self.chaos_workers and self.fault_plan is None:
             raise ValueError("chaos_workers requires a fault_plan")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.elastic is not None and not (
+            self.elastic.min_workers <= self.n_workers <= self.elastic.max_workers
+        ):
+            raise ValueError(
+                f"n_workers={self.n_workers} outside the elastic range "
+                f"[{self.elastic.min_workers}, {self.elastic.max_workers}]"
+            )
 
 
 @dataclass
@@ -154,8 +224,25 @@ class ServiceResult:
         raise KeyError(req_id)
 
 
+@dataclass
+class _PreemptedRun:
+    """A batch parked at a refresh-point checkpoint, awaiting resume."""
+
+    records: list[RequestRecord]
+    key: tuple
+    residency_key: tuple
+    grid: tuple[int, int] | None
+    remaining_s: float
+    #: The original execution: its outcomes replay on resume (the solve
+    #: continues from checkpoint — same trajectory, same answer).
+    execution: BatchExecution
+    priority: int
+    preempted_s: float
+    from_batch: int
+
+
 class SolveService:
-    """Deterministic scheduler over a simulated worker pool."""
+    """Deterministic scheduler over a simulated (elastic) worker pool."""
 
     def __init__(
         self,
@@ -166,188 +253,632 @@ class SolveService:
         tune_cache: SharedTuneCache | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        cfg = self.config
+        self.gpu_spec = gpu_spec
+        self.cluster = cluster
         self.workers = [
-            SimWorker(
-                w,
-                ranks=cfg.ranks_per_worker,
-                gpu_spec=gpu_spec,
-                cluster=cluster,
-                fault_plan=(
-                    cfg.fault_plan.reseeded(w)
-                    if cfg.fault_plan is not None and w in cfg.chaos_workers
-                    else None
-                ),
-                retry_policy=cfg.retry_policy,
-                integrity=cfg.integrity,
-                functional=cfg.functional,
-                fixed_iterations=cfg.fixed_iterations,
-                overlap=cfg.overlap,
-                residency=cfg.placement.residency,
-            )
-            for w in range(cfg.n_workers)
+            self._make_worker(w) for w in range(self.config.n_workers)
         ]
         #: The dispatch loop's oracle; ``tune_cache`` may be a store
         #: loaded from disk (``repro serve --tunecache``) so the sweep
         #: amortizes across campaigns.
         self.placement = PlacementEngine(
-            cfg.placement,
+            self.config.placement,
             self.workers,
             gpu_spec=gpu_spec,
             tune_cache=tune_cache,
         )
 
+    def _make_worker(self, worker_id: int) -> SimWorker:
+        """One worker slot — the factory the elastic controller uses, so
+        a scaled-up worker is indistinguishable from a boot-time one."""
+        cfg = self.config
+        return SimWorker(
+            worker_id,
+            ranks=cfg.ranks_per_worker,
+            gpu_spec=self.gpu_spec,
+            cluster=self.cluster,
+            fault_plan=(
+                cfg.fault_plan.reseeded(worker_id)
+                if cfg.fault_plan is not None and worker_id in cfg.chaos_workers
+                else None
+            ),
+            retry_policy=cfg.retry_policy,
+            integrity=cfg.integrity,
+            functional=cfg.functional,
+            fixed_iterations=cfg.fixed_iterations,
+            overlap=cfg.overlap,
+            residency=cfg.placement.residency,
+        )
+
     # ------------------------------------------------------------------ #
 
     def run(self, requests: list[SolveRequest]) -> ServiceResult:
-        """Serve a whole campaign; returns when every request is terminal."""
-        cfg = self.config
-        queue = AdmissionQueue(cfg.queue_capacity)
-        records = [RequestRecord(request=req) for req in requests]
-        seq = 0
-        events: list[tuple] = []
-        for rec in records:
-            heapq.heappush(
-                events, (rec.request.arrival_s, _EV_ARRIVAL, seq, rec)
-            )
-            seq += 1
+        """Serve a fixed campaign; returns when every request is terminal.
 
-        batches: list[Batch] = []
-        completion_order: list[int] = []
-        idle = list(range(len(self.workers)))  # ascending worker ids
-        drain = DrainEstimator(
+        The one-shot entry point (PR 4 compatible): the list becomes an
+        arrival stream ordered by event time (stable for ties, so legacy
+        schedules are unchanged).
+        """
+        return self.serve(sorted(requests, key=lambda r: r.arrival_s))
+
+    def serve(
+        self,
+        arrivals: Iterable[SolveRequest],
+        *,
+        checkpoint: CampaignCheckpointStore | None = None,
+        crash_at_s: float | None = None,
+    ) -> ServiceResult:
+        """Serve an arrival stream until the channel closes and every
+        admitted request is terminal.
+
+        ``checkpoint`` enables campaign-level self-healing: the schedule
+        commits at batch boundaries, and a :class:`SchedulerCrash`
+        (raised when the model clock reaches ``crash_at_s``) carries the
+        store so the supervisor can :meth:`resume`.
+        """
+        campaign = _Campaign(
+            self, iter(arrivals), store=checkpoint, crash_at_s=crash_at_s
+        )
+        return campaign.run()
+
+    def resume(
+        self,
+        arrivals: Iterable[SolveRequest],
+        *,
+        checkpoint: CampaignCheckpointStore,
+        crash_at_s: float | None = None,
+    ) -> ServiceResult:
+        """Resume a crashed campaign from its last verified commit.
+
+        ``arrivals`` must be the same (deterministic) source the crashed
+        run consumed — the restore skips exactly the prefix the
+        checkpoint recorded.  With no verified commit the campaign
+        simply restarts from scratch (at-least-once, never lost).
+        """
+        snapshot = checkpoint.latest()
+        source: Iterator[SolveRequest] = iter(arrivals)
+        if snapshot is not None:
+            source = itertools.islice(
+                source, snapshot.arrivals_consumed, None
+            )
+        campaign = _Campaign(
+            self,
+            source,
+            store=checkpoint,
+            crash_at_s=crash_at_s,
+            restore=snapshot,
+        )
+        return campaign.run()
+
+
+class _Campaign:
+    """One daemon run: the event loop and all of its mutable state.
+
+    Promoted out of closure-land so the state is *enumerable* — the
+    campaign checkpoint is a method over these attributes, not a
+    parallel bookkeeping structure that could drift.
+    """
+
+    def __init__(
+        self,
+        service: SolveService,
+        arrivals: Iterator[SolveRequest],
+        *,
+        store: CampaignCheckpointStore | None,
+        crash_at_s: float | None,
+        restore: CampaignCheckpoint | None = None,
+    ) -> None:
+        self.service = service
+        self.cfg = service.config
+        self.workers = service.workers
+        self.placement = service.placement
+        self.arrivals = arrivals
+        self.store = store
+        self.crash_at_s = crash_at_s
+
+        cfg = self.cfg
+        self.queue = AdmissionQueue(cfg.queue_capacity)
+        self.records: list[RequestRecord] = []
+        self.batches: list[Batch] = []
+        self.completion_order: list[int] = []
+        self.preempted: list[_PreemptedRun] = []
+        self.running: dict[int, tuple[Batch, BatchExecution, float, float]] = {}
+        self.cancelled: set[int] = set()
+        self.events: list[tuple] = []
+        self.seq = 0
+        self.now = 0.0
+        self.makespan = 0.0
+        self.batch_seq = 0
+        self.arrivals_consumed = 0
+        self.preemptions_total = 0
+        self.resumed_batches = 0
+        self.checkpoints_committed = 0
+        self.batches_since_commit = 0
+        self.restored_requests = 0
+        self.restored = False
+        self.pending_up: set[int] = set()
+        self.drain = DrainEstimator(
             alpha=cfg.drain_alpha, initial_s=cfg.service_time_hint_s
         )
+        self.arrival_est = ArrivalRateEstimator(
+            alpha=cfg.elastic.alpha if cfg.elastic else 0.3
+        )
+        self.controller = (
+            PoolController(cfg.elastic) if cfg.elastic is not None else None
+        )
+
+        if restore is not None:
+            self._restore(restore)
         self.placement.reset_stats()
-        now = 0.0
-        makespan = 0.0
+        self.idle = sorted(
+            w.worker_id for w in self.workers if not w.retired
+        )
 
-        def grid_label(grid: tuple[int, int] | None) -> str:
-            return "time-sliced" if grid is None else f"grid {grid[0]}x{grid[1]}"
+    # ------------------------------------------------------------------ #
+    # Restore (scheduler self-healing)
+    # ------------------------------------------------------------------ #
 
-        def fail_placement(selected, detail: str) -> None:
-            """No decomposition fits the pool: the request can never run
-            here, so it fails terminally (structured, not silently)."""
-            for rec in selected:
-                rec.state = FAILED
-                rec.completed_s = now
-                rec.failure = StructuredFailure(
-                    kind="infeasible_volume",
-                    detail=detail,
-                    model_time=now,
-                    attempts=rec.attempts,
+    def _restore(self, ckpt: CampaignCheckpoint) -> None:
+        """Rebuild campaign state from the last verified commit."""
+        self.restored = True
+        self.now = ckpt.time_s
+        self.makespan = ckpt.makespan_s
+        self.batch_seq = ckpt.next_batch_id
+        self.arrivals_consumed = ckpt.arrivals_consumed
+        self.preemptions_total = ckpt.preemptions
+        self.checkpoints_committed = ckpt.checkpoints_committed
+        self.completion_order = list(ckpt.completion_order)
+        terminal, pending = ckpt.restored_records()
+        self.records.extend(terminal)
+        for rec in pending:
+            # The record's batch (if any) died with the scheduler:
+            # re-queue at the restore clock.  Not counted against the
+            # retry budget — the worker did not fail, the scheduler did.
+            rec.state = QUEUED
+            rec.note(self.now, "restore", "re-queued after scheduler crash")
+            self.records.append(rec)
+            self.queue.offer(rec, force=True)
+        self.restored_requests = len(pending)
+        for wd in ckpt.workers:
+            while wd["worker_id"] >= len(self.workers):
+                self.workers.append(
+                    self.service._make_worker(len(self.workers))
                 )
-                rec.note(now, "fail", f"placement: {detail}")
-                completion_order.append(rec.request.req_id)
+            self.workers[wd["worker_id"]].restore_state(wd)
+        if ckpt.tunecache is not None and self.placement.tune_cache is not None:
+            self.placement.tune_cache = SharedTuneCache.from_json(ckpt.tunecache)
+        self.drain = DrainEstimator.from_json(ckpt.drain)
+        if ckpt.arrival_rate:
+            self.arrival_est = ArrivalRateEstimator.from_json(ckpt.arrival_rate)
+        if self.controller is not None and ckpt.elastic:
+            self.controller = PoolController.from_json(
+                self.cfg.elastic, ckpt.elastic
+            )
 
-        def dispatch() -> None:
-            nonlocal seq
-            while idle and len(queue):
-                selected = select_batch(queue.ordered(), now, cfg.policy)
-                if selected is None:
-                    return
-                queue.remove(selected)
-                try:
-                    decision = self.placement.place(selected, idle)
-                except ValueError as exc:
-                    fail_placement(selected, str(exc))
-                    continue
-                idle.remove(decision.worker_id)
-                worker = self.workers[decision.worker_id]
-                batch = Batch(
-                    batch_id=len(batches),
-                    records=selected,
-                    key=selected[0].request.compat_key,
-                    formed_s=now,
-                    worker_id=worker.worker_id,
-                    grid=decision.grid,
+    def _commit_checkpoint(self) -> None:
+        """Serialize the campaign at a batch boundary (every request in
+        a well-defined lifecycle state; no event half-processed)."""
+        if self.store is None:
+            return
+        ckpt = CampaignCheckpoint(
+            time_s=self.now,
+            arrivals_consumed=self.arrivals_consumed,
+            next_batch_id=self.batch_seq,
+            next_req_seq=len(self.records),
+            makespan_s=self.makespan,
+            checkpoints_committed=self.checkpoints_committed + 1,
+            preemptions=self.preemptions_total,
+            completion_order=list(self.completion_order),
+            terminal=[r.to_json() for r in self.records if r.terminal],
+            pending=[r.to_json() for r in self.records if not r.terminal],
+            workers=[w.state_json() for w in self.workers],
+            tunecache=(
+                self.placement.tune_cache.to_json()
+                if self.placement.tune_cache is not None
+                else None
+            ),
+            drain=self.drain.to_json(),
+            arrival_rate=self.arrival_est.to_json(),
+            elastic=(
+                self.controller.to_json() if self.controller is not None else {}
+            ),
+        )
+        self.store.commit(ckpt)
+        self.checkpoints_committed += 1
+        self.batches_since_commit = 0
+
+    # ------------------------------------------------------------------ #
+    # Event helpers
+    # ------------------------------------------------------------------ #
+
+    def _push(self, time_s: float, kind: int, payload) -> None:
+        heapq.heappush(self.events, (time_s, kind, self.seq, payload))
+        self.seq += 1
+
+    def _push_next_arrival(self) -> None:
+        req = next(self.arrivals, None)
+        if req is not None:
+            self._push(req.arrival_s, _EV_ARRIVAL, req)
+
+    def _next_batch_id(self) -> int:
+        bid = self.batch_seq
+        self.batch_seq += 1
+        return bid
+
+    def _active_workers(self) -> int:
+        return sum(1 for w in self.workers if not w.retired)
+
+    @staticmethod
+    def _grid_label(grid: tuple[int, int] | None) -> str:
+        return "time-sliced" if grid is None else f"grid {grid[0]}x{grid[1]}"
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def _admit(self, req: SolveRequest) -> RequestRecord | None:
+        """Process one arrival; returns the record when it might warrant
+        a preemption probe after the dispatch pass."""
+        cfg = self.cfg
+        rec = RequestRecord(request=req)
+        self.records.append(rec)
+        rec.note(self.now, "arrive", f"priority {req.priority}")
+        self.arrival_est.observe(self.now)
+        if not self.queue.offer(rec):
+            rec.state = REJECTED
+            rec.completed_s = self.now
+            rec.retry_after_s = self.drain.retry_after_s(
+                len(self.queue),
+                max_batch=cfg.policy.max_batch,
+                n_workers=max(self._active_workers(), 1),
+            )
+            rec.note(
+                self.now,
+                "reject",
+                f"queue full ({cfg.queue_capacity}); retry after "
+                f"{rec.retry_after_s * 1e6:.1f}us",
+            )
+            return None
+        rec.admitted_s = self.now
+        rec.note(self.now, "admit", f"depth {len(self.queue)}")
+        self._push(self.now + cfg.policy.max_wait_s, _EV_TIMEOUT, None)
+        self._evaluate_scale()
+        if (
+            cfg.preemption.enabled
+            and req.priority <= cfg.preemption.trigger_priority
+        ):
+            return rec
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Elastic pool
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_scale(self) -> None:
+        if self.controller is None:
+            return
+        delta = self.controller.decide(
+            self.now,
+            current=self._active_workers() + len(self.pending_up),
+            idle=len(self.idle),
+            rate_rps=self.arrival_est.rate_rps(self.now),
+            batch_s=self.drain.batch_s,
+            max_batch=self.cfg.policy.max_batch,
+            backlog=len(self.queue),
+        )
+        if delta > 0:
+            for _ in range(delta):
+                wid = len(self.workers)
+                self.workers.append(self.service._make_worker(wid))
+                self.pending_up.add(wid)
+                self._push(
+                    self.now + self.cfg.elastic.spinup_s, _EV_WORKER_UP, wid
                 )
-                batches.append(batch)
-                for rec in selected:
-                    rec.state = RUNNING
-                    rec.attempts += 1
-                    if rec.dispatched_s is None:
-                        rec.dispatched_s = now
-                    rec.batch_ids.append(batch.batch_id)
-                    rec.grid = decision.grid
-                    rec.note(
-                        now,
-                        "dispatch",
-                        f"batch {batch.batch_id} (size {batch.size}) "
-                        f"on worker {worker.worker_id} "
-                        f"({grid_label(decision.grid)}"
-                        + (", gauge-resident" if decision.predicted_hit else "")
-                        + f"), attempt {rec.attempts}",
-                    )
-                batch.trace.append(
-                    (
-                        now,
-                        "dispatch",
-                        f"worker {worker.worker_id}, "
-                        f"{grid_label(decision.grid)}"
-                        + (", gauge-resident" if decision.predicted_hit else ""),
-                    )
-                )
-                execution = worker.execute(
-                    [r.request for r in selected],
-                    grid=decision.grid,
-                    tune_cache=self.placement.tune_cache,
-                )
-                worker.busy_s += execution.duration_s
-                drain.observe(execution.duration_s)
-                heapq.heappush(
-                    events,
-                    (
-                        now + execution.duration_s,
-                        _EV_DONE,
-                        seq,
-                        (batch, execution),
+        elif delta < 0:
+            # Retire from the top so worker ids stay dense at the bottom
+            # (and the pick is deterministic).  Removing the id from
+            # ``idle`` *before* anything else closes the scale-down /
+            # dispatch race: a retired worker can never be selected.
+            wid = max(self.idle)
+            self.idle.remove(wid)
+            self.workers[wid].retire()
+
+    def _worker_up(self, worker_id: int) -> None:
+        self.pending_up.discard(worker_id)
+        if not self.workers[worker_id].retired:
+            self.idle.append(worker_id)
+            self.idle.sort()
+
+    # ------------------------------------------------------------------ #
+    # Preemption
+    # ------------------------------------------------------------------ #
+
+    def _maybe_preempt(self, trigger: RequestRecord) -> None:
+        """A qualifying arrival is still queued after the dispatch pass:
+        schedule the best LOW victim's yield at its next refresh point."""
+        pre = self.cfg.preemption
+        best = None
+        for batch, execution, start, end in self.running.values():
+            if batch.preempt_at_s is not None:
+                # Already checkpointing toward a yield — a second HIGH
+                # arrival must not re-preempt it (it will free the
+                # worker at that same boundary anyway).
+                continue
+            worst = min(r.request.priority for r in batch.records)
+            if worst < pre.victim_priority:
+                continue
+            if worst <= trigger.request.priority:
+                continue  # never preempt work as urgent as the trigger
+            # Most remaining work = most latency bought; ties to the
+            # older batch for determinism.
+            remaining = end - self.now
+            key = (remaining, -batch.batch_id)
+            if best is None or key > best[0]:
+                best = (key, batch, start, end)
+        if best is None:
+            return
+        _, batch, start, end = best
+        interval = (end - start) / pre.refresh_points
+        k = max(
+            1,
+            -int(-(self.now - start - _BOUNDARY_SLACK_S) // interval),
+        )
+        boundary = start + k * interval
+        if boundary >= end - _BOUNDARY_SLACK_S:
+            return  # no checkpoint boundary left before completion
+        batch.preempt_at_s = boundary
+        batch.trace.append(
+            (
+                self.now,
+                "preempt_scheduled",
+                f"HIGH request {trigger.request.req_id} waiting; yield at "
+                f"refresh boundary {boundary * 1e6:.1f}us",
+            )
+        )
+        self._push(boundary, _EV_PREEMPT, batch)
+
+    def _do_preempt(self, batch: Batch) -> None:
+        """Yield a running batch at its refresh boundary: checkpoint,
+        free the worker, park the remainder for resume."""
+        entry = self.running.pop(batch.batch_id, None)
+        if entry is None or batch.ok is not None:
+            return  # completed (or failed) before the boundary
+        _, execution, start, end = entry
+        self.cancelled.add(batch.batch_id)
+        worker = self.workers[batch.worker_id]
+        worker.busy_s -= end - self.now  # unspent occupancy credited back
+        batch.preempted = True
+        batch.completed_s = self.now
+        batch.duration_s = self.now - start
+        batch.detail = "preempted at refresh boundary"
+        batch.trace.append(
+            (self.now, "preempt", f"{(end - self.now) * 1e6:.1f}us remaining")
+        )
+        head = batch.records[0].request
+        for rec in batch.records:
+            rec.state = QUEUED
+            rec.preemptions += 1
+            rec.note(
+                self.now,
+                "preempt",
+                f"batch {batch.batch_id} yielded at refresh boundary; "
+                "will resume from checkpoint",
+            )
+        self.preempted.append(
+            _PreemptedRun(
+                records=batch.records,
+                key=head.compat_key,
+                residency_key=(head.config_id, head.dims, head.mode, batch.grid),
+                grid=batch.grid,
+                remaining_s=end - self.now,
+                execution=execution,
+                priority=min(r.request.priority for r in batch.records),
+                preempted_s=self.now,
+                from_batch=batch.batch_id,
+            )
+        )
+        self.preemptions_total += 1
+        if not worker.retired:
+            self.idle.append(worker.worker_id)
+            self.idle.sort()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _fail_placement(self, selected: list[RequestRecord], detail: str) -> None:
+        """No decomposition fits the pool: the request can never run
+        here, so it fails terminally (structured, not silently)."""
+        for rec in selected:
+            rec.state = FAILED
+            rec.completed_s = self.now
+            rec.failure = StructuredFailure(
+                kind="infeasible_volume",
+                detail=detail,
+                model_time=self.now,
+                attempts=rec.attempts,
+            )
+            rec.note(self.now, "fail", f"placement: {detail}")
+            self.completion_order.append(rec.request.req_id)
+
+    def _best_preempted(self) -> _PreemptedRun | None:
+        best = None
+        for run in self.preempted:
+            key = (run.priority, run.preempted_s, run.from_batch)
+            if best is None or key < best[0]:
+                best = (key, run)
+        return best[1] if best is not None else None
+
+    def _dispatch(self) -> None:
+        cfg = self.cfg
+        while self.idle and (len(self.queue) or self.preempted):
+            selected = select_batch(self.queue.ordered(), self.now, cfg.policy)
+            resume = self._best_preempted()
+            if selected is not None and (
+                resume is None
+                or selected[0].request.priority < resume.priority
+            ):
+                self._dispatch_fresh(selected)
+            elif resume is not None:
+                self._dispatch_resume(resume)
+            else:
+                return
+
+    def _dispatch_fresh(self, selected: list[RequestRecord]) -> None:
+        cfg = self.cfg
+        self.queue.remove(selected)
+        try:
+            decision = self.placement.place(selected, self.idle)
+        except ValueError as exc:
+            self._fail_placement(selected, str(exc))
+            return
+        self.idle.remove(decision.worker_id)
+        worker = self.workers[decision.worker_id]
+        batch = Batch(
+            batch_id=self._next_batch_id(),
+            records=selected,
+            key=selected[0].request.compat_key,
+            formed_s=self.now,
+            worker_id=worker.worker_id,
+            grid=decision.grid,
+        )
+        self.batches.append(batch)
+        for rec in selected:
+            rec.state = RUNNING
+            rec.attempts += 1
+            if rec.dispatched_s is None:
+                rec.dispatched_s = self.now
+            rec.batch_ids.append(batch.batch_id)
+            rec.grid = decision.grid
+            rec.note(
+                self.now,
+                "dispatch",
+                f"batch {batch.batch_id} (size {batch.size}) "
+                f"on worker {worker.worker_id} "
+                f"({self._grid_label(decision.grid)}"
+                + (", gauge-resident" if decision.predicted_hit else "")
+                + f"), attempt {rec.attempts}",
+            )
+        batch.trace.append(
+            (
+                self.now,
+                "dispatch",
+                f"worker {worker.worker_id}, "
+                f"{self._grid_label(decision.grid)}"
+                + (", gauge-resident" if decision.predicted_hit else ""),
+            )
+        )
+        execution = worker.execute(
+            [r.request for r in selected],
+            grid=decision.grid,
+            tune_cache=self.placement.tune_cache,
+        )
+        worker.busy_s += execution.duration_s
+        self.drain.observe(execution.duration_s)
+        end = self.now + execution.duration_s
+        self.running[batch.batch_id] = (batch, execution, self.now, end)
+        self._push(end, _EV_DONE, (batch, execution))
+
+    def _dispatch_resume(self, run: _PreemptedRun) -> None:
+        """Resume a preempted batch from its refresh-point checkpoint:
+        remaining work plus the modeled reload overhead, outcomes
+        replayed from the original execution."""
+        self.preempted.remove(run)
+        worker_id, hit = self.placement.router.route(
+            run.residency_key, self.idle
+        )
+        self.idle.remove(worker_id)
+        worker = self.workers[worker_id]
+        duration = run.remaining_s + self.cfg.preemption.resume_overhead_s
+        batch = Batch(
+            batch_id=self._next_batch_id(),
+            records=run.records,
+            key=run.key,
+            formed_s=self.now,
+            worker_id=worker_id,
+            grid=run.grid,
+            resumed_from=run.from_batch,
+        )
+        self.batches.append(batch)
+        for rec in run.records:
+            rec.state = RUNNING
+            rec.batch_ids.append(batch.batch_id)
+            rec.note(
+                self.now,
+                "resume",
+                f"batch {batch.batch_id} resumes batch {run.from_batch} "
+                f"on worker {worker_id} from checkpoint "
+                f"({run.remaining_s * 1e6:.1f}us remaining)",
+            )
+        batch.trace.append(
+            (
+                self.now,
+                "resume",
+                f"worker {worker_id}, from batch {run.from_batch}",
+            )
+        )
+        execution = replace(
+            run.execution,
+            duration_s=duration,
+            residency_hit=hit,
+            gauge_saved_s=0.0,
+        )
+        worker.busy_s += duration
+        worker.resident_key = run.residency_key
+        self.drain.observe(duration)
+        self.resumed_batches += 1
+        end = self.now + duration
+        self.running[batch.batch_id] = (batch, execution, self.now, end)
+        self._push(end, _EV_DONE, (batch, execution))
+
+    # ------------------------------------------------------------------ #
+    # Completion
+    # ------------------------------------------------------------------ #
+
+    def _complete(self, batch: Batch, execution: BatchExecution) -> None:
+        cfg = self.cfg
+        self.running.pop(batch.batch_id, None)
+        worker = self.workers[batch.worker_id]
+        if not worker.retired:
+            self.idle.append(worker.worker_id)
+            self.idle.sort()
+        batch.completed_s = self.now
+        batch.duration_s = execution.duration_s
+        batch.ok = execution.ok
+        batch.recoveries = execution.recoveries
+        batch.residency_hit = execution.residency_hit
+        self.placement.observe(execution)
+        self.makespan = max(self.makespan, self.now)
+        if execution.ok:
+            batch.trace.append((self.now, "complete", ""))
+            for rec, outcome in zip(batch.records, execution.outcomes):
+                rec.state = COMPLETED
+                rec.completed_s = self.now
+                rec.iterations = outcome["iterations"]
+                rec.converged = outcome["converged"]
+                rec.residual_norm = outcome["residual_norm"]
+                rec.recoveries = outcome["recoveries"]
+                rec.note(
+                    self.now,
+                    "complete",
+                    f"{outcome['iterations']} iterations"
+                    + (
+                        f", {outcome['recoveries']} recover(ies)"
+                        if outcome["recoveries"]
+                        else ""
                     ),
                 )
-                seq += 1
-
-        def complete(batch: Batch, execution) -> None:
-            nonlocal seq, makespan
-            worker = self.workers[batch.worker_id]
-            idle.append(worker.worker_id)
-            idle.sort()
-            batch.completed_s = now
-            batch.duration_s = execution.duration_s
-            batch.ok = execution.ok
-            batch.recoveries = execution.recoveries
-            batch.residency_hit = execution.residency_hit
-            self.placement.observe(execution)
-            makespan = max(makespan, now)
-            if execution.ok:
-                batch.trace.append((now, "complete", ""))
-                for rec, outcome in zip(batch.records, execution.outcomes):
-                    rec.state = COMPLETED
-                    rec.completed_s = now
-                    rec.iterations = outcome["iterations"]
-                    rec.converged = outcome["converged"]
-                    rec.residual_norm = outcome["residual_norm"]
-                    rec.recoveries = outcome["recoveries"]
-                    rec.note(
-                        now,
-                        "complete",
-                        f"{outcome['iterations']} iterations"
-                        + (
-                            f", {outcome['recoveries']} recover(ies)"
-                            if outcome["recoveries"]
-                            else ""
-                        ),
-                    )
-                    completion_order.append(rec.request.req_id)
-                return
+                self.completion_order.append(rec.request.req_id)
+        else:
             failure = execution.failure
             batch.detail = str(failure)
-            batch.trace.append((now, "worker_failure", str(failure)))
+            batch.trace.append((self.now, "worker_failure", str(failure)))
             for rec in batch.records:
                 if rec.attempts <= cfg.max_retries:
                     rec.state = QUEUED
-                    queue.offer(rec, force=True)
+                    self.queue.offer(rec, force=True)
                     rec.note(
-                        now,
+                        self.now,
                         "requeue",
                         f"worker {batch.worker_id} failed "
                         f"(rank {failure.rank} {failure.mode}); "
@@ -355,58 +886,63 @@ class SolveService:
                     )
                 else:
                     rec.state = FAILED
-                    rec.completed_s = now
+                    rec.completed_s = self.now
                     rec.failure = StructuredFailure(
                         kind="worker_crash",
                         detail=str(failure),
                         failed_rank=failure.rank,
-                        model_time=now,
+                        model_time=self.now,
                         attempts=rec.attempts,
                     )
                     rec.note(
-                        now,
+                        self.now,
                         "fail",
                         f"retries exhausted after {rec.attempts} attempts: "
                         f"{failure}",
                     )
-                    completion_order.append(rec.request.req_id)
+                    self.completion_order.append(rec.request.req_id)
+        self._evaluate_scale()
+        self.batches_since_commit += 1
+        if self.batches_since_commit >= cfg.checkpoint_every:
+            self._commit_checkpoint()
 
-        while events:
-            t, kind, _, payload = heapq.heappop(events)
-            now = t
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ServiceResult:
+        self._push_next_arrival()
+        self._dispatch()  # restored queue contents may already be ready
+        while self.events:
+            t, kind, _, payload = heapq.heappop(self.events)
+            if self.crash_at_s is not None and t >= self.crash_at_s:
+                raise SchedulerCrash(
+                    self.crash_at_s,
+                    self.store
+                    if self.store is not None
+                    else CampaignCheckpointStore(),
+                )
+            self.now = t
+            probe = None
             if kind == _EV_DONE:
                 batch, execution = payload
-                complete(batch, execution)
+                if batch.batch_id not in self.cancelled:
+                    self._complete(batch, execution)
+            elif kind == _EV_PREEMPT:
+                self._do_preempt(payload)
+            elif kind == _EV_WORKER_UP:
+                self._worker_up(payload)
             elif kind == _EV_ARRIVAL:
-                rec = payload
-                rec.note(now, "arrive", f"priority {rec.request.priority}")
-                if not queue.offer(rec):
-                    rec.state = REJECTED
-                    rec.completed_s = now
-                    rec.retry_after_s = drain.retry_after_s(
-                        len(queue),
-                        max_batch=cfg.policy.max_batch,
-                        n_workers=len(self.workers),
-                    )
-                    rec.note(
-                        now,
-                        "reject",
-                        f"queue full ({cfg.queue_capacity}); retry after "
-                        f"{rec.retry_after_s * 1e6:.1f}us",
-                    )
-                    continue
-                rec.admitted_s = now
-                rec.note(now, "admit", f"depth {len(queue)}")
-                heapq.heappush(
-                    events,
-                    (now + cfg.policy.max_wait_s, _EV_TIMEOUT, seq, None),
-                )
-                seq += 1
+                self.arrivals_consumed += 1
+                probe = self._admit(payload)
+                self._push_next_arrival()
             # _EV_TIMEOUT carries no payload: it exists to revisit the
             # queue once a batching window has expired.
-            dispatch()
+            self._dispatch()
+            if probe is not None and probe.state == QUEUED:
+                self._maybe_preempt(probe)
 
-        stuck = [rec for rec in records if not rec.terminal]
+        stuck = [rec for rec in self.records if not rec.terminal]
         if stuck:
             raise ServiceInvariantError(
                 f"{len(stuck)} request(s) left non-terminal: "
@@ -414,17 +950,36 @@ class SolveService:
             )
 
         report = ServiceReport.collect(
-            records,
-            batches,
-            cfg.policy,
+            self.records,
+            self.batches,
+            self.cfg.policy,
             worker_busy_s=[w.busy_s for w in self.workers],
-            makespan_s=makespan,
+            makespan_s=self.makespan,
             placement=self.placement.summary(),
+            daemon=self._daemon_summary(),
         )
         return ServiceResult(
             report=report,
-            records=records,
-            batches=batches,
-            completion_order=completion_order,
+            records=self.records,
+            batches=self.batches,
+            completion_order=self.completion_order,
             workers=self.workers,
         )
+
+    def _daemon_summary(self) -> dict:
+        out = {
+            "preemptions": self.preemptions_total,
+            "resumed_batches": self.resumed_batches,
+            "final_workers": self._active_workers(),
+            "checkpoints_committed": self.checkpoints_committed,
+            "checkpoint_restores": 1 if self.restored else 0,
+            "restored_requests": self.restored_requests,
+        }
+        if self.controller is not None:
+            out.update(
+                scale_ups=self.controller.scale_ups,
+                scale_downs=self.controller.scale_downs,
+                scale_events=[e.to_json() for e in self.controller.events],
+                spinup_spent_s=self.controller.spinup_spent_s,
+            )
+        return out

@@ -154,7 +154,60 @@ class SimWorker:
         #: a failure (the crashed context is torn down) or before any
         #: batch ran.
         self.resident_key: tuple | None = None
+        #: Retired by the elastic pool controller: the slot takes no new
+        #: work and its device memory has been drained.
+        self.retired = False
         self._gauges: dict[tuple, object] = {}
+
+    def retire(self) -> None:
+        """Scale-down: release the slot and drain its device memory.
+
+        Residency must go with the worker — a retired device's gauge
+        warmth leaking into the routing tables would let the placement
+        layer credit uploads nobody can skip."""
+        self.retired = True
+        self.resident_key = None
+        self._gauges.clear()
+
+    # ------------------------------------------------------------------ #
+    # Campaign-checkpoint round trip: the scheduler died, the worker
+    # (and its device-resident gauge) did not.
+    # ------------------------------------------------------------------ #
+
+    def state_json(self) -> dict:
+        key = self.resident_key
+        return {
+            "worker_id": self.worker_id,
+            "busy_s": self.busy_s,
+            "batches_run": self.batches_run,
+            "retired": self.retired,
+            "resident": (
+                None
+                if key is None
+                else {
+                    "config_id": key[0],
+                    "dims": list(key[1]),
+                    "mode": key[2],
+                    "grid": list(key[3]) if key[3] is not None else None,
+                }
+            ),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        self.busy_s = float(data["busy_s"])
+        self.batches_run = int(data["batches_run"])
+        self.retired = bool(data["retired"])
+        res = data["resident"]
+        self.resident_key = (
+            None
+            if res is None
+            else (
+                int(res["config_id"]),
+                tuple(res["dims"]),
+                res["mode"],
+                tuple(res["grid"]) if res["grid"] is not None else None,
+            )
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -1,23 +1,48 @@
-"""Deterministic synthetic workloads for the solve service.
+"""Deterministic synthetic workloads and arrival processes.
 
 Open-loop arrivals with exponential interarrival times (the standard
 serving-stack load model), priorities drawn from a configurable mix, and
 per-priority deadline slack — all keyed on one seed through
 ``SeedSequence`` so a workload is byte-identical across runs and
 platforms, which is what makes whole-campaign schedules replayable.
+
+Two shapes of workload are offered:
+
+* :func:`synthetic_workload` — the classic fixed-size list (PR 4): all
+  arrivals materialized up front, for one-shot campaigns.
+* :func:`stream_workload` / :func:`bursty_workload` — *lazy* arrival
+  processes for the daemon (``repro serve --stream``): requests are
+  generated one at a time as the event loop consumes them, so the
+  admission channel outlives any fixed list, and a resumed scheduler can
+  regenerate exactly the same stream and skip what it already consumed.
+  ``bursty_workload`` is a piecewise-constant-rate Poisson process (a
+  quiet baseline, a burst window, quiet again) — the canonical traffic
+  shape that forces an elastic pool to scale up and back down.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 import numpy as np
 
 from .request import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, SolveRequest
 
-__all__ = ["synthetic_workload"]
+__all__ = ["synthetic_workload", "stream_workload", "bursty_workload"]
 
 _SALT_ARRIVAL = 0xA881
 _SALT_PRIORITY = 0xA882
 _SALT_CONFIG = 0xA883
+
+#: Per-priority deadline slack multipliers (HIGH is the tight tier).
+_SLACK = {PRIORITY_HIGH: 0.5, PRIORITY_NORMAL: 1.0, PRIORITY_LOW: 2.0}
+
+
+def _normalized_mix(priority_mix) -> np.ndarray:
+    mix = np.asarray(priority_mix, dtype=float)
+    if mix.min() < 0 or mix.sum() <= 0:
+        raise ValueError("priority_mix must be nonnegative with positive sum")
+    return mix / mix.sum()
 
 
 def synthetic_workload(
@@ -42,10 +67,7 @@ def synthetic_workload(
         raise ValueError("rate_rps must be > 0")
     if n_configs < 1:
         raise ValueError("n_configs must be >= 1")
-    mix = np.asarray(priority_mix, dtype=float)
-    if mix.min() < 0 or mix.sum() <= 0:
-        raise ValueError("priority_mix must be nonnegative with positive sum")
-    mix = mix / mix.sum()
+    mix = _normalized_mix(priority_mix)
 
     arrival_rng = np.random.default_rng(
         np.random.SeedSequence([seed, _SALT_ARRIVAL])
@@ -65,18 +87,13 @@ def synthetic_workload(
     )
     configs = config_rng.integers(0, n_configs, size=n_requests)
 
-    slack_by_priority = {
-        PRIORITY_HIGH: 0.5,
-        PRIORITY_NORMAL: 1.0,
-        PRIORITY_LOW: 2.0,
-    }
     requests = []
     for i in range(n_requests):
         arrival = float(arrivals[i])
         priority = int(priorities[i])
         deadline = None
         if deadline_slack_s is not None:
-            deadline = arrival + deadline_slack_s * slack_by_priority[priority]
+            deadline = arrival + deadline_slack_s * _SLACK[priority]
         requests.append(
             SolveRequest(
                 req_id=i,
@@ -92,3 +109,178 @@ def synthetic_workload(
             )
         )
     return requests
+
+
+# --------------------------------------------------------------------- #
+# Streaming arrival processes (daemon mode)
+# --------------------------------------------------------------------- #
+
+
+def _stream(
+    gap_for,
+    n_requests: int | None,
+    duration_s: float | None,
+    *,
+    seed: int,
+    dims: tuple[int, int, int, int],
+    mode: str,
+    solver: str,
+    mass: float,
+    n_configs: int,
+    priority_mix: tuple[float, float, float],
+    deadline_slack_s: float | None,
+) -> Iterator[SolveRequest]:
+    """Shared lazy generator behind the streaming workloads.
+
+    ``gap_for(rng, now)`` draws the next interarrival gap — the hook the
+    bursty process uses to vary the rate over event time.  Generation is
+    incremental draws from three ``SeedSequence``-keyed RNGs, so the
+    stream is byte-identical across runs and a resumed scheduler can
+    regenerate it and skip the prefix it already consumed.
+
+    Validation happens here, eagerly; the inner generator only draws.
+    """
+    if n_requests is None and duration_s is None:
+        raise ValueError("bound the stream with n_requests and/or duration_s")
+    if n_requests is not None and n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    if duration_s is not None and duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    if n_configs < 1:
+        raise ValueError("n_configs must be >= 1")
+    mix = _normalized_mix(priority_mix)
+    return _stream_gen(
+        gap_for, n_requests, duration_s, mix,
+        seed=seed, dims=dims, mode=mode, solver=solver, mass=mass,
+        n_configs=n_configs, deadline_slack_s=deadline_slack_s,
+    )
+
+
+def _stream_gen(
+    gap_for,
+    n_requests: int | None,
+    duration_s: float | None,
+    mix: np.ndarray,
+    *,
+    seed: int,
+    dims: tuple[int, int, int, int],
+    mode: str,
+    solver: str,
+    mass: float,
+    n_configs: int,
+    deadline_slack_s: float | None,
+) -> Iterator[SolveRequest]:
+    arrival_rng = np.random.default_rng(np.random.SeedSequence([seed, _SALT_ARRIVAL]))
+    prio_rng = np.random.default_rng(np.random.SeedSequence([seed, _SALT_PRIORITY]))
+    config_rng = np.random.default_rng(np.random.SeedSequence([seed, _SALT_CONFIG]))
+    now = 0.0
+    i = 0
+    while n_requests is None or i < n_requests:
+        now += gap_for(arrival_rng, now)
+        if duration_s is not None and now > duration_s:
+            return
+        priority = int(
+            prio_rng.choice([PRIORITY_HIGH, PRIORITY_NORMAL, PRIORITY_LOW], p=mix)
+        )
+        deadline = None
+        if deadline_slack_s is not None:
+            deadline = now + deadline_slack_s * _SLACK[priority]
+        yield SolveRequest(
+            req_id=i,
+            config_id=int(config_rng.integers(0, n_configs)),
+            dims=dims,
+            mode=mode,
+            solver=solver,
+            mass=mass,
+            source_seed=seed,
+            priority=priority,
+            arrival_s=now,
+            deadline_s=deadline,
+        )
+        i += 1
+
+
+def stream_workload(
+    n_requests: int | None = None,
+    *,
+    seed: int = 2010,
+    rate_rps: float = 2000.0,
+    duration_s: float | None = None,
+    dims: tuple[int, int, int, int] = (8, 8, 8, 32),
+    mode: str = "single-half",
+    solver: str = "bicgstab",
+    mass: float = 0.2,
+    n_configs: int = 1,
+    priority_mix: tuple[float, float, float] = (0.1, 0.7, 0.2),
+    deadline_slack_s: float | None = None,
+) -> Iterator[SolveRequest]:
+    """A lazy open-loop Poisson arrival stream for the daemon.
+
+    Bounded by ``n_requests``, ``duration_s`` (model time), or both —
+    the daemon drains whatever the channel delivers and keeps running
+    until it does.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    return _stream(
+        lambda rng, now: float(rng.exponential(1.0 / rate_rps)),
+        n_requests,
+        duration_s,
+        seed=seed,
+        dims=dims,
+        mode=mode,
+        solver=solver,
+        mass=mass,
+        n_configs=n_configs,
+        priority_mix=priority_mix,
+        deadline_slack_s=deadline_slack_s,
+    )
+
+
+def bursty_workload(
+    n_requests: int | None = None,
+    *,
+    seed: int = 2010,
+    base_rps: float = 500.0,
+    burst_rps: float = 8000.0,
+    burst_start_s: float = 0.0,
+    burst_len_s: float = 0.0,
+    duration_s: float | None = None,
+    dims: tuple[int, int, int, int] = (8, 8, 8, 32),
+    mode: str = "single-half",
+    solver: str = "bicgstab",
+    mass: float = 0.2,
+    n_configs: int = 1,
+    priority_mix: tuple[float, float, float] = (0.1, 0.7, 0.2),
+    deadline_slack_s: float | None = None,
+) -> Iterator[SolveRequest]:
+    """A piecewise-constant-rate Poisson stream: quiet, burst, quiet.
+
+    Inside ``[burst_start_s, burst_start_s + burst_len_s)`` arrivals come
+    at ``burst_rps``; outside at ``base_rps``.  The canonical traffic
+    shape for exercising the elastic pool: the burst drives a scale-up,
+    the quiet tail a scale-down.
+    """
+    if base_rps <= 0 or burst_rps <= 0:
+        raise ValueError("arrival rates must be > 0")
+    if burst_len_s < 0:
+        raise ValueError("burst_len_s must be >= 0")
+
+    def gap(rng, now: float) -> float:
+        in_burst = burst_start_s <= now < burst_start_s + burst_len_s
+        rate = burst_rps if in_burst else base_rps
+        return float(rng.exponential(1.0 / rate))
+
+    return _stream(
+        gap,
+        n_requests,
+        duration_s,
+        seed=seed,
+        dims=dims,
+        mode=mode,
+        solver=solver,
+        mass=mass,
+        n_configs=n_configs,
+        priority_mix=priority_mix,
+        deadline_slack_s=deadline_slack_s,
+    )

@@ -291,6 +291,87 @@ class TestServe:
         assert r2["tune_setup_spent_us"] < r1["tune_setup_spent_us"]
 
 
+class TestServeDaemon:
+    _STREAM_ARGS = [
+        "serve", "--stream", "--requests", "48", "--rate", "4000",
+        "--workers", "2", "--queue-capacity", "256", "--dims", "4,4,4,8",
+        "--iterations", "10", "--seed", "7",
+    ]
+
+    def test_streaming_campaign(self, capsys):
+        rc = main(self._STREAM_ARGS)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "48 submitted, 48 admitted" in out
+
+    def test_crash_resume_exits_zero(self, tmp_path, capsys):
+        """The CI daemon smoke in miniature: kill the scheduler
+        mid-campaign, resume from the checkpoint, lose nothing."""
+        import json
+
+        path = tmp_path / "daemon.json"
+        rc = main(self._STREAM_ARGS + [
+            "--crash-scheduler-at-ms", "300", "--json", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "daemon: scheduler crashed at" in out
+        assert "resuming from campaign checkpoint" in out
+        report = json.loads(path.read_text())
+        assert report["checkpoint_restores"] >= 1
+        assert report["restored_requests"] > 0
+        terminal = report["completed"] + report["failed"] + report["rejected"]
+        assert terminal == report["requests"] == 48
+
+    def test_crash_before_any_commit_exits_nonzero(self, capsys):
+        """A resume that silently restarted from scratch (no verified
+        commit to restore) must fail the build, per the CI contract."""
+        rc = main(self._STREAM_ARGS + ["--crash-scheduler-at-ms", "0.001"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "no checkpoint restore" in captured.err
+
+    def test_checkpoint_file_is_written(self, tmp_path, capsys):
+        path = tmp_path / "campaign.ckpt"
+        rc = main(self._STREAM_ARGS + ["--checkpoint", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert path.exists()
+        assert "commit(s)" in out
+
+    def test_bursty_elastic_preempting_campaign(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bursty.json"
+        rc = main([
+            "serve", "--requests", "64", "--rate", "300",
+            "--burst-rate", "12000", "--burst-start-ms", "5",
+            "--burst-len-ms", "10", "--workers", "1", "--elastic",
+            "--min-workers", "1", "--max-workers", "6", "--preempt",
+            "--queue-capacity", "384", "--dims", "4,4,4,8",
+            "--iterations", "10", "--seed", "11",
+            "--priority-mix", "0.2,0.3,0.5", "--json", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "autoscaler:" in out
+        report = json.loads(path.read_text())
+        assert report["scale_ups"] >= 1
+        assert report["scale_downs"] >= 1
+
+    def test_bad_priority_mix_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(self._STREAM_ARGS + ["--priority-mix", "1,2"])
+        assert exc_info.value.code == 2
+
+    def test_bad_elastic_range_exits_2(self, capsys):
+        rc = main([
+            "serve", "--requests", "8", "--workers", "4", "--elastic",
+            "--min-workers", "1", "--max-workers", "2",
+        ])
+        assert rc == 2
+
+
 class TestExperiments:
     @pytest.mark.slow
     def test_writes_report(self, tmp_path, capsys):
