@@ -131,3 +131,52 @@ def test_preemption_improves_high_p99_on_elastic_pool(run_once):
         on["priority_latency"]["high"]["p99_us"]
         < off["priority_latency"]["high"]["p99_us"]
     )
+
+
+def test_resilience_beats_undefended_run(run_once):
+    """Resilience-era benchmark (PR 7): the acceptance campaign — one
+    seeded overloaded bursty stream against a pool with one flaky worker
+    and one 3x straggler, served with the breaker/hedging/brownout stack
+    on vs off.  The defended run must quarantine and reinstate the flaky
+    worker, shed LOW under the burst, keep every admitted request
+    terminal in both runs, and win the HIGH tail outright."""
+    from repro.bench.harness import resilience_benchmark
+
+    result = run_once(lambda: resilience_benchmark(iterations=ITERATIONS))
+    on = result["resilience_on"]
+    off = result["resilience_off"]
+    print(
+        f"\nresilience on:  HIGH p99 "
+        f"{on['priority_latency']['high']['p99_us'] / 1e3:.1f} ms, "
+        f"{on['quarantines']} quarantine(s), {on['reinstated']} "
+        f"reinstated, {on['shed_low']} LOW shed, "
+        f"{on['degraded_served']} served degraded"
+        f"\nresilience off: HIGH p99 "
+        f"{off['priority_latency']['high']['p99_us'] / 1e3:.1f} ms"
+        f"\nHIGH p99 off/on: {result['high_p99_off_vs_on']:.4f}x"
+        f"\nSLO attainment: {on['slo_attainment']:.4f} on vs "
+        f"{off['slo_attainment']:.4f} off"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_resilience.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    # Zero lost requests in both runs: every admitted request terminal.
+    for report in (on, off):
+        assert report["completed"] + report["failed"] + report["rejected"] \
+            == report["requests"]
+        assert report["failed"] == 0
+    # The breaker did its full loop on the flaky worker.
+    assert on["quarantines"] >= 1
+    assert on["reinstated"] >= 1
+    assert off["quarantines"] == 0
+    # The brownout shed LOW (with honest retry-afters) instead of
+    # letting the burst blow every deadline.
+    assert on["shed_low"] >= 1
+    assert on["degraded_served"] >= 1
+    # The acceptance bar: HIGH p99 strictly better, SLO no worse.
+    assert (
+        on["priority_latency"]["high"]["p99_us"]
+        < off["priority_latency"]["high"]["p99_us"]
+    )
+    assert on["slo_attainment"] >= off["slo_attainment"]

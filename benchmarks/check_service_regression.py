@@ -79,6 +79,52 @@ def main(argv: list[str]) -> int:
             baseline["batched"]["throughput_rps"],
         ),
     ]
+
+    if "resilience" in baseline:
+        from repro.bench.harness import resilience_benchmark
+
+        rc = baseline["resilience"]["campaign"]
+        fresh_res = resilience_benchmark(
+            rc["requests"],
+            dims=tuple(rc["dims"]),
+            mode=rc["mode"],
+            workers=rc["workers"],
+            ranks=rc["ranks_per_worker"],
+            max_batch=rc["max_batch"],
+            base_rps=rc["base_rps"],
+            burst_rps=rc["burst_rps"],
+            burst_start_s=rc["burst_start_ms"] * 1e-3,
+            burst_len_s=rc["burst_len_ms"] * 1e-3,
+            deadline_slack_s=rc["deadline_slack_ms"] * 1e-3,
+            straggler_factor=rc["straggler_factor"],
+            iterations=rc["iterations"],
+            seed=rc["seed"],
+        )
+        on = fresh_res["resilience_on"]
+        base_on = baseline["resilience"]["resilience_on"]
+        checks += [
+            _within(
+                "resilience.high_p99_off_vs_on",
+                fresh_res["high_p99_off_vs_on"],
+                baseline["resilience"]["high_p99_off_vs_on"],
+            ),
+            _within(
+                "resilience_on.quarantines",
+                on["quarantines"],
+                base_on["quarantines"],
+            ),
+            _within(
+                "resilience_on.shed_low",
+                on["shed_low"],
+                base_on["shed_low"],
+            ),
+            _within(
+                "resilience_on.slo_attainment",
+                on["slo_attainment"],
+                base_on["slo_attainment"],
+            ),
+        ]
+
     if all(checks):
         print("service bench within tolerance of baseline")
         return 0

@@ -558,18 +558,137 @@ def daemon_benchmark(
     }
 
 
+def resilience_benchmark(
+    n_requests: int = 64,
+    *,
+    dims: tuple[int, int, int, int] = (4, 4, 4, 8),
+    mode: str = "double-half",
+    ranks: int = 2,
+    workers: int = 3,
+    max_batch: int = 8,
+    base_rps: float = 1500.0,
+    burst_rps: float = 12000.0,
+    burst_start_s: float = 1e-3,
+    burst_len_s: float = 3e-3,
+    deadline_slack_s: float = 0.3,
+    straggler_factor: float = 3.0,
+    iterations: int = 10,
+    seed: int = 23,
+) -> dict:
+    """The PR-7 acceptance campaign: one seeded overloaded bursty stream
+    served twice — resilience (breaker + hedging + brownout) on versus
+    off — against the same hostile pool: worker 0 flaky (one planned
+    crash), worker 2 a ``straggler_factor``x straggler.
+
+    With resilience on, the breaker quarantines the flaky worker and
+    reinstates it after a clean probe, hedged replicas rescue straggling
+    batches, and the brownout controller sheds LOW under the burst
+    instead of blowing every deadline — so the HIGH p99 must be strictly
+    better and the SLO attainment no worse than the undefended run,
+    while *both* runs terminate every admitted request.
+    """
+    from ..comms.faults import FaultPlan, WorkerFaultPlan
+    from ..service import (
+        BatchPolicy,
+        BrownoutPolicy,
+        HealthPolicy,
+        HedgePolicy,
+        ServiceConfig,
+        SolveService,
+        bursty_workload,
+    )
+
+    def serve(resilient: bool) -> dict:
+        config = ServiceConfig(
+            queue_capacity=max(4 * n_requests, 64),
+            policy=BatchPolicy(max_batch=max_batch),
+            n_workers=workers,
+            ranks_per_worker=ranks,
+            fixed_iterations=iterations,
+            max_retries=2,
+            fault_plan=FaultPlan(seed=3).with_stall(
+                0, after_s=0.0, mode="crash"
+            ),
+            chaos_workers=(0,),
+            worker_faults=WorkerFaultPlan().with_straggler(
+                2, factor=straggler_factor
+            ),
+            # One hard failure trips the breaker; the soft slow signal
+            # is muted (slow_ratio) so the known straggler is handled by
+            # hedging, not by repeatedly parking a third of the pool.
+            health=HealthPolicy(
+                enabled=True, min_samples=1, trip_rate=0.5,
+                cooldown_s=1e-3, slow_ratio=1e3,
+            ) if resilient else None,
+            hedge=HedgePolicy(enabled=True) if resilient else None,
+            # Thresholds scaled to this campaign's ~50 ms batches: LOW
+            # sheds at about one queued batch per worker, precision
+            # degrades at two, and only a three-deep backlog refuses
+            # NORMAL traffic.
+            brownout=BrownoutPolicy(
+                enabled=True,
+                shed_low_at_s=60e-3,
+                degrade_at_s=120e-3,
+                reject_at_s=240e-3,
+            ) if resilient else None,
+        )
+        workload = bursty_workload(
+            n_requests,
+            seed=seed,
+            base_rps=base_rps,
+            burst_rps=burst_rps,
+            burst_start_s=burst_start_s,
+            burst_len_s=burst_len_s,
+            dims=dims,
+            mode=mode,
+            priority_mix=(0.25, 0.5, 0.25),
+            deadline_slack_s=deadline_slack_s,
+        )
+        return SolveService(config).serve(workload).report.to_json()
+
+    on = serve(True)
+    off = serve(False)
+    p99_on = on["priority_latency"]["high"]["p99_us"]
+    p99_off = off["priority_latency"]["high"]["p99_us"]
+    return {
+        "campaign": {
+            "requests": n_requests,
+            "dims": list(dims),
+            "mode": mode,
+            "workers": workers,
+            "ranks_per_worker": ranks,
+            "max_batch": max_batch,
+            "base_rps": base_rps,
+            "burst_rps": burst_rps,
+            "burst_start_ms": burst_start_s * 1e3,
+            "burst_len_ms": burst_len_s * 1e3,
+            "deadline_slack_ms": deadline_slack_s * 1e3,
+            "straggler_factor": straggler_factor,
+            "iterations": iterations,
+            "seed": seed,
+        },
+        "resilience_on": on,
+        "resilience_off": off,
+        "high_p99_off_vs_on": (
+            round(p99_off / p99_on, 4) if p99_on else float("inf")
+        ),
+    }
+
+
 def write_service_bench(path: str = "BENCH_service.json", **kwargs) -> dict:
     """Run :func:`service_benchmark` plus the gauge-residency ablation
-    (:func:`residency_benchmark`) and the daemon-era preemption/elastic
-    benchmark (:func:`daemon_benchmark`), and write the machine-readable
-    scorecard (wait percentiles, throughput, batch occupancy, warm- vs
-    cold-pool makespans, HIGH-p99 preemption margin, scale events) to
-    ``path``."""
+    (:func:`residency_benchmark`), the daemon-era preemption/elastic
+    benchmark (:func:`daemon_benchmark`), and the resilience-era
+    failure-domain benchmark (:func:`resilience_benchmark`), and write
+    the machine-readable scorecard (wait percentiles, throughput, batch
+    occupancy, warm- vs cold-pool makespans, HIGH-p99 preemption margin,
+    scale events, breaker/hedging/brownout ledgers) to ``path``."""
     import json
 
     result = service_benchmark(**kwargs)
     result["residency_ablation"] = residency_benchmark()
     result["daemon"] = daemon_benchmark()
+    result["resilience"] = resilience_benchmark()
     with open(path, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -300,6 +300,35 @@ def build_parser() -> argparse.ArgumentParser:
                    "pattern); exits non-zero unless the resumed run "
                    "restores from checkpoint and terminates every "
                    "admitted request")
+    # ---- resilience --------------------------------------------------- #
+    p.add_argument("--health", action="store_true",
+                   help="per-worker health tracking + circuit breaker: "
+                   "flaky workers are quarantined, probed after a "
+                   "cooldown, and reinstated or retired")
+    p.add_argument("--cooldown-us", type=float, default=2000.0,
+                   help="quarantine cooldown before the probe batch")
+    p.add_argument("--hedge", action="store_true",
+                   help="straggler hedging: a batch running past the "
+                   "model-relative threshold earns a replica on an idle "
+                   "worker; first completion wins")
+    p.add_argument("--hedge-factor", type=float, default=1.5,
+                   help="hedge when elapsed exceeds this multiple of the "
+                   "dispatch-time drain estimate")
+    p.add_argument("--brownout", action="store_true",
+                   help="graceful brownout under overload: shed LOW with "
+                   "retry-after, degrade batch precision, reject NORMAL "
+                   "— HIGH is served until capacity itself is gone")
+    p.add_argument("--kill-worker-at-ms", type=float, default=None,
+                   help="kill a whole worker at this model time "
+                   "(correlated failure; its in-flight requests "
+                   "re-dispatch)")
+    p.add_argument("--kill-worker", type=int, default=0,
+                   help="worker id the --kill-worker-at-ms kill hits")
+    p.add_argument("--straggler-factor", type=float, default=None,
+                   help="slow one worker's solves by this factor "
+                   "(> 1; the fault straggler hedging exists for)")
+    p.add_argument("--straggler-worker", type=int, default=1,
+                   help="worker id the --straggler-factor slowdown hits")
 
     p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
     p.add_argument("--out", default="EXPERIMENTS.md")
@@ -546,12 +575,15 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .comms import FaultPlan
+    from .comms import FaultPlan, WorkerFaultPlan
     from .core import RetryPolicy
     from .service import (
         BatchPolicy,
+        BrownoutPolicy,
         CampaignCheckpointStore,
         ElasticPolicy,
+        HealthPolicy,
+        HedgePolicy,
         PlacementPolicy,
         PreemptionPolicy,
         SchedulerCrash,
@@ -584,6 +616,17 @@ def _cmd_serve(args) -> int:
         retry_policy = None
         if args.recover:
             retry_policy = RetryPolicy(max_attempts=args.max_attempts)
+        worker_faults = None
+        if args.kill_worker_at_ms is not None or args.straggler_factor:
+            worker_faults = WorkerFaultPlan()
+            if args.kill_worker_at_ms is not None:
+                worker_faults = worker_faults.with_kill(
+                    args.kill_worker, at_s=args.kill_worker_at_ms * 1e-3
+                )
+            if args.straggler_factor:
+                worker_faults = worker_faults.with_straggler(
+                    args.straggler_worker, factor=args.straggler_factor
+                )
         config = ServiceConfig(
             queue_capacity=args.queue_capacity,
             policy=BatchPolicy(
@@ -618,6 +661,18 @@ def _cmd_serve(args) -> int:
                 if args.elastic
                 else None
             ),
+            health=(
+                HealthPolicy(enabled=True, cooldown_s=args.cooldown_us * 1e-6)
+                if args.health
+                else None
+            ),
+            hedge=(
+                HedgePolicy(enabled=True, trigger_factor=args.hedge_factor)
+                if args.hedge
+                else None
+            ),
+            brownout=BrownoutPolicy(enabled=True) if args.brownout else None,
+            worker_faults=worker_faults,
         )
         tune_cache = None
         if args.tunecache and not args.no_tunecache and os.path.exists(
@@ -671,6 +726,13 @@ def _cmd_serve(args) -> int:
             print(
                 f"chaos: worker {args.crash_worker} runs under {plan.describe()}"
             )
+        if worker_faults is not None:
+            for kill in worker_faults.kills:
+                print(f"faults: worker {kill.worker_id} dies at "
+                      f"{kill.at_s * 1e3:.3f} ms")
+            for straggler in worker_faults.stragglers:
+                print(f"faults: worker {straggler.worker_id} straggles "
+                      f"at {straggler.factor:.1f}x")
         store = None
         if args.checkpoint or args.crash_scheduler_at_ms is not None:
             store = CampaignCheckpointStore(args.checkpoint)
@@ -729,7 +791,8 @@ def _cmd_serve(args) -> int:
         print(f"repro serve: {report.n_requests - accounted} request(s) "
               "unaccounted for", file=sys.stderr)
         return 1
-    if not args.chaos and report.failed:
+    chaosy = args.chaos or args.kill_worker_at_ms is not None
+    if not chaosy and report.failed:
         print(f"repro serve: {report.failed} failure(s) without chaos",
               file=sys.stderr)
         return 1

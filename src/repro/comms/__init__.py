@@ -20,6 +20,9 @@ from .faults import (
     RankFailedError,
     ResidentCorruption,
     StallSpec,
+    StragglerSpec,
+    WorkerFaultPlan,
+    WorkerKill,
     checksum_bytes,
     checksum_payload,
     corrupt_payload,
@@ -55,6 +58,9 @@ __all__ = [
     "LinkFaults",
     "StallSpec",
     "ResidentCorruption",
+    "WorkerKill",
+    "StragglerSpec",
+    "WorkerFaultPlan",
     "IntegrityPolicy",
     "RankFailedError",
     "CorruptionDetected",

@@ -45,6 +45,9 @@ __all__ = [
     "LinkFaults",
     "StallSpec",
     "ResidentCorruption",
+    "WorkerKill",
+    "StragglerSpec",
+    "WorkerFaultPlan",
     "FaultPlan",
     "FaultEvent",
     "IntegrityPolicy",
@@ -414,6 +417,88 @@ class ResidentCorruption:
             raise ValueError("after_s must be >= 0")
         if self.scale == 0.0:
             raise ValueError("scale must be nonzero")
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """One planned *whole-worker* death: at ``at_s`` of service model
+    time every rank of the worker dies at once — a node loss, not a rank
+    fault.  The failure is correlated by construction (one power supply,
+    one NIC), which is exactly what per-rank :class:`StallSpec` schedules
+    cannot express: those perturb one rank of one batch; a kill takes the
+    whole failure domain out from under whatever it was running.
+    """
+
+    worker_id: int
+    at_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise ValueError("worker_id must be >= 0")
+        if self.at_s < 0.0:
+            raise ValueError("at_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """One planned straggler: every batch the worker runs takes
+    ``factor`` times its modeled duration — a thermally throttled GPU or
+    a degraded link that slows the node without failing it.  The batch
+    still *succeeds*; only hedging (or the slow-completion health
+    signal) can claw the latency back.
+    """
+
+    worker_id: int
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise ValueError("worker_id must be >= 0")
+        if self.factor <= 1.0:
+            raise ValueError("factor must be > 1")
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Deterministic whole-worker faults for the service simulation:
+    correlated kills and stragglers, addressed by worker id (ids past
+    the boot pool target elastically spun-up workers)."""
+
+    kills: tuple[WorkerKill, ...] = ()
+    stragglers: tuple[StragglerSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for kill in self.kills:
+            if kill.worker_id in seen:
+                raise ValueError(
+                    f"duplicate kill for worker {kill.worker_id}"
+                )
+            seen.add(kill.worker_id)
+
+    def with_kill(self, worker_id: int, *, at_s: float) -> "WorkerFaultPlan":
+        from dataclasses import replace
+
+        return replace(
+            self, kills=self.kills + (WorkerKill(worker_id, at_s),)
+        )
+
+    def with_straggler(
+        self, worker_id: int, *, factor: float
+    ) -> "WorkerFaultPlan":
+        from dataclasses import replace
+
+        return replace(
+            self,
+            stragglers=self.stragglers + (StragglerSpec(worker_id, factor),),
+        )
+
+    def straggler_factor(self, worker_id: int) -> float:
+        """Duration multiplier for the worker (1.0 = healthy)."""
+        for spec in self.stragglers:
+            if spec.worker_id == worker_id:
+                return spec.factor
+        return 1.0
 
 
 @dataclass(frozen=True)

@@ -42,6 +42,18 @@ arrivals at refresh-point boundaries
 scales elastically against the measured arrival rate
 (:class:`~repro.service.elastic.ElasticPolicy`).
 
+The resilience era (PR 7, :mod:`repro.service.health`) hardens the
+daemon against its own pool and against overload: a per-worker
+:class:`~repro.service.health.HealthBoard` feeds a circuit breaker
+(quarantine → cooldown → seeded probe → reinstate or retire), straggling
+batches earn hedged replicas (:class:`~repro.service.health.HedgePolicy`,
+first completion wins), and a
+:class:`~repro.service.health.BrownoutController` sheds, degrades and
+finally rejects under sustained pressure instead of failing HIGH
+traffic.  :class:`~repro.comms.faults.WorkerFaultPlan` injects the
+correlated whole-worker kills and straggler slowdowns these features are
+exercised against.
+
 Everything is driven by *model time* — the same discrete-event clock the
 rest of the repository runs on — so a campaign with a fixed seed is
 fully deterministic: identical completion order, identical percentiles,
@@ -55,6 +67,22 @@ from .elastic import (
     ElasticPolicy,
     PoolController,
     ScaleEvent,
+)
+from .health import (
+    BROWNOUT_DEGRADE,
+    BROWNOUT_NORMAL,
+    BROWNOUT_REJECT,
+    BROWNOUT_SHED_LOW,
+    HEALTHY,
+    PROBING,
+    QUARANTINED,
+    RETIRED_SICK,
+    BrownoutController,
+    BrownoutPolicy,
+    HealthBoard,
+    HealthPolicy,
+    HedgePolicy,
+    WorkerHealth,
 )
 from .metrics import ServiceReport, percentile
 from .placement import (
@@ -127,4 +155,18 @@ __all__ = [
     "ScaleEvent",
     "ArrivalRateEstimator",
     "PoolController",
+    "HealthPolicy",
+    "WorkerHealth",
+    "HealthBoard",
+    "HedgePolicy",
+    "BrownoutPolicy",
+    "BrownoutController",
+    "HEALTHY",
+    "QUARANTINED",
+    "PROBING",
+    "RETIRED_SICK",
+    "BROWNOUT_NORMAL",
+    "BROWNOUT_SHED_LOW",
+    "BROWNOUT_DEGRADE",
+    "BROWNOUT_REJECT",
 ]

@@ -79,6 +79,16 @@ class Batch:
     preempted: bool = False
     #: Batch id this batch resumes (checkpoint handoff), or ``None``.
     resumed_from: int | None = None
+    #: Straggler-hedging linkage: ``hedge_of`` marks a replica (the
+    #: original's batch id); ``hedge_batch_id`` marks an original with a
+    #: launched replica.  First completion wins; the loser carries
+    #: ``hedge_cancelled`` after it is abandoned at a refresh boundary.
+    hedge_of: int | None = None
+    hedge_batch_id: int | None = None
+    hedge_cancelled: bool = False
+    #: Precision tier the batch actually ran at under brownout
+    #: DEGRADE_PRECISION (``None`` = the requests' own mode).
+    degraded_mode: str | None = None
     completed_s: float | None = None
     duration_s: float | None = None
     ok: bool | None = None

@@ -105,6 +105,20 @@ class CampaignCheckpoint:
     arrival_rate: dict = field(default_factory=dict)
     #: Autoscaler position: scale events so far + cooldown clock.
     elastic: dict = field(default_factory=dict)
+    #: Circuit-breaker board (``HealthBoard.to_json()``): per-worker
+    #: ledgers and states, so a resumed scheduler *preserves*
+    #: quarantines — restarting a known-flaky worker at HEALTHY would
+    #: hand it traffic the breaker had already taken away.
+    health: dict = field(default_factory=dict)
+    #: Brownout level + ledger (``BrownoutController.to_json()``): the
+    #: level is state, not recomputable — a resumed scheduler facing the
+    #: restored backlog must keep shedding rather than rediscover the
+    #: overload from NORMAL one admission at a time.
+    brownout: dict = field(default_factory=dict)
+    #: Hedge accounting carried across the crash (launched/won/cancelled).
+    hedges: dict = field(default_factory=dict)
+    #: Whole-worker kills already applied before the commit.
+    workers_killed: int = 0
 
     # ------------------------------------------------------------------ #
     # Deterministic serialization (PR-2 recipe: magic + JSON + checksum)
@@ -127,6 +141,10 @@ class CampaignCheckpoint:
             "drain": dict(self.drain),
             "arrival_rate": dict(self.arrival_rate),
             "elastic": dict(self.elastic),
+            "health": dict(self.health),
+            "brownout": dict(self.brownout),
+            "hedges": dict(self.hedges),
+            "workers_killed": self.workers_killed,
         }
 
     @classmethod
@@ -147,6 +165,10 @@ class CampaignCheckpoint:
             drain=dict(data["drain"]),
             arrival_rate=dict(data["arrival_rate"]),
             elastic=dict(data["elastic"]),
+            health=dict(data.get("health", {})),
+            brownout=dict(data.get("brownout", {})),
+            hedges=dict(data.get("hedges", {})),
+            workers_killed=int(data.get("workers_killed", 0)),
         )
 
     def to_bytes(self) -> bytes:

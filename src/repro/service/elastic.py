@@ -177,15 +177,21 @@ class PoolController:
         batch_s: float,
         max_batch: int,
         backlog: int,
+        quarantined: int = 0,
     ) -> int:
         """Scale delta to apply: positive = spin up that many, -1 =
         retire one idle worker, 0 = hold.
 
         ``current`` counts active workers plus pending spin-ups (so a
-        burst does not double-order capacity that is already booting).
-        Scale-down is one worker per decision and only when a worker is
-        actually idle and the queue holds no full batch — a half-busy
-        pool under backlog is not oversized, it is behind.
+        burst does not double-order capacity that is already booting);
+        quarantined-but-probing workers are *excluded* from it — they
+        serve nothing right now.  Scale-down is one worker per decision
+        and only when a worker is actually idle, the queue holds no full
+        batch, and ``quarantined`` is zero: a pool with capacity parked
+        in the circuit breaker's cooldown is not oversized — retiring a
+        healthy idle worker while a sick one probes would shrink the
+        pool twice for one fault, and the probe's verdict (reinstate or
+        retire) is the decision that should size the pool.
         """
         p = self.policy
         if now - self.last_scale_s < p.cooldown_s:
@@ -200,7 +206,10 @@ class PoolController:
                        f"rate {rate_rps:.0f} rps, backlog {backlog}")
             self.spinup_spent_s += delta * p.spinup_s
             return delta
-        if want < current and idle > 0 and backlog < max_batch:
+        if (
+            want < current and idle > 0 and backlog < max_batch
+            and quarantined == 0
+        ):
             self._note(now, "down", current, current - 1,
                        f"rate {rate_rps:.0f} rps, {idle} idle")
             return -1

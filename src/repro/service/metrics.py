@@ -14,7 +14,14 @@ import json
 from dataclasses import dataclass, field
 
 from .batching import Batch, BatchPolicy
-from .request import COMPLETED, FAILED, PRIORITY_NAMES, REJECTED, RequestRecord
+from .request import (
+    COMPLETED,
+    FAILED,
+    PRIORITY_LOW,
+    PRIORITY_NAMES,
+    REJECTED,
+    RequestRecord,
+)
 
 __all__ = ["percentile", "ServiceReport"]
 
@@ -95,6 +102,26 @@ class ServiceReport:
     checkpoints_committed: int = 0
     checkpoint_restores: int = 0
     restored_requests: int = 0
+    # ---- resilience era ----------------------------------------------- #
+    #: Straggler-hedging ledger: replicas launched, replicas that beat
+    #: their original, losers cancelled at a refresh boundary.
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    hedges_cancelled: int = 0
+    #: Brownout ledger: LOW requests shed with a retry-after, NORMAL
+    #: refused at the REJECT level, completions served at a degraded
+    #: precision tier.
+    shed_low: int = 0
+    brownout_rejected: int = 0
+    degraded_served: int = 0
+    #: Brownout controller summary (final/max level + transitions).
+    brownout: dict = field(default_factory=dict)
+    #: Circuit-breaker ledger.
+    quarantines: int = 0
+    reinstated: int = 0
+    retired_sick: int = 0
+    #: Whole-worker kills injected by the fault plan.
+    workers_killed: int = 0
 
     @property
     def residency_hit_rate(self) -> float:
@@ -214,6 +241,25 @@ class ServiceReport:
             checkpoints_committed=daemon.get("checkpoints_committed", 0),
             checkpoint_restores=daemon.get("checkpoint_restores", 0),
             restored_requests=daemon.get("restored_requests", 0),
+            hedges_launched=daemon.get("hedges_launched", 0),
+            hedges_won=daemon.get("hedges_won", 0),
+            hedges_cancelled=daemon.get("hedges_cancelled", 0),
+            shed_low=sum(
+                1
+                for r in rejected
+                if r.shed and r.request.priority == PRIORITY_LOW
+            ),
+            brownout_rejected=sum(
+                1
+                for r in rejected
+                if r.shed and r.request.priority != PRIORITY_LOW
+            ),
+            degraded_served=sum(1 for r in completed if r.degraded),
+            brownout=daemon.get("brownout", {}),
+            quarantines=daemon.get("quarantines", 0),
+            reinstated=daemon.get("reinstated", 0),
+            retired_sick=daemon.get("retired_sick", 0),
+            workers_killed=daemon.get("workers_killed", 0),
         )
 
     def to_json(self) -> dict:
@@ -262,7 +308,101 @@ class ServiceReport:
             "checkpoints_committed": self.checkpoints_committed,
             "checkpoint_restores": self.checkpoint_restores,
             "restored_requests": self.restored_requests,
+            "hedges_launched": self.hedges_launched,
+            "hedges_won": self.hedges_won,
+            "hedges_cancelled": self.hedges_cancelled,
+            "shed_low": self.shed_low,
+            "brownout_rejected": self.brownout_rejected,
+            "degraded_served": self.degraded_served,
+            "brownout": dict(self.brownout),
+            "quarantines": self.quarantines,
+            "reinstated": self.reinstated,
+            "retired_sick": self.retired_sick,
+            "workers_killed": self.workers_killed,
         }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ServiceReport":
+        """Rebuild a report from :meth:`to_json` output.
+
+        The round trip is a fixed point —
+        ``from_json(to_json(r)).to_json() == r.to_json()`` — so reports
+        survive the JSON artifacts (CI scorecards, ``BENCH_service.json``)
+        without drift.  Keys the writing version predates default to
+        their zero values.
+        """
+        p = data.get("placement", {})
+        placement = (
+            {
+                "grids": dict(p["grids"]),
+                "residency_hits": p["residency_hits"],
+                "residency_misses": p["residency_misses"],
+                "residency_hit_rate": p["residency_hit_rate"],
+                "gauge_saved_s": p["gauge_saved_us"] / 1e6,
+                "tunecache_hits": p["tunecache_hits"],
+                "tunecache_misses": p["tunecache_misses"],
+                "tunecache_hit_rate": p["tunecache_hit_rate"],
+                "tune_setup_spent_s": p["tune_setup_spent_us"] / 1e6,
+                "tune_setup_saved_s": p["tune_setup_saved_us"] / 1e6,
+            }
+            if p
+            else {}
+        )
+        return cls(
+            n_requests=data["requests"],
+            admitted=data["admitted"],
+            rejected=data["rejected"],
+            completed=data["completed"],
+            failed=data["failed"],
+            retries=data["retries"],
+            recoveries=data["recoveries"],
+            worker_crashes=data["worker_crashes"],
+            n_batches=data["batches"],
+            mean_batch_size=data["mean_batch_size"],
+            batch_occupancy=data["batch_occupancy"],
+            wait_p50_s=data["wait_p50_us"] / 1e6,
+            wait_p95_s=data["wait_p95_us"] / 1e6,
+            wait_p99_s=data["wait_p99_us"] / 1e6,
+            latency_p50_s=data["latency_p50_us"] / 1e6,
+            latency_p99_s=data["latency_p99_us"] / 1e6,
+            makespan_s=data["makespan_us"] / 1e6,
+            throughput_rps=data["throughput_rps"],
+            goodput_rps=data["goodput_rps"],
+            slo_attainment=data["slo_attainment"],
+            worker_utilization=list(data["worker_utilization"]),
+            placement=placement,
+            priority_latency={
+                name: {
+                    "completed": tier["completed"],
+                    "p50_s": tier["p50_us"] / 1e6,
+                    "p99_s": tier["p99_us"] / 1e6,
+                }
+                for name, tier in data["priority_latency"].items()
+            },
+            throughput_windows=list(data["throughput_windows_rps"]),
+            window_s=data["window_us"] / 1e6,
+            preemptions=data.get("preemptions", 0),
+            resumed_batches=data.get("resumed_batches", 0),
+            scale_ups=data.get("scale_ups", 0),
+            scale_downs=data.get("scale_downs", 0),
+            scale_events=list(data.get("scale_events", [])),
+            final_workers=data.get("final_workers", 0),
+            spinup_spent_s=data.get("spinup_spent_us", 0.0) / 1e6,
+            checkpoints_committed=data.get("checkpoints_committed", 0),
+            checkpoint_restores=data.get("checkpoint_restores", 0),
+            restored_requests=data.get("restored_requests", 0),
+            hedges_launched=data.get("hedges_launched", 0),
+            hedges_won=data.get("hedges_won", 0),
+            hedges_cancelled=data.get("hedges_cancelled", 0),
+            shed_low=data.get("shed_low", 0),
+            brownout_rejected=data.get("brownout_rejected", 0),
+            degraded_served=data.get("degraded_served", 0),
+            brownout=dict(data.get("brownout", {})),
+            quarantines=data.get("quarantines", 0),
+            reinstated=data.get("reinstated", 0),
+            retired_sick=data.get("retired_sick", 0),
+            workers_killed=data.get("workers_killed", 0),
+        )
 
     def _placement_json(self) -> dict:
         p = self.placement
@@ -355,6 +495,27 @@ class ServiceReport:
                     if self.checkpoint_restores
                     else ""
                 )
+            )
+        if self.quarantines or self.retired_sick:
+            lines.append(
+                f"breaker:      {self.quarantines} quarantine(s), "
+                f"{self.reinstated} reinstated, "
+                f"{self.retired_sick} retired sick"
+            )
+        if self.hedges_launched:
+            lines.append(
+                f"hedging:      {self.hedges_launched} replica(s) launched, "
+                f"{self.hedges_won} won, {self.hedges_cancelled} cancelled"
+            )
+        if self.brownout:
+            lines.append(
+                f"brownout:     peak {self.brownout.get('max_level', 'normal')}"
+                f", {self.shed_low} LOW shed, {self.brownout_rejected} "
+                f"rejected, {self.degraded_served} served degraded"
+            )
+        if self.workers_killed:
+            lines.append(
+                f"faults:       {self.workers_killed} worker(s) killed"
             )
         return "\n".join(lines)
 

@@ -59,6 +59,17 @@ class DrainEstimator:
         until the first batch has been measured)."""
         return self._ewma if self._ewma is not None else self.initial_s
 
+    def backlog_drain_s(
+        self, backlog: int, *, max_batch: int, n_workers: int
+    ) -> float:
+        """Estimated model time to drain the current backlog across the
+        pool — the *pressure* signal the brownout controller levels on
+        (and the quantity behind retry-after hints)."""
+        if max_batch < 1 or n_workers < 1:
+            raise ValueError("max_batch and n_workers must be >= 1")
+        backlog_batches = -(-backlog // max_batch)
+        return self.batch_s * backlog_batches / n_workers
+
     def retry_after_s(
         self, backlog: int, *, max_batch: int, n_workers: int
     ) -> float:

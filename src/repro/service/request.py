@@ -185,6 +185,14 @@ class RequestRecord:
     #: Times this request's running batch was preempted at a refresh
     #: boundary by higher-priority work (the solve resumed, not restarted).
     preemptions: int = 0
+    #: Served at a downgraded precision tier under brownout — the answer
+    #: arrived, but "served degraded" is a different promise than
+    #: "served" and the report must be able to tell them apart.
+    degraded: bool = False
+    #: Rejected by brownout load-shedding (as opposed to a full queue):
+    #: the service *chose* to shed this request while capacity remained
+    #: for more urgent tiers.
+    shed: bool = False
     #: Lifecycle trace: (model time, event, detail), in decision order.
     trace: list[tuple[float, str, str]] = field(default_factory=list)
 
@@ -246,6 +254,8 @@ class RequestRecord:
             "residual_norm": self.residual_norm,
             "recoveries": self.recoveries,
             "preemptions": self.preemptions,
+            "degraded": self.degraded,
+            "shed": self.shed,
             "trace": [[t, event, detail] for t, event, detail in self.trace],
         }
 
@@ -271,5 +281,7 @@ class RequestRecord:
             residual_norm=float(data["residual_norm"]),
             recoveries=int(data["recoveries"]),
             preemptions=int(data.get("preemptions", 0)),
+            degraded=bool(data.get("degraded", False)),
+            shed=bool(data.get("shed", False)),
             trace=[(t, event, detail) for t, event, detail in data["trace"]],
         )

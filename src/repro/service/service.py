@@ -35,10 +35,21 @@ adds three behaviours a service that "never stops" needs:
    pointed at interarrival gaps), charging a modeled spin-up delay on
    scale-up and draining gauge residency on scale-down.
 
+4. **Failure-domain resilience** (:mod:`repro.service.health`) — a
+   per-worker health ledger feeds a circuit breaker (drain → cooldown →
+   seeded probe → reinstate or retire), running batches that outlive a
+   model-relative threshold earn a hedged replica on an idle healthy
+   worker (first completion wins, the loser abandons at its next
+   refresh boundary), and a brownout controller sheds/degrades/rejects
+   under sustained overload instead of failing HIGH traffic.
+
 The event loop still orders (time, kind, sequence) totally, every
 duration is model time, and every decision — including preemption
-points, scale events and checkpoint commits — is a pure function of the
-workload and the seed, so daemon campaigns replay byte-identically.
+points, scale events, breaker transitions, hedge launches and
+checkpoint commits — is a pure function of the workload and the seed,
+so daemon campaigns replay byte-identically.  With health, hedging and
+brownout disabled (the default) no new event is ever pushed, so legacy
+schedules are unchanged.
 """
 
 from __future__ import annotations
@@ -49,12 +60,27 @@ from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Iterable, Iterator
 
 from ..comms.cluster import ClusterSpec
-from ..comms.faults import FaultPlan, IntegrityPolicy
+from ..comms.faults import FaultPlan, IntegrityPolicy, WorkerFaultPlan
 from ..core import RetryPolicy
 from ..gpu.specs import GTX285, GPUSpec
 from .batching import Batch, BatchPolicy, select_batch
 from .campaign import CampaignCheckpoint, CampaignCheckpointStore, SchedulerCrash
 from .elastic import ArrivalRateEstimator, ElasticPolicy, PoolController
+from .health import (
+    BROWNOUT_DEGRADE,
+    BROWNOUT_NORMAL,
+    BROWNOUT_REJECT,
+    BROWNOUT_SHED_LOW,
+    DEGRADE_MODE,
+    HEALTHY,
+    PROBING,
+    QUARANTINED,
+    BrownoutController,
+    BrownoutPolicy,
+    HealthBoard,
+    HealthPolicy,
+    HedgePolicy,
+)
 from .metrics import ServiceReport
 from .placement import PlacementEngine, PlacementPolicy, SharedTuneCache
 from .queueing import AdmissionQueue, DrainEstimator
@@ -85,12 +111,20 @@ __all__ = [
 # first; preemption yields fire before new arrivals are admitted (the
 # boundary belongs to the batch, not the trigger); spun-up workers join
 # before arrivals so fresh capacity takes same-instant traffic; timeouts
-# merely re-trigger dispatch.
+# merely re-trigger dispatch.  The resilience kinds (hedge checks,
+# hedge-loser worker frees, worker kills, quarantine probes) come after
+# every legacy kind and are only ever pushed when their feature is
+# enabled — with health/hedging/brownout off, legacy schedules are
+# byte-identical.
 _EV_DONE = 0
 _EV_PREEMPT = 1
 _EV_WORKER_UP = 2
 _EV_ARRIVAL = 3
 _EV_TIMEOUT = 4
+_EV_HEDGE = 5
+_EV_HEDGE_CANCEL = 6
+_EV_KILL = 7
+_EV_PROBE = 8
 
 #: Float-rounding slack for refresh-boundary arithmetic (same scale as
 #: the batching window slack).
@@ -176,6 +210,16 @@ class ServiceConfig:
     elastic: ElasticPolicy | None = None
     #: Campaign-checkpoint cadence, in batch completions per commit.
     checkpoint_every: int = 1
+    #: Circuit-breaker policy (``None`` or ``enabled=False`` = off).
+    health: HealthPolicy | None = None
+    #: Straggler-hedging policy (``None`` or ``enabled=False`` = off).
+    hedge: HedgePolicy | None = None
+    #: Graceful-brownout policy (``None`` or ``enabled=False`` = off).
+    brownout: BrownoutPolicy | None = None
+    #: Whole-worker fault injection: scheduled kills and per-worker
+    #: straggler slowdowns (the failure modes the resilience layer is
+    #: exercised against).
+    worker_faults: WorkerFaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -222,6 +266,19 @@ class ServiceResult:
             if rec.request.req_id == req_id:
                 return rec
         raise KeyError(req_id)
+
+
+@dataclass
+class _ProbeRun:
+    """A quarantined worker's seeded probe batch in flight.
+
+    Rides the ``_EV_DONE`` queue like any batch completion (discriminated
+    by type), but its request never enters the campaign's records — a
+    probe is the breaker's instrument, not admitted traffic.
+    """
+
+    worker_id: int
+    execution: BatchExecution
 
 
 @dataclass
@@ -277,9 +334,14 @@ class SolveService:
             ranks=cfg.ranks_per_worker,
             gpu_spec=self.gpu_spec,
             cluster=self.cluster,
+            # Chaos covers the configured boot workers *and* every
+            # elastic scale-up (ids past the boot pool): each gets its
+            # own ``reseeded(worker_id)`` stream, so scaled-up capacity
+            # is never fault-immune and never replays worker 0's faults.
             fault_plan=(
                 cfg.fault_plan.reseeded(worker_id)
-                if cfg.fault_plan is not None and worker_id in cfg.chaos_workers
+                if cfg.fault_plan is not None
+                and (worker_id in cfg.chaos_workers or worker_id >= cfg.n_workers)
                 else None
             ),
             retry_policy=cfg.retry_policy,
@@ -288,6 +350,11 @@ class SolveService:
             fixed_iterations=cfg.fixed_iterations,
             overlap=cfg.overlap,
             residency=cfg.placement.residency,
+            straggler_factor=(
+                cfg.worker_faults.straggler_factor(worker_id)
+                if cfg.worker_faults is not None
+                else 1.0
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -406,12 +473,38 @@ class _Campaign:
         self.controller = (
             PoolController(cfg.elastic) if cfg.elastic is not None else None
         )
+        self.board = (
+            HealthBoard(cfg.health)
+            if cfg.health is not None and cfg.health.enabled
+            else None
+        )
+        self.brownout = (
+            BrownoutController(cfg.brownout)
+            if cfg.brownout is not None and cfg.brownout.enabled
+            else None
+        )
+        self.hedge = (
+            cfg.hedge if cfg.hedge is not None and cfg.hedge.enabled else None
+        )
+        self.hedges_launched = 0
+        self.hedges_won = 0
+        self.hedges_cancelled = 0
+        self.workers_killed = 0
+        #: Drain-model estimate taken at each batch's dispatch — the
+        #: baseline hedging and the slow-completion signal compare to.
+        self.predicted: dict[int, float] = {}
+        #: Head request of the most recent fresh dispatch: the probe
+        #: batch a quarantined worker must survive to be reinstated.
+        self.probe_template: SolveRequest | None = None
 
         if restore is not None:
             self._restore(restore)
         self.placement.reset_stats()
         self.idle = sorted(
-            w.worker_id for w in self.workers if not w.retired
+            w.worker_id
+            for w in self.workers
+            if not w.retired
+            and (self.board is None or self.board.is_serving(w.worker_id))
         )
 
     # ------------------------------------------------------------------ #
@@ -454,6 +547,31 @@ class _Campaign:
             self.controller = PoolController.from_json(
                 self.cfg.elastic, ckpt.elastic
             )
+        if self.board is not None and ckpt.health:
+            self.board = HealthBoard.from_json(self.cfg.health, ckpt.health)
+            # Re-arm the breaker's pending probes: quarantines survive
+            # the crash (a known-flaky worker must not restart HEALTHY),
+            # but their probe events died with the scheduler.  A worker
+            # caught mid-probe re-enters QUARANTINED — its probe batch
+            # is gone, so it earns a fresh one.
+            for wh in self.board.workers.values():
+                if wh.state == PROBING:
+                    wh.state = QUARANTINED
+                if wh.state == QUARANTINED:
+                    self._push(
+                        max(wh.cooldown_until_s, self.now),
+                        _EV_PROBE,
+                        wh.worker_id,
+                    )
+        if self.brownout is not None and ckpt.brownout:
+            self.brownout = BrownoutController.from_json(
+                self.cfg.brownout, ckpt.brownout
+            )
+        if ckpt.hedges:
+            self.hedges_launched = int(ckpt.hedges.get("launched", 0))
+            self.hedges_won = int(ckpt.hedges.get("won", 0))
+            self.hedges_cancelled = int(ckpt.hedges.get("cancelled", 0))
+        self.workers_killed = ckpt.workers_killed
 
     def _commit_checkpoint(self) -> None:
         """Serialize the campaign at a batch boundary (every request in
@@ -482,6 +600,20 @@ class _Campaign:
             elastic=(
                 self.controller.to_json() if self.controller is not None else {}
             ),
+            health=self.board.to_json() if self.board is not None else {},
+            brownout=(
+                self.brownout.to_json() if self.brownout is not None else {}
+            ),
+            hedges=(
+                {
+                    "launched": self.hedges_launched,
+                    "won": self.hedges_won,
+                    "cancelled": self.hedges_cancelled,
+                }
+                if self.hedge is not None
+                else {}
+            ),
+            workers_killed=self.workers_killed,
         )
         self.store.commit(ckpt)
         self.checkpoints_committed += 1
@@ -508,6 +640,18 @@ class _Campaign:
     def _active_workers(self) -> int:
         return sum(1 for w in self.workers if not w.retired)
 
+    def _serving_workers(self) -> int:
+        """Workers actually taking traffic: active minus the breaker's
+        quarantined/probing holds (identical to :meth:`_active_workers`
+        when health tracking is off)."""
+        if self.board is None:
+            return self._active_workers()
+        return sum(
+            1
+            for w in self.workers
+            if not w.retired and self.board.is_serving(w.worker_id)
+        )
+
     @staticmethod
     def _grid_label(grid: tuple[int, int] | None) -> str:
         return "time-sliced" if grid is None else f"grid {grid[0]}x{grid[1]}"
@@ -524,13 +668,38 @@ class _Campaign:
         self.records.append(rec)
         rec.note(self.now, "arrive", f"priority {req.priority}")
         self.arrival_est.observe(self.now)
+        level = self._update_brownout()
+        if level >= BROWNOUT_SHED_LOW and req.priority != PRIORITY_HIGH:
+            # HIGH is admitted at every level (capacity itself, i.e. the
+            # queue bound, is its only limit); LOW sheds first, NORMAL
+            # only at the top level.
+            if level >= BROWNOUT_REJECT or req.priority == PRIORITY_LOW:
+                rec.state = REJECTED
+                rec.shed = True
+                rec.completed_s = self.now
+                rec.retry_after_s = self.drain.retry_after_s(
+                    len(self.queue),
+                    max_batch=cfg.policy.max_batch,
+                    n_workers=max(self._serving_workers(), 1),
+                )
+                if req.priority == PRIORITY_LOW:
+                    self.brownout.shed += 1
+                else:
+                    self.brownout.brownout_rejected += 1
+                rec.note(
+                    self.now,
+                    "shed",
+                    f"brownout level {level}; retry after "
+                    f"{rec.retry_after_s * 1e6:.1f}us",
+                )
+                return None
         if not self.queue.offer(rec):
             rec.state = REJECTED
             rec.completed_s = self.now
             rec.retry_after_s = self.drain.retry_after_s(
                 len(self.queue),
                 max_batch=cfg.policy.max_batch,
-                n_workers=max(self._active_workers(), 1),
+                n_workers=max(self._serving_workers(), 1),
             )
             rec.note(
                 self.now,
@@ -559,12 +728,15 @@ class _Campaign:
             return
         delta = self.controller.decide(
             self.now,
-            current=self._active_workers() + len(self.pending_up),
+            current=self._serving_workers() + len(self.pending_up),
             idle=len(self.idle),
             rate_rps=self.arrival_est.rate_rps(self.now),
             batch_s=self.drain.batch_s,
             max_batch=self.cfg.policy.max_batch,
             backlog=len(self.queue),
+            quarantined=(
+                self.board.n_quarantined() if self.board is not None else 0
+            ),
         )
         if delta > 0:
             for _ in range(delta):
@@ -603,6 +775,11 @@ class _Campaign:
                 # Already checkpointing toward a yield — a second HIGH
                 # arrival must not re-preempt it (it will free the
                 # worker at that same boundary anyway).
+                continue
+            if batch.hedge_of is not None or batch.hedge_batch_id is not None:
+                # Hedged pairs are off-limits: preempting either copy
+                # would double-account the shared records' lifecycle
+                # (the pair resolves at first completion instead).
                 continue
             worst = min(r.request.priority for r in batch.records)
             if worst < pre.victim_priority:
@@ -683,6 +860,283 @@ class _Campaign:
             self.idle.sort()
 
     # ------------------------------------------------------------------ #
+    # Failure-domain resilience: brownout, hedging, breaker, kills
+    # ------------------------------------------------------------------ #
+
+    def _update_brownout(self) -> int:
+        """Fold the current backlog pressure (estimated drain time across
+        the serving pool) into the controller; returns the active level
+        (NORMAL when brownout is disabled)."""
+        if self.brownout is None:
+            return BROWNOUT_NORMAL
+        pressure = self.drain.backlog_drain_s(
+            len(self.queue),
+            max_batch=self.cfg.policy.max_batch,
+            n_workers=max(self._serving_workers(), 1),
+        )
+        return self.brownout.update(self.now, pressure)
+
+    def _arm_hedge(self, batch: Batch) -> None:
+        """Schedule the straggler check: if the batch is still running
+        when elapsed time crosses ``trigger_factor`` x the dispatch-time
+        drain estimate, it earns a speculative replica."""
+        if self.hedge is None or self.drain.samples < self.hedge.min_samples:
+            return
+        self._push(
+            self.now
+            + self.hedge.trigger_factor * self.predicted[batch.batch_id],
+            _EV_HEDGE,
+            batch,
+        )
+
+    def _maybe_hedge(self, batch: Batch) -> None:
+        """The hedge threshold passed with the batch still running:
+        launch a replica on an idle healthy worker.  First completion
+        wins; the loser abandons at its next refresh boundary."""
+        entry = self.running.get(batch.batch_id)
+        if entry is None or batch.preempt_at_s is not None:
+            return
+        if batch.hedge_of is not None or batch.hedge_batch_id is not None:
+            return
+        if not self.idle:
+            return  # no healthy idle worker to hedge on
+        _, _, start, end = entry
+        if end - self.now <= _BOUNDARY_SLACK_S:
+            return  # completing at this very instant anyway
+        wid = self.idle.pop(0)
+        worker = self.workers[wid]
+        replica = Batch(
+            batch_id=self._next_batch_id(),
+            records=batch.records,
+            key=batch.key,
+            formed_s=self.now,
+            worker_id=wid,
+            grid=batch.grid,
+            hedge_of=batch.batch_id,
+            degraded_mode=batch.degraded_mode,
+        )
+        batch.hedge_batch_id = replica.batch_id
+        self.batches.append(replica)
+        requests = [r.request for r in batch.records]
+        if batch.degraded_mode is not None:
+            requests = [
+                replace(q, mode=batch.degraded_mode) for q in requests
+            ]
+        execution = worker.execute(
+            requests, grid=batch.grid, tune_cache=self.placement.tune_cache
+        )
+        worker.busy_s += execution.duration_s
+        self.hedges_launched += 1
+        batch.trace.append(
+            (
+                self.now,
+                "hedge",
+                f"straggling ({(self.now - start) * 1e6:.1f}us elapsed); "
+                f"replica batch {replica.batch_id} on worker {wid}",
+            )
+        )
+        replica.trace.append(
+            (self.now, "hedge_replica", f"of batch {batch.batch_id}")
+        )
+        for rec in batch.records:
+            rec.batch_ids.append(replica.batch_id)
+            rec.note(
+                self.now,
+                "hedge",
+                f"replica batch {replica.batch_id} launched on worker {wid}",
+            )
+        hend = self.now + execution.duration_s
+        self.running[replica.batch_id] = (replica, execution, self.now, hend)
+        self._push(hend, _EV_DONE, (replica, execution))
+
+    def _resolve_hedge(self, batch: Batch) -> None:
+        """``batch`` completed first: cancel the surviving copy at its
+        next refresh-point boundary (the earliest instant the worker can
+        abandon the solve with consistent device state), crediting back
+        the occupancy it will not spend."""
+        partner_id = (
+            batch.hedge_of if batch.hedge_of is not None else batch.hedge_batch_id
+        )
+        entry = self.running.pop(partner_id, None)
+        if entry is None:
+            return
+        loser, _, lstart, lend = entry
+        self.cancelled.add(partner_id)
+        self.predicted.pop(partner_id, None)
+        interval = (lend - lstart) / self.hedge.refresh_points
+        k = max(
+            1,
+            -int(-(self.now - lstart - _BOUNDARY_SLACK_S) // interval),
+        )
+        free_at = min(lstart + k * interval, lend)
+        lworker = self.workers[loser.worker_id]
+        lworker.busy_s -= lend - free_at
+        loser.hedge_cancelled = True
+        loser.completed_s = free_at
+        loser.duration_s = free_at - lstart
+        loser.detail = f"hedge: batch {batch.batch_id} finished first"
+        loser.trace.append(
+            (
+                self.now,
+                "hedge_cancel",
+                f"batch {batch.batch_id} won; abandoning at "
+                f"{free_at * 1e6:.1f}us",
+            )
+        )
+        self.hedges_cancelled += 1
+        if batch.hedge_of is not None:
+            self.hedges_won += 1
+        self._push(free_at, _EV_HEDGE_CANCEL, loser.worker_id)
+
+    def _hedge_worker_free(self, worker_id: int) -> None:
+        """A cancelled hedge loser reached its abandon boundary: its
+        worker rejoins the idle set (unless retired or quarantined in
+        the meantime)."""
+        worker = self.workers[worker_id]
+        if worker.retired:
+            return
+        if self.board is not None and not self.board.is_serving(worker_id):
+            return
+        if worker_id not in self.idle:
+            self.idle.append(worker_id)
+            self.idle.sort()
+
+    def _quarantine(self, worker_id: int) -> None:
+        """Open the breaker: hold the worker out of the idle set, evict
+        its warm residency (a sick device's warmth must not keep
+        attracting traffic), and schedule the post-cooldown probe."""
+        wh = self.board.quarantine(worker_id, self.now)
+        if worker_id in self.idle:
+            self.idle.remove(worker_id)
+        self.workers[worker_id].evict_residency()
+        self._push(wh.cooldown_until_s, _EV_PROBE, worker_id)
+
+    def _start_probe(self, worker_id: int) -> None:
+        """Cooldown expired: run one seeded probe batch (representative
+        work — the head request of the most recent fresh dispatch — at
+        LOW priority, outside the campaign's records) on the quarantined
+        worker."""
+        worker = self.workers[worker_id]
+        if worker.retired or self.board.state(worker_id) != QUARANTINED:
+            return
+        template = self.probe_template
+        if template is None:
+            # Nothing dispatched yet to probe with; close the breaker
+            # optimistically — the ledger re-opens it on the next fault.
+            self.board.reinstate(worker_id)
+            self.idle.append(worker_id)
+            self.idle.sort()
+            return
+        self.board.start_probe(worker_id)
+        probe_req = replace(
+            template,
+            req_id=-(worker_id + 1),
+            priority=PRIORITY_LOW,
+            arrival_s=self.now,
+            deadline_s=None,
+        )
+        execution = worker.execute(
+            [probe_req], grid=None, tune_cache=self.placement.tune_cache
+        )
+        worker.busy_s += execution.duration_s
+        self._push(
+            self.now + execution.duration_s,
+            _EV_DONE,
+            _ProbeRun(worker_id, execution),
+        )
+
+    def _probe_done(self, run: _ProbeRun) -> None:
+        """The probe's verdict: clean closes the breaker with a reset
+        ledger; a failure is a strike — re-quarantine, or retire the
+        worker for good at ``max_strikes``."""
+        wid = run.worker_id
+        worker = self.workers[wid]
+        if worker.retired:
+            return
+        if run.execution.ok:
+            self.board.reinstate(wid)
+            self.idle.append(wid)
+            self.idle.sort()
+            return
+        self.board.observe_failure(wid, "probe")
+        if self.board.tracker(wid).strikes >= self.board.policy.max_strikes:
+            self.board.retire_sick(wid)
+            worker.retire()
+            self._evaluate_scale()  # the pool may want a replacement
+        else:
+            wh = self.board.quarantine(wid, self.now)
+            self._push(wh.cooldown_until_s, _EV_PROBE, wid)
+
+    def _kill_worker(self, worker_id: int) -> None:
+        """A whole worker dies (injected correlated failure): retire it,
+        fail its in-flight batches, and hand their requests back to the
+        queue — the no-lost-requests invariant does not care whose fault
+        the loss was."""
+        cfg = self.cfg
+        if not 0 <= worker_id < len(self.workers):
+            return
+        worker = self.workers[worker_id]
+        if worker.retired:
+            return
+        worker.retire()
+        self.workers_killed += 1
+        if worker_id in self.idle:
+            self.idle.remove(worker_id)
+        if self.board is not None:
+            self.board.observe_failure(worker_id, "kill")
+            self.board.retire_sick(worker_id)
+        doomed = sorted(
+            bid
+            for bid, (b, _, _, _) in self.running.items()
+            if b.worker_id == worker_id
+        )
+        for bid in doomed:
+            batch, _, start, end = self.running.pop(bid)
+            self.cancelled.add(bid)
+            self.predicted.pop(bid, None)
+            worker.busy_s -= end - self.now
+            batch.completed_s = self.now
+            batch.duration_s = self.now - start
+            batch.ok = False
+            batch.detail = f"worker {worker_id} killed"
+            batch.trace.append(
+                (self.now, "killed", "worker died mid-batch")
+            )
+            partner_id = (
+                batch.hedge_of
+                if batch.hedge_of is not None
+                else batch.hedge_batch_id
+            )
+            if partner_id is not None and partner_id in self.running:
+                continue  # the surviving copy still serves these records
+            for rec in batch.records:
+                if rec.attempts <= cfg.max_retries:
+                    rec.state = QUEUED
+                    self.queue.offer(rec, force=True)
+                    rec.note(
+                        self.now,
+                        "requeue",
+                        f"worker {worker_id} killed; "
+                        f"retry {rec.attempts}/{cfg.max_retries}",
+                    )
+                else:
+                    rec.state = FAILED
+                    rec.completed_s = self.now
+                    rec.failure = StructuredFailure(
+                        kind="worker_crash",
+                        detail=f"worker {worker_id} killed",
+                        model_time=self.now,
+                        attempts=rec.attempts,
+                    )
+                    rec.note(
+                        self.now,
+                        "fail",
+                        f"worker {worker_id} killed; retries exhausted",
+                    )
+                    self.completion_order.append(rec.request.req_id)
+        self._evaluate_scale()
+
+    # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
 
@@ -734,6 +1188,14 @@ class _Campaign:
             return
         self.idle.remove(decision.worker_id)
         worker = self.workers[decision.worker_id]
+        degraded = None
+        if (
+            self.brownout is not None
+            and self.brownout.level >= BROWNOUT_DEGRADE
+        ):
+            # One step down the precision ladder before failing anyone:
+            # the whole batch shares a mode (it is in the compat key).
+            degraded = DEGRADE_MODE.get(selected[0].request.mode)
         batch = Batch(
             batch_id=self._next_batch_id(),
             records=selected,
@@ -741,8 +1203,10 @@ class _Campaign:
             formed_s=self.now,
             worker_id=worker.worker_id,
             grid=decision.grid,
+            degraded_mode=degraded,
         )
         self.batches.append(batch)
+        self.probe_template = selected[0].request
         for rec in selected:
             rec.state = RUNNING
             rec.attempts += 1
@@ -750,6 +1214,14 @@ class _Campaign:
                 rec.dispatched_s = self.now
             rec.batch_ids.append(batch.batch_id)
             rec.grid = decision.grid
+            if degraded is not None:
+                rec.degraded = True
+                rec.note(
+                    self.now,
+                    "degrade",
+                    f"brownout: serving at {degraded} instead of "
+                    f"{rec.request.mode}",
+                )
             rec.note(
                 self.now,
                 "dispatch",
@@ -765,15 +1237,21 @@ class _Campaign:
                 "dispatch",
                 f"worker {worker.worker_id}, "
                 f"{self._grid_label(decision.grid)}"
-                + (", gauge-resident" if decision.predicted_hit else ""),
+                + (", gauge-resident" if decision.predicted_hit else "")
+                + (f", degraded to {degraded}" if degraded is not None else ""),
             )
         )
+        requests = [r.request for r in selected]
+        if degraded is not None:
+            requests = [replace(q, mode=degraded) for q in requests]
         execution = worker.execute(
-            [r.request for r in selected],
+            requests,
             grid=decision.grid,
             tune_cache=self.placement.tune_cache,
         )
         worker.busy_s += execution.duration_s
+        self.predicted[batch.batch_id] = self.drain.batch_s
+        self._arm_hedge(batch)
         self.drain.observe(execution.duration_s)
         end = self.now + execution.duration_s
         self.running[batch.batch_id] = (batch, execution, self.now, end)
@@ -825,6 +1303,8 @@ class _Campaign:
         )
         worker.busy_s += duration
         worker.resident_key = run.residency_key
+        self.predicted[batch.batch_id] = self.drain.batch_s
+        self._arm_hedge(batch)
         self.drain.observe(duration)
         self.resumed_batches += 1
         end = self.now + duration
@@ -838,6 +1318,7 @@ class _Campaign:
     def _complete(self, batch: Batch, execution: BatchExecution) -> None:
         cfg = self.cfg
         self.running.pop(batch.batch_id, None)
+        predicted = self.predicted.pop(batch.batch_id, 0.0)
         worker = self.workers[batch.worker_id]
         if not worker.retired:
             self.idle.append(worker.worker_id)
@@ -869,38 +1350,93 @@ class _Campaign:
                     ),
                 )
                 self.completion_order.append(rec.request.req_id)
+            if batch.hedge_of is not None or batch.hedge_batch_id is not None:
+                self._resolve_hedge(batch)
         else:
             failure = execution.failure
             batch.detail = str(failure)
             batch.trace.append((self.now, "worker_failure", str(failure)))
-            for rec in batch.records:
-                if rec.attempts <= cfg.max_retries:
-                    rec.state = QUEUED
-                    self.queue.offer(rec, force=True)
-                    rec.note(
+            partner_id = (
+                batch.hedge_of
+                if batch.hedge_of is not None
+                else batch.hedge_batch_id
+            )
+            if partner_id is not None and partner_id in self.running:
+                # The other copy of the hedged pair is still running and
+                # owns the shared records — no requeue, no terminal fail.
+                batch.trace.append(
+                    (
                         self.now,
-                        "requeue",
-                        f"worker {batch.worker_id} failed "
-                        f"(rank {failure.rank} {failure.mode}); "
-                        f"retry {rec.attempts}/{cfg.max_retries}",
+                        "hedge_survivor",
+                        f"records stay with running batch {partner_id}",
                     )
-                else:
-                    rec.state = FAILED
-                    rec.completed_s = self.now
-                    rec.failure = StructuredFailure(
-                        kind="worker_crash",
-                        detail=str(failure),
-                        failed_rank=failure.rank,
-                        model_time=self.now,
-                        attempts=rec.attempts,
+                )
+            else:
+                for rec in batch.records:
+                    if rec.attempts <= cfg.max_retries:
+                        rec.state = QUEUED
+                        self.queue.offer(rec, force=True)
+                        rec.note(
+                            self.now,
+                            "requeue",
+                            f"worker {batch.worker_id} failed "
+                            f"(rank {failure.rank} {failure.mode}); "
+                            f"retry {rec.attempts}/{cfg.max_retries}",
+                        )
+                    else:
+                        rec.state = FAILED
+                        rec.completed_s = self.now
+                        rec.failure = StructuredFailure(
+                            kind="worker_crash",
+                            detail=str(failure),
+                            failed_rank=failure.rank,
+                            model_time=self.now,
+                            attempts=rec.attempts,
+                        )
+                        rec.note(
+                            self.now,
+                            "fail",
+                            f"retries exhausted after {rec.attempts} "
+                            f"attempts: {failure}",
+                        )
+                        self.completion_order.append(rec.request.req_id)
+        if (
+            self.board is not None
+            and not worker.retired
+            and self.board.state(batch.worker_id) == HEALTHY
+        ):
+            if execution.ok:
+                slow = self.board.observe_success(
+                    batch.worker_id, execution.duration_s, predicted
+                )
+                if slow:
+                    batch.trace.append(
+                        (
+                            self.now,
+                            "slow",
+                            f"{execution.duration_s * 1e6:.1f}us vs model "
+                            f"{predicted * 1e6:.1f}us",
+                        )
                     )
-                    rec.note(
+            else:
+                self.board.observe_failure(
+                    batch.worker_id,
+                    execution.failure.mode
+                    if execution.failure is not None
+                    else "crash",
+                )
+            if self.board.should_trip(batch.worker_id):
+                self._quarantine(batch.worker_id)
+                batch.trace.append(
+                    (
                         self.now,
-                        "fail",
-                        f"retries exhausted after {rec.attempts} attempts: "
-                        f"{failure}",
+                        "quarantine",
+                        f"worker {batch.worker_id} quarantined (failure "
+                        f"rate "
+                        f"{self.board.tracker(batch.worker_id).failure_rate:.2f})",
                     )
-                    self.completion_order.append(rec.request.req_id)
+                )
+        self._update_brownout()
         self._evaluate_scale()
         self.batches_since_commit += 1
         if self.batches_since_commit >= cfg.checkpoint_every:
@@ -911,6 +1447,9 @@ class _Campaign:
     # ------------------------------------------------------------------ #
 
     def run(self) -> ServiceResult:
+        if self.cfg.worker_faults is not None:
+            for kill in self.cfg.worker_faults.kills:
+                self._push(max(kill.at_s, self.now), _EV_KILL, kill.worker_id)
         self._push_next_arrival()
         self._dispatch()  # restored queue contents may already be ready
         while self.events:
@@ -925,9 +1464,12 @@ class _Campaign:
             self.now = t
             probe = None
             if kind == _EV_DONE:
-                batch, execution = payload
-                if batch.batch_id not in self.cancelled:
-                    self._complete(batch, execution)
+                if isinstance(payload, _ProbeRun):
+                    self._probe_done(payload)
+                else:
+                    batch, execution = payload
+                    if batch.batch_id not in self.cancelled:
+                        self._complete(batch, execution)
             elif kind == _EV_PREEMPT:
                 self._do_preempt(payload)
             elif kind == _EV_WORKER_UP:
@@ -936,6 +1478,14 @@ class _Campaign:
                 self.arrivals_consumed += 1
                 probe = self._admit(payload)
                 self._push_next_arrival()
+            elif kind == _EV_HEDGE:
+                self._maybe_hedge(payload)
+            elif kind == _EV_HEDGE_CANCEL:
+                self._hedge_worker_free(payload)
+            elif kind == _EV_KILL:
+                self._kill_worker(payload)
+            elif kind == _EV_PROBE:
+                self._start_probe(payload)
             # _EV_TIMEOUT carries no payload: it exists to revisit the
             # queue once a batching window has expired.
             self._dispatch()
@@ -982,4 +1532,16 @@ class _Campaign:
                 scale_events=[e.to_json() for e in self.controller.events],
                 spinup_spent_s=self.controller.spinup_spent_s,
             )
+        if self.board is not None:
+            out.update(self.board.summary())
+        if self.hedge is not None:
+            out.update(
+                hedges_launched=self.hedges_launched,
+                hedges_won=self.hedges_won,
+                hedges_cancelled=self.hedges_cancelled,
+            )
+        if self.brownout is not None:
+            out["brownout"] = self.brownout.summary()
+        if self.cfg.worker_faults is not None:
+            out["workers_killed"] = self.workers_killed
         return out

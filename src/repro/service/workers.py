@@ -131,9 +131,15 @@ class SimWorker:
         #: Model time charged for tearing down a crashed batch before
         #: the worker can accept new work.
         failure_penalty_s: float = 1e-3,
+        #: Straggler injection: successful batches take this multiple of
+        #: their modeled duration (a throttled GPU or degraded link slows
+        #: the node without failing it).  1.0 = healthy.
+        straggler_factor: float = 1.0,
     ) -> None:
         if ranks < 1:
             raise ValueError("ranks must be >= 1")
+        if straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
         self.worker_id = worker_id
         self.ranks = ranks
         self.gpu_spec = gpu_spec
@@ -147,6 +153,7 @@ class SimWorker:
         self.gauge_noise = gauge_noise
         self.residency = residency
         self.failure_penalty_s = failure_penalty_s
+        self.straggler_factor = straggler_factor
         self.batches_run = 0
         self.busy_s = 0.0
         #: Identity of the gauge setup left on the device by the last
@@ -166,6 +173,16 @@ class SimWorker:
         warmth leaking into the routing tables would let the placement
         layer credit uploads nobody can skip."""
         self.retired = True
+        self.evict_residency()
+
+    def evict_residency(self) -> None:
+        """Drain the device's warm gauge state without retiring the slot.
+
+        Quarantine uses this: the circuit breaker may reinstate the
+        worker after its probe, but while it sits in cooldown its warmth
+        must not keep attracting traffic through the routing tables —
+        and a genuinely sick device's resident state is not to be
+        trusted anyway."""
         self.resident_key = None
         self._gauges.clear()
 
@@ -377,9 +394,14 @@ class SimWorker:
             fired = ()
             recoveries = restarts = corruptions = 0
         self.resident_key = key
+        # Straggler injection scales the solve itself, not the cacheable
+        # cold duration (the model cache is shared across workers) and
+        # not the setup credits/charges.
         execution = BatchExecution(
             ok=True,
-            duration_s=max(duration + tune_cost - saved_s, 0.0),
+            duration_s=max(
+                duration * self.straggler_factor + tune_cost - saved_s, 0.0
+            ),
             outcomes=outcomes,
             recoveries=recoveries,
             restarts=restarts,

@@ -349,3 +349,71 @@ class TestLegacyEquivalence:
         assert rep.preemptions == 0
         assert rep.checkpoint_restores == 0
         assert rep.scale_ups == 0
+
+
+class TestReportRoundTrip:
+    """PR 7: the scorecard's JSON is a faithful wire format — every
+    field, including the resilience counters, survives
+    ``to_json -> from_json -> to_json`` unchanged."""
+
+    def _resilient_result(self):
+        from repro.comms.faults import FaultPlan, WorkerFaultPlan
+        from repro.service import BrownoutPolicy, HealthPolicy, HedgePolicy
+
+        cfg = _config(
+            n_workers=3,
+            max_retries=2,
+            fault_plan=FaultPlan(seed=3).with_stall(
+                0, after_s=0.0, mode="crash"
+            ),
+            chaos_workers=(0,),
+            worker_faults=WorkerFaultPlan().with_straggler(2, factor=3.0),
+            health=HealthPolicy(
+                enabled=True, min_samples=1, trip_rate=0.5,
+                cooldown_s=1e-3, slow_ratio=1e3,
+            ),
+            hedge=HedgePolicy(enabled=True),
+            brownout=BrownoutPolicy(enabled=True),
+            preemption=PreemptionPolicy(enabled=True),
+        )
+        return SolveService(cfg).serve(
+            _stream(n=48, deadline_slack_s=12e-3)
+        )
+
+    def test_fixed_point_with_resilience_counters(self):
+        from repro.service import ServiceReport
+
+        rep = self._resilient_result().report
+        blob = rep.to_json()
+        back = ServiceReport.from_json(blob)
+        assert back.to_json() == blob
+        # The resilience era actually exercised its new fields here.
+        assert blob["quarantines"] >= 1
+        assert back.quarantines == rep.quarantines
+        assert back.hedges_launched == rep.hedges_launched
+        assert back.brownout == rep.brownout
+        assert back.workers_killed == rep.workers_killed
+
+    def test_fixed_point_on_plain_daemon_report(self):
+        from repro.service import ServiceReport
+
+        rep = SolveService(_config()).serve(_stream()).report
+        blob = rep.to_json()
+        assert ServiceReport.from_json(blob).to_json() == blob
+
+    def test_from_json_defaults_for_pre_resilience_blobs(self):
+        """A PR-6-era scorecard (no resilience keys) still loads — the
+        new counters default to zero rather than KeyError."""
+        from repro.service import ServiceReport
+
+        blob = SolveService(_config()).serve(_stream()).report.to_json()
+        for key in (
+            "quarantines", "reinstated", "retired_sick", "workers_killed",
+            "hedges_launched", "hedges_won", "hedges_cancelled",
+            "shed_low", "brownout_rejected", "degraded_served", "brownout",
+        ):
+            blob.pop(key, None)
+        back = ServiceReport.from_json(blob)
+        assert back.quarantines == 0
+        assert back.hedges_launched == 0
+        assert back.brownout == {}

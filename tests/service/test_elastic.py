@@ -166,3 +166,75 @@ class TestDecide:
         clone = PoolController.from_json(ctl.policy, ctl.to_json())
         assert clone.last_scale_s == float("-inf")
         assert clone.events == []
+
+
+class TestQuarantineScaleDownRace:
+    """PR 7: the circuit breaker and the autoscaler share the pool, and
+    the breaker wins — capacity parked in quarantine/probe must not also
+    be retired by a scale-down decision."""
+
+    def test_quarantined_capacity_blocks_scale_down(self):
+        ctl = _controller(min_workers=1, cooldown_s=0.0)
+        # Without the breaker this idle, quiet pool retires one worker.
+        assert ctl.decide(0.0, current=4, idle=3, rate_rps=0.0,
+                          batch_s=1e-3, max_batch=8, backlog=0,
+                          quarantined=0) == -1
+        # A worker cooling down (or probing) holds the decision: the
+        # probe's verdict, not the autoscaler, sizes the pool.
+        assert ctl.decide(1.0, current=4, idle=3, rate_rps=0.0,
+                          batch_s=1e-3, max_batch=8, backlog=0,
+                          quarantined=1) == 0
+        assert ctl.scale_downs == 1
+
+    def test_quarantine_does_not_block_scale_up(self):
+        """A probe racing a scale-*up* is no conflict: ordered capacity
+        replaces what the breaker took away."""
+        ctl = _controller(max_workers=8, target_utilization=0.5,
+                          cooldown_s=0.0)
+        delta = ctl.decide(0.0, current=1, idle=0, rate_rps=16_000.0,
+                           batch_s=1e-3, max_batch=8, backlog=0,
+                           quarantined=1)
+        assert delta > 0
+
+    def test_service_survives_quarantine_under_elastic_pool(self):
+        """End to end: a flaky worker quarantines mid-campaign while the
+        autoscaler is live; every request still terminates and the
+        breaker's probe gets to deliver its verdict."""
+        from repro.comms.faults import FaultPlan
+        from repro.service import (
+            BatchPolicy,
+            HealthPolicy,
+            ServiceConfig,
+            SolveService,
+            stream_workload,
+        )
+
+        cfg = ServiceConfig(
+            queue_capacity=256,
+            policy=BatchPolicy(max_batch=8),
+            n_workers=2,
+            ranks_per_worker=2,
+            fixed_iterations=10,
+            max_retries=2,
+            fault_plan=FaultPlan(seed=5).with_stall(
+                0, after_s=0.0, mode="crash"
+            ),
+            chaos_workers=(0,),
+            health=HealthPolicy(
+                enabled=True, min_samples=1, trip_rate=0.5,
+                cooldown_s=1e-3, slow_ratio=1e3,
+            ),
+            elastic=ElasticPolicy(min_workers=1, max_workers=4),
+        )
+        res = SolveService(cfg).serve(
+            stream_workload(48, seed=7, rate_rps=4000.0, dims=(4, 4, 4, 8))
+        )
+        rep = res.report
+        assert rep.quarantines >= 1
+        assert rep.reinstated + rep.retired_sick >= 1
+        assert rep.completed + rep.failed + rep.rejected == 48
+        assert all(rec.terminal for rec in res.records)
+        # The ledger never retired the quarantined worker's slot out
+        # from under the probe: every scale-down picked a healthy idle
+        # worker, so the pool never dropped below the elastic floor.
+        assert rep.final_workers >= cfg.elastic.min_workers
