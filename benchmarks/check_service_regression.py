@@ -125,6 +125,75 @@ def main(argv: list[str]) -> int:
             ),
         ]
 
+    if "domain_resilience" in baseline:
+        from repro.bench.harness import domain_resilience_benchmark
+
+        dc = baseline["domain_resilience"]["campaign"]
+        nodes, rest = dc["topology"].split("x")
+        wpn, racks = rest.split("@")
+        fresh_dom = domain_resilience_benchmark(
+            dc["requests"],
+            dims=tuple(dc["dims"]),
+            mode=dc["mode"],
+            ranks=dc["ranks_per_worker"],
+            nodes=int(nodes),
+            workers_per_node=int(wpn),
+            racks=int(racks),
+            max_batch=dc["max_batch"],
+            base_rps=dc["base_rps"],
+            burst_rps=dc["burst_rps"],
+            burst_start_s=dc["burst_start_ms"] * 1e-3,
+            burst_len_s=dc["burst_len_ms"] * 1e-3,
+            kill_node=dc["kill_node"],
+            kill_at_s=dc["kill_at_ms"] * 1e-3,
+            partition_rack=dc["partition_rack"],
+            partition_at_s=dc["partition_at_ms"] * 1e-3,
+            heal_mean_s=dc["heal_mean_ms"] * 1e-3,
+            iterations=dc["iterations"],
+            n_configs=dc["n_configs"],
+            seed=dc["seed"],
+        )
+        base_dom = baseline["domain_resilience"]
+        # Acceptance invariants, not just drift: domain-aware isolation
+        # must stay strictly faster than one-ledger-at-a-time discovery,
+        # HIGH p99 no worse, nothing lost, and the mirror leg exercised.
+        isolate_gain = fresh_dom["isolate_off_vs_on"] or 0.0
+        invariants = (
+            isolate_gain > 1.0
+            and fresh_dom["high_p99_off_vs_on"] >= 1.0
+            and fresh_dom["domain_on"]["failed"] == 0
+            and fresh_dom["domain_off"]["failed"] == 0
+            and fresh_dom["mirror_resume"]["mirror_restores"] >= 1
+            and fresh_dom["mirror_resume"]["failed"] == 0
+        )
+        print(
+            f"{'domain_resilience.invariants':42s} "
+            f"{'ok' if invariants else 'VIOLATED'}"
+        )
+        checks += [
+            invariants,
+            _within(
+                "domain_resilience.isolate_off_vs_on",
+                isolate_gain,
+                base_dom["isolate_off_vs_on"],
+            ),
+            _within(
+                "domain_resilience.high_p99_off_vs_on",
+                fresh_dom["high_p99_off_vs_on"],
+                base_dom["high_p99_off_vs_on"],
+            ),
+            _within(
+                "domain_on.domains.nodes_killed",
+                fresh_dom["domain_on"]["domains"]["nodes_killed"],
+                base_dom["domain_on"]["domains"]["nodes_killed"],
+            ),
+            _within(
+                "domain_on.domains.partition_heals",
+                fresh_dom["domain_on"]["domains"]["partition_heals"],
+                base_dom["domain_on"]["domains"]["partition_heals"],
+            ),
+        ]
+
     if all(checks):
         print("service bench within tolerance of baseline")
         return 0

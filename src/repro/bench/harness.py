@@ -675,6 +675,181 @@ def resilience_benchmark(
     }
 
 
+def domain_resilience_benchmark(
+    n_requests: int = 64,
+    *,
+    dims: tuple[int, int, int, int] = (4, 4, 4, 8),
+    mode: str = "double-half",
+    ranks: int = 2,
+    nodes: int = 3,
+    workers_per_node: int = 3,
+    racks: int = 3,
+    max_batch: int = 4,
+    base_rps: float = 1500.0,
+    burst_rps: float = 12000.0,
+    burst_start_s: float = 1e-3,
+    burst_len_s: float = 3e-3,
+    kill_node: int = 1,
+    kill_at_s: float = 2e-3,
+    partition_rack: int = 2,
+    partition_at_s: float = 3e-3,
+    heal_mean_s: float = 2e-3,
+    iterations: int = 10,
+    n_configs: int = 4,
+    seed: int = 11,
+) -> dict:
+    """The PR-8 acceptance campaign: one seeded bursty stream served
+    twice against the same correlated faults — a *silent* node kill plus
+    a switch partition — with the failure-domain layer on versus off.
+
+    Both runs carry the full per-worker resilience stack (breaker,
+    hedging); the ablation isolates exactly the domain features.  OFF
+    must discover the dead node one worker at a time (each keeps
+    attracting traffic until its own ledger trips); ON escalates the
+    second correlated strike into a whole-node quarantine, so its
+    time-to-isolate is strictly lower and its HIGH p99 no worse, while
+    both runs terminate every admitted request.  A separate mini-run
+    crashes the scheduler after the node hosting the primary checkpoint
+    replica dies and must resume from the cross-domain mirror.
+    """
+    from ..comms.cluster import Topology
+    from ..comms.faults import DomainFaultPlan
+    from ..service import (
+        BatchPolicy,
+        DomainPolicy,
+        HealthPolicy,
+        HedgePolicy,
+        MirroredCheckpointStore,
+        SchedulerCrash,
+        ServiceConfig,
+        SolveService,
+        bursty_workload,
+    )
+
+    topology = Topology(
+        n_nodes=nodes, workers_per_node=workers_per_node, n_racks=racks
+    )
+    faults = (
+        DomainFaultPlan(seed=seed)
+        .with_node_kill(kill_node, at_s=kill_at_s)
+        .with_partition(
+            partition_rack, at_s=partition_at_s, mean_heal_s=heal_mean_s
+        )
+    )
+
+    def config(domain_aware: bool, checkpoint_every: int = 1000000):
+        return ServiceConfig(
+            queue_capacity=max(4 * n_requests, 64),
+            policy=BatchPolicy(max_batch=max_batch),
+            n_workers=topology.n_workers,
+            ranks_per_worker=ranks,
+            fixed_iterations=iterations,
+            max_retries=4,
+            seed=seed,
+            topology=topology,
+            domain_faults=faults,
+            domain_health=(
+                DomainPolicy(enabled=True, strike_k=2, cooldown_s=2e-3)
+                if domain_aware
+                else None
+            ),
+            anti_affinity=domain_aware,
+            health=HealthPolicy(
+                enabled=True, min_samples=1, trip_rate=0.5,
+                cooldown_s=1e-3, slow_ratio=1e3,
+            ),
+            hedge=HedgePolicy(enabled=True),
+            checkpoint_every=checkpoint_every,
+        )
+
+    def workload():
+        return bursty_workload(
+            n_requests,
+            seed=seed,
+            base_rps=base_rps,
+            burst_rps=burst_rps,
+            burst_start_s=burst_start_s,
+            burst_len_s=burst_len_s,
+            dims=dims,
+            mode=mode,
+            priority_mix=(0.25, 0.5, 0.25),
+            deadline_slack_s=0.5,
+            n_configs=n_configs,
+        )
+
+    on = SolveService(config(True)).serve(workload()).report.to_json()
+    off = SolveService(config(False)).serve(workload()).report.to_json()
+    isolate_on = on["domains"]["isolation_ms"].get(str(kill_node))
+    isolate_off = off["domains"]["isolation_ms"].get(str(kill_node))
+    p99_on = on["priority_latency"]["high"]["p99_us"]
+    p99_off = off["priority_latency"]["high"]["p99_us"]
+
+    # Cross-domain checkpoint replication: the primary replica lives on
+    # the node the kill takes out; the scheduler then crashes and must
+    # come back from the mirror with nothing lost.
+    store = MirroredCheckpointStore(
+        primary_domain=kill_node,
+        mirror_domain=(kill_node + 1) % nodes,
+    )
+    try:
+        SolveService(config(True, checkpoint_every=2)).serve(
+            workload(), checkpoint=store, crash_at_s=kill_at_s + 2e-3
+        )
+        mirror_report = None  # pragma: no cover - crash always fires
+    except SchedulerCrash as crash:
+        mirror_report = (
+            SolveService(config(True, checkpoint_every=2))
+            .resume(workload(), checkpoint=crash.store)
+            .report.to_json()
+        )
+
+    return {
+        "campaign": {
+            "requests": n_requests,
+            "dims": list(dims),
+            "mode": mode,
+            "topology": str(topology),
+            "ranks_per_worker": ranks,
+            "max_batch": max_batch,
+            "base_rps": base_rps,
+            "burst_rps": burst_rps,
+            "burst_start_ms": burst_start_s * 1e3,
+            "burst_len_ms": burst_len_s * 1e3,
+            "kill_node": kill_node,
+            "kill_at_ms": kill_at_s * 1e3,
+            "partition_rack": partition_rack,
+            "partition_at_ms": partition_at_s * 1e3,
+            "heal_mean_ms": heal_mean_s * 1e3,
+            "iterations": iterations,
+            "n_configs": n_configs,
+            "seed": seed,
+        },
+        "domain_on": on,
+        "domain_off": off,
+        "time_to_isolate_ms_on": isolate_on,
+        "time_to_isolate_ms_off": isolate_off,
+        "isolate_off_vs_on": (
+            round(isolate_off / isolate_on, 4)
+            if isolate_on and isolate_off
+            else None
+        ),
+        "high_p99_off_vs_on": (
+            round(p99_off / p99_on, 4) if p99_on else float("inf")
+        ),
+        "mirror_resume": {
+            "mirror_restores": (
+                mirror_report["domains"]["mirror_restores"]
+                if mirror_report
+                else 0
+            ),
+            "checkpoint_restores": (
+                mirror_report["checkpoint_restores"] if mirror_report else 0
+            ),
+            "failed": mirror_report["failed"] if mirror_report else None,
+        },
+    }
+
+
 def write_service_bench(path: str = "BENCH_service.json", **kwargs) -> dict:
     """Run :func:`service_benchmark` plus the gauge-residency ablation
     (:func:`residency_benchmark`), the daemon-era preemption/elastic
@@ -689,6 +864,7 @@ def write_service_bench(path: str = "BENCH_service.json", **kwargs) -> dict:
     result["residency_ablation"] = residency_benchmark()
     result["daemon"] = daemon_benchmark()
     result["resilience"] = resilience_benchmark()
+    result["domain_resilience"] = domain_resilience_benchmark()
     with open(path, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -329,6 +329,32 @@ def build_parser() -> argparse.ArgumentParser:
                    "(> 1; the fault straggler hedging exists for)")
     p.add_argument("--straggler-worker", type=int, default=1,
                    help="worker id the --straggler-factor slowdown hits")
+    # ---- failure domains ---------------------------------------------- #
+    p.add_argument("--topology", default=None, metavar="NODESxGPUS[@RACKS]",
+                   help="failure-domain hierarchy, e.g. 3x2@3: workers map "
+                   "onto nodes, nodes onto racks (switches); enables "
+                   "correlated faults, domain quarantine, anti-affinity "
+                   "and mirrored checkpoints")
+    p.add_argument("--kill-node-at-ms", type=float, default=None,
+                   help="silently kill a whole node at this model time: "
+                   "its workers stop answering but the scheduler is not "
+                   "told — the health stack must infer the loss")
+    p.add_argument("--kill-node", type=int, default=0,
+                   help="node id the --kill-node-at-ms kill hits")
+    p.add_argument("--partition-switch-at-ms", type=float, default=None,
+                   help="partition a whole rack (switch failure) at this "
+                   "model time; it heals after a seeded interval")
+    p.add_argument("--partition-rack", type=int, default=0,
+                   help="rack id the --partition-switch-at-ms hits")
+    p.add_argument("--heal-ms", type=float, default=2.0,
+                   help="mean model time before a partitioned rack heals")
+    p.add_argument("--domain-quarantine", action="store_true",
+                   help="escalate k-of-n correlated worker strikes into a "
+                   "whole-domain quarantine (one probe per node, not per "
+                   "worker)")
+    p.add_argument("--anti-affinity", action="store_true",
+                   help="place warm-pool and hedge replicas in a different "
+                   "failure domain than the primary whenever possible")
 
     p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
     p.add_argument("--out", default="EXPERIMENTS.md")
@@ -575,15 +601,17 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .comms import FaultPlan, WorkerFaultPlan
+    from .comms import DomainFaultPlan, FaultPlan, Topology, WorkerFaultPlan
     from .core import RetryPolicy
     from .service import (
         BatchPolicy,
         BrownoutPolicy,
         CampaignCheckpointStore,
+        DomainPolicy,
         ElasticPolicy,
         HealthPolicy,
         HedgePolicy,
+        MirroredCheckpointStore,
         PlacementPolicy,
         PreemptionPolicy,
         SchedulerCrash,
@@ -626,6 +654,22 @@ def _cmd_serve(args) -> int:
             if args.straggler_factor:
                 worker_faults = worker_faults.with_straggler(
                     args.straggler_worker, factor=args.straggler_factor
+                )
+        topology = (
+            Topology.parse(args.topology) if args.topology is not None else None
+        )
+        domain_faults = None
+        if args.kill_node_at_ms is not None or args.partition_switch_at_ms is not None:
+            domain_faults = DomainFaultPlan(seed=args.seed)
+            if args.kill_node_at_ms is not None:
+                domain_faults = domain_faults.with_node_kill(
+                    args.kill_node, at_s=args.kill_node_at_ms * 1e-3
+                )
+            if args.partition_switch_at_ms is not None:
+                domain_faults = domain_faults.with_partition(
+                    args.partition_rack,
+                    at_s=args.partition_switch_at_ms * 1e-3,
+                    mean_heal_s=args.heal_ms * 1e-3,
                 )
         config = ServiceConfig(
             queue_capacity=args.queue_capacity,
@@ -673,6 +717,12 @@ def _cmd_serve(args) -> int:
             ),
             brownout=BrownoutPolicy(enabled=True) if args.brownout else None,
             worker_faults=worker_faults,
+            topology=topology,
+            domain_faults=domain_faults,
+            domain_health=(
+                DomainPolicy(enabled=True) if args.domain_quarantine else None
+            ),
+            anti_affinity=args.anti_affinity,
         )
         tune_cache = None
         if args.tunecache and not args.no_tunecache and os.path.exists(
@@ -733,9 +783,26 @@ def _cmd_serve(args) -> int:
             for straggler in worker_faults.stragglers:
                 print(f"faults: worker {straggler.worker_id} straggles "
                       f"at {straggler.factor:.1f}x")
+        if domain_faults is not None:
+            for nk in domain_faults.node_kills:
+                print(f"faults: node {nk.node} dies silently at "
+                      f"{nk.at_s * 1e3:.3f} ms")
+            for sp in domain_faults.partitions:
+                print(f"faults: rack {sp.rack} partitions at "
+                      f"{sp.at_s * 1e3:.3f} ms, heals at "
+                      f"{domain_faults.heal_time(sp) * 1e3:.3f} ms")
         store = None
         if args.checkpoint or args.crash_scheduler_at_ms is not None:
-            store = CampaignCheckpointStore(args.checkpoint)
+            if topology is not None and topology.n_nodes > 1:
+                # The checkpoint replicates across two domains; a node
+                # loss that hosted the primary restores from the mirror.
+                store = MirroredCheckpointStore(
+                    CampaignCheckpointStore(args.checkpoint),
+                    primary_domain=0,
+                    mirror_domain=topology.n_nodes - 1,
+                )
+            else:
+                store = CampaignCheckpointStore(args.checkpoint)
         service = SolveService(config, tune_cache=tune_cache)
         if streaming:
             crash_at_s = (
@@ -791,7 +858,12 @@ def _cmd_serve(args) -> int:
         print(f"repro serve: {report.n_requests - accounted} request(s) "
               "unaccounted for", file=sys.stderr)
         return 1
-    chaosy = args.chaos or args.kill_worker_at_ms is not None
+    chaosy = (
+        args.chaos
+        or args.kill_worker_at_ms is not None
+        or args.kill_node_at_ms is not None
+        or args.partition_switch_at_ms is not None
+    )
     if not chaosy and report.failed:
         print(f"repro serve: {report.failed} failure(s) without chaos",
               file=sys.stderr)

@@ -10,17 +10,21 @@ rank stalls/crashes, silent payload/resident corruption) and the
 checksummed-envelope integrity layer live in :mod:`repro.comms.faults`.
 """
 
-from .cluster import ClusterSpec
+from .cluster import ClusterSpec, Topology
 from .faults import (
     CorruptionDetected,
+    DomainFaultPlan,
     FaultEvent,
     FaultPlan,
+    HcaDegrade,
     IntegrityPolicy,
     LinkFaults,
+    NodeKill,
     RankFailedError,
     ResidentCorruption,
     StallSpec,
     StragglerSpec,
+    SwitchPartition,
     WorkerFaultPlan,
     WorkerKill,
     checksum_bytes,
@@ -44,6 +48,11 @@ from .qmp import QMPMachine
 
 __all__ = [
     "ClusterSpec",
+    "Topology",
+    "NodeKill",
+    "HcaDegrade",
+    "SwitchPartition",
+    "DomainFaultPlan",
     "SimMPI",
     "Comm",
     "CommStats",

@@ -25,9 +25,107 @@ from dataclasses import dataclass, replace as _replace
 
 from ..gpu.perfmodel import DEFAULT_PARAMS, PerfModelParams
 
-__all__ = ["ClusterSpec", "NUMA_POLICIES"]
+__all__ = ["ClusterSpec", "NUMA_POLICIES", "Topology"]
 
 NUMA_POLICIES = ("correct", "wrong", "unpinned")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Failure-domain hierarchy of the service's worker pool.
+
+    The paper's cluster is hierarchical even at two GPUs: both share one
+    node, one HCA, and one IB switch, so faults are *correlated* — a
+    node loss takes every co-resident worker with it, a switch partition
+    isolates a whole rack.  This maps the flat worker pool onto that
+    hierarchy: worker → node → rack.  Racks tile the nodes in order
+    (``ceil(n_nodes / n_racks)`` nodes per rack); workers fill nodes in
+    order, ``workers_per_node`` per node.  Elastic scale-up workers past
+    the boot pool are *assigned* a node by the scheduler (spread across
+    the least-loaded healthy domains), so the arithmetic here only
+    defines the boot layout.
+    """
+
+    n_nodes: int = 1
+    workers_per_node: int = 1
+    n_racks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.workers_per_node < 1:
+            raise ValueError("workers_per_node must be >= 1")
+        if not 1 <= self.n_racks <= self.n_nodes:
+            raise ValueError("n_racks must be in [1, n_nodes]")
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_workers(self) -> int:
+        return self.n_nodes * self.workers_per_node
+
+    @property
+    def nodes_per_rack(self) -> int:
+        return -(-self.n_nodes // self.n_racks)
+
+    def node_of_worker(self, worker_id: int) -> int:
+        """Boot-pool mapping; elastic workers wrap around the nodes."""
+        return (worker_id // self.workers_per_node) % self.n_nodes
+
+    def rack_of_node(self, node: int) -> int:
+        return node // self.nodes_per_rack
+
+    def workers_on_node(self, node: int) -> tuple[int, ...]:
+        """Boot-pool workers resident on ``node``."""
+        base = node * self.workers_per_node
+        return tuple(range(base, base + self.workers_per_node))
+
+    def nodes_in_rack(self, rack: int) -> tuple[int, ...]:
+        lo = rack * self.nodes_per_rack
+        hi = min(lo + self.nodes_per_rack, self.n_nodes)
+        return tuple(range(lo, hi))
+
+    # ------------------------------------------------------------------ #
+    # Serialization / CLI
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, text: str) -> "Topology":
+        """Parse ``NODESxWORKERS[@RACKS]`` (e.g. ``4x2@2``)."""
+        spec, _, racks = text.partition("@")
+        nodes, sep, per_node = spec.partition("x")
+        if not sep:
+            raise ValueError(
+                f"topology must look like NODESxWORKERS[@RACKS], got {text!r}"
+            )
+        try:
+            return cls(
+                n_nodes=int(nodes),
+                workers_per_node=int(per_node),
+                n_racks=int(racks) if racks else 1,
+            )
+        except ValueError as exc:
+            raise ValueError(f"bad topology {text!r}: {exc}") from None
+
+    def __str__(self) -> str:
+        return f"{self.n_nodes}x{self.workers_per_node}@{self.n_racks}"
+
+    def to_json(self) -> dict:
+        return {
+            "n_nodes": self.n_nodes,
+            "workers_per_node": self.workers_per_node,
+            "n_racks": self.n_racks,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Topology":
+        return cls(
+            n_nodes=int(data["n_nodes"]),
+            workers_per_node=int(data["workers_per_node"]),
+            n_racks=int(data["n_racks"]),
+        )
 
 
 @dataclass(frozen=True)

@@ -48,6 +48,10 @@ __all__ = [
     "WorkerKill",
     "StragglerSpec",
     "WorkerFaultPlan",
+    "NodeKill",
+    "HcaDegrade",
+    "SwitchPartition",
+    "DomainFaultPlan",
     "FaultPlan",
     "FaultEvent",
     "IntegrityPolicy",
@@ -68,6 +72,8 @@ _SALT_CORRUPT = 4  # which sends are corrupted, and for how many resends
 _SALT_CORRUPT_MODE = 5  # bitflip vs scribble + the damage pattern itself
 _SALT_COLL_CORRUPT = 6  # poisoned collective contributions
 _SALT_RESIDENT = 7  # resident-field scribble pattern
+_SALT_HEAL = 8  # seeded switch-partition heal intervals
+_SALT_ELASTIC = 9  # (domain, seed) straggler pinning for scale-up workers
 
 _LINK_IDS = {"shm": 0, "ib": 1}
 
@@ -499,6 +505,176 @@ class WorkerFaultPlan:
             if spec.worker_id == worker_id:
                 return spec.factor
         return 1.0
+
+    def reseeded(
+        self,
+        node: int,
+        seed: int,
+        *,
+        boot_workers: int,
+        n_nodes: int,
+    ) -> float:
+        """Straggler factor for an elastic scale-up worker on ``node``.
+
+        Pool indices are a bad identity for scale-up workers: a resumed
+        campaign with a different scale history hands out different ids,
+        so an index-addressed straggler would jump between physical
+        workers across resumes.  Instead, each straggler spec aimed past
+        the boot pool is *pinned to a node* by hashing ``(seed, spec)``,
+        and any scale-up worker landing on that node inherits the
+        factor.  The (domain, seed) pair is stable per worker identity
+        no matter how many scale events preceded the spin-up.
+        """
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        factor = 1.0
+        for spec in self.stragglers:
+            if spec.worker_id < boot_workers:
+                continue  # boot-pool specs keep index addressing
+            pinned = int(
+                np.random.SeedSequence(
+                    [seed & 0xFFFFFFFF, _SALT_ELASTIC, spec.worker_id]
+                ).generate_state(1)[0]
+            ) % n_nodes
+            if pinned == node:
+                factor = max(factor, spec.factor)
+        return factor
+
+
+@dataclass(frozen=True)
+class NodeKill:
+    """One planned *node* death: at ``at_s`` the node's power is gone and
+    every worker resident on it dies at once — silently.  Unlike
+    :class:`WorkerKill` (a loud, scheduler-visible retirement), a node
+    loss takes the reporting path with it: the dead workers stay in the
+    pool and every batch dispatched to them simply fails after the
+    detection delay, so the health stack must *infer* the correlated
+    death from the failure pattern.
+    """
+
+    node: int
+    at_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.at_s < 0.0:
+            raise ValueError("at_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class HcaDegrade:
+    """One planned HCA degradation: at ``at_s`` the node's shared HCA
+    renegotiates to a lower rate and *every* worker on the node slows by
+    ``factor`` — the correlated version of :class:`StragglerSpec` (one
+    HCA serves all the node's GPUs, Section VII-A).
+    """
+
+    node: int
+    at_s: float = 0.0
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.at_s < 0.0:
+            raise ValueError("at_s must be >= 0")
+        if self.factor <= 1.0:
+            raise ValueError("factor must be > 1")
+
+
+@dataclass(frozen=True)
+class SwitchPartition:
+    """One planned switch partition: at ``at_s`` the rack's uplink dies
+    and every node behind it is unreachable for a *seeded* interval
+    (``mean_heal_s`` scaled by a deterministic uniform draw), then heals.
+    Link-down is loud — the scheduler sees the partition immediately and
+    parks the rack — but the interval is part of the fault schedule, not
+    the scheduler's choice.
+    """
+
+    rack: int
+    at_s: float = 0.0
+    mean_heal_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.rack < 0:
+            raise ValueError("rack must be >= 0")
+        if self.at_s < 0.0:
+            raise ValueError("at_s must be >= 0")
+        if self.mean_heal_s <= 0.0:
+            raise ValueError("mean_heal_s must be > 0")
+
+
+@dataclass(frozen=True)
+class DomainFaultPlan:
+    """Deterministic *correlated* fault schedule addressed by failure
+    domain (node, rack) rather than worker id.  The service maps domains
+    to workers through its :class:`~repro.comms.cluster.Topology`; heal
+    intervals are pure functions of ``(seed, rack)`` so the schedule is
+    byte-identical run to run.
+    """
+
+    seed: int = 0
+    node_kills: tuple[NodeKill, ...] = ()
+    hca_degrades: tuple[HcaDegrade, ...] = ()
+    partitions: tuple[SwitchPartition, ...] = ()
+    #: Model time between a dead node swallowing a batch and the
+    #: scheduler's send timing out — the detection delay that makes a
+    #: silent node loss expensive.
+    detect_s: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if self.detect_s <= 0.0:
+            raise ValueError("detect_s must be > 0")
+        for name, specs in (
+            ("node kill", self.node_kills),
+            ("HCA degrade", self.hca_degrades),
+        ):
+            seen: set[int] = set()
+            for spec in specs:
+                if spec.node in seen:
+                    raise ValueError(f"duplicate {name} for node {spec.node}")
+                seen.add(spec.node)
+        racks: set[int] = set()
+        for spec in self.partitions:
+            if spec.rack in racks:
+                raise ValueError(f"duplicate partition for rack {spec.rack}")
+            racks.add(spec.rack)
+
+    def with_node_kill(self, node: int, *, at_s: float) -> "DomainFaultPlan":
+        return replace(self, node_kills=self.node_kills + (NodeKill(node, at_s),))
+
+    def with_hca_degrade(
+        self, node: int, *, at_s: float, factor: float
+    ) -> "DomainFaultPlan":
+        return replace(
+            self,
+            hca_degrades=self.hca_degrades + (HcaDegrade(node, at_s, factor),),
+        )
+
+    def with_partition(
+        self, rack: int, *, at_s: float, mean_heal_s: float = 2e-3
+    ) -> "DomainFaultPlan":
+        return replace(
+            self,
+            partitions=self.partitions
+            + (SwitchPartition(rack, at_s, mean_heal_s),),
+        )
+
+    def heal_time(self, spec: SwitchPartition) -> float:
+        """Absolute model time at which ``spec``'s rack heals.
+
+        The interval is ``mean_heal_s * (0.5 + u)`` with ``u`` a seeded
+        uniform draw — bounded away from zero so the partition is always
+        observable, bounded above so campaigns always finish.
+        """
+        u = np.random.Generator(
+            np.random.PCG64(
+                np.random.SeedSequence([self.seed, _SALT_HEAL, spec.rack])
+            )
+        ).random()
+        return spec.at_s + spec.mean_heal_s * (0.5 + u)
 
 
 @dataclass(frozen=True)

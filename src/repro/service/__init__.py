@@ -61,12 +61,18 @@ byte-identical reports, on any machine.
 """
 
 from .batching import Batch, BatchPolicy, select_batch
-from .campaign import CampaignCheckpoint, CampaignCheckpointStore, SchedulerCrash
+from .campaign import (
+    CampaignCheckpoint,
+    CampaignCheckpointStore,
+    MirroredCheckpointStore,
+    SchedulerCrash,
+)
 from .elastic import (
     ArrivalRateEstimator,
     ElasticPolicy,
     PoolController,
     ScaleEvent,
+    spread_domain,
 )
 from .health import (
     BROWNOUT_DEGRADE,
@@ -79,6 +85,9 @@ from .health import (
     RETIRED_SICK,
     BrownoutController,
     BrownoutPolicy,
+    DomainBoard,
+    DomainHealth,
+    DomainPolicy,
     HealthBoard,
     HealthPolicy,
     HedgePolicy,
@@ -169,4 +178,9 @@ __all__ = [
     "BROWNOUT_SHED_LOW",
     "BROWNOUT_DEGRADE",
     "BROWNOUT_REJECT",
+    "DomainPolicy",
+    "DomainHealth",
+    "DomainBoard",
+    "MirroredCheckpointStore",
+    "spread_domain",
 ]

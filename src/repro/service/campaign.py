@@ -39,7 +39,12 @@ from dataclasses import dataclass, field
 from ..comms.faults import checksum_bytes
 from .request import RequestRecord
 
-__all__ = ["CampaignCheckpoint", "CampaignCheckpointStore", "SchedulerCrash"]
+__all__ = [
+    "CampaignCheckpoint",
+    "CampaignCheckpointStore",
+    "MirroredCheckpointStore",
+    "SchedulerCrash",
+]
 
 _MAGIC = b"RPCS\x01"
 
@@ -119,6 +124,15 @@ class CampaignCheckpoint:
     hedges: dict = field(default_factory=dict)
     #: Whole-worker kills already applied before the commit.
     workers_killed: int = 0
+    #: Domain-breaker board (``DomainBoard.to_json()``): a resumed
+    #: scheduler preserves whole-node quarantines for the same reason it
+    #: preserves per-worker ones.
+    domain_health: dict = field(default_factory=dict)
+    #: Campaign-side failure-domain state: elastic worker→node
+    #: assignments, dead nodes, applied HCA factors, partitioned racks,
+    #: and the domain counters — all already-applied fault effects, so
+    #: the refired fault events replay idempotently after a crash.
+    domains: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Deterministic serialization (PR-2 recipe: magic + JSON + checksum)
@@ -145,6 +159,8 @@ class CampaignCheckpoint:
             "brownout": dict(self.brownout),
             "hedges": dict(self.hedges),
             "workers_killed": self.workers_killed,
+            "domain_health": dict(self.domain_health),
+            "domains": dict(self.domains),
         }
 
     @classmethod
@@ -169,6 +185,8 @@ class CampaignCheckpoint:
             brownout=dict(data.get("brownout", {})),
             hedges=dict(data.get("hedges", {})),
             workers_killed=int(data.get("workers_killed", 0)),
+            domain_health=dict(data.get("domain_health", {})),
+            domains=dict(data.get("domains", {})),
         )
 
     def to_bytes(self) -> bytes:
@@ -247,9 +265,82 @@ class CampaignCheckpointStore:
                 self._blobs.pop()
         return None
 
+    def destroy(self) -> None:
+        """Drop every blob — the domain hosting this replica died.
+
+        The file mirror (if any) is left alone: a dead node's disk is
+        unreachable, not rewritten."""
+        self._blobs.clear()
+
     @classmethod
     def load(cls, path: str) -> "CampaignCheckpointStore":
         store = cls(path)
         with open(path, "rb") as fh:
             store._blobs = [fh.read()]
         return store
+
+
+class MirroredCheckpointStore:
+    """Cross-domain checkpoint replication: primary + mirror replicas.
+
+    A checkpoint store that lives on one node is a single point of
+    failure the rest of this PR just abolished: lose that node and the
+    campaign loses its resume point along with the workers.  Every
+    commit therefore lands on *two* replicas pinned to different failure
+    domains; :meth:`latest` reads the primary and falls back to the
+    mirror (each replica keeping its own CRC/verified-fallback recipe),
+    and :meth:`lose_domain` — called by the scheduler when a node dies —
+    wipes whichever replica that node hosted.  Duck-type compatible with
+    :class:`CampaignCheckpointStore` everywhere the scheduler touches a
+    store (``commit`` / ``latest`` / ``committed`` / ``len``).
+    """
+
+    def __init__(
+        self,
+        primary: CampaignCheckpointStore | None = None,
+        mirror: CampaignCheckpointStore | None = None,
+        *,
+        primary_domain: int = 0,
+        mirror_domain: int = 1,
+    ) -> None:
+        if primary_domain == mirror_domain:
+            raise ValueError("primary and mirror must live in different domains")
+        self.primary = primary if primary is not None else CampaignCheckpointStore()
+        self.mirror = mirror if mirror is not None else CampaignCheckpointStore()
+        self.primary_domain = primary_domain
+        self.mirror_domain = mirror_domain
+        self.committed = 0
+        self.lost: set[int] = set()
+        #: Times :meth:`latest` had to serve from the mirror.
+        self.mirror_restores = 0
+
+    def __len__(self) -> int:
+        return max(len(self.primary), len(self.mirror))
+
+    def commit(self, checkpoint: CampaignCheckpoint) -> None:
+        if self.primary_domain not in self.lost:
+            self.primary.commit(checkpoint)
+        if self.mirror_domain not in self.lost:
+            self.mirror.commit(checkpoint)
+        self.committed += 1
+
+    def lose_domain(self, node: int) -> None:
+        """The node died; wipe whichever replica it hosted (if any)."""
+        if node in self.lost:
+            return
+        if node == self.primary_domain:
+            self.lost.add(node)
+            self.primary.destroy()
+        elif node == self.mirror_domain:
+            self.lost.add(node)
+            self.mirror.destroy()
+
+    def latest(self) -> CampaignCheckpoint | None:
+        if self.primary_domain not in self.lost:
+            ckpt = self.primary.latest()
+            if ckpt is not None:
+                return ckpt
+        ckpt = self.mirror.latest()
+        if ckpt is not None:
+            self.mirror_restores += 1
+        return ckpt

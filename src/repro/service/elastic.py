@@ -38,7 +38,13 @@ from dataclasses import dataclass
 
 from .queueing import DrainEstimator
 
-__all__ = ["ElasticPolicy", "ScaleEvent", "ArrivalRateEstimator", "PoolController"]
+__all__ = [
+    "ElasticPolicy",
+    "ScaleEvent",
+    "ArrivalRateEstimator",
+    "PoolController",
+    "spread_domain",
+]
 
 
 @dataclass(frozen=True)
@@ -267,3 +273,18 @@ class PoolController:
             for e in data["events"]
         ]
         return ctl
+
+
+def spread_domain(loads: dict, healthy: list) -> int:
+    """Pick the failure domain for the next scale-up worker.
+
+    Packing scale-up workers onto one node rebuilds exactly the blast
+    radius the failure-domain layer exists to bound: a single node loss
+    would take the whole elastic surge with it.  Spread instead — the
+    least-loaded *healthy* domain wins, lowest node id breaking ties so
+    the choice is deterministic.  ``loads`` maps node id to its count of
+    active workers; healthy nodes absent from ``loads`` count as empty.
+    """
+    if not healthy:
+        raise ValueError("no healthy domains to scale into")
+    return min(sorted(healthy), key=lambda node: loads.get(node, 0))

@@ -37,7 +37,7 @@ deterministic functions of the schedule:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = [
     "HEALTHY",
@@ -47,6 +47,9 @@ __all__ = [
     "HealthPolicy",
     "WorkerHealth",
     "HealthBoard",
+    "DomainPolicy",
+    "DomainHealth",
+    "DomainBoard",
     "HedgePolicy",
     "BROWNOUT_NORMAL",
     "BROWNOUT_SHED_LOW",
@@ -327,6 +330,200 @@ class HealthBoard:
         for wd in data["workers"]:
             wh = WorkerHealth.from_json(wd)
             board.workers[wh.worker_id] = wh
+        return board
+
+
+@dataclass(frozen=True)
+class DomainPolicy:
+    """When correlated per-worker strikes escalate to a whole domain.
+
+    A node loss looks, to the per-worker ledgers, like several workers
+    independently going bad at the same moment.  The domain breaker
+    recognizes the correlation: ``strike_k`` *distinct* workers of one
+    node quarantined within ``strike_window_s`` trips the whole node —
+    sweeping the not-yet-convicted co-residents out of service at once
+    instead of waiting for each to fail on its own.
+    """
+
+    enabled: bool = False
+    #: Distinct quarantined workers of one node that trip the domain.
+    strike_k: int = 2
+    #: Model-time window within which the strikes must correlate.
+    strike_window_s: float = 50e-3
+    #: Cooldown before the domain's single probe.
+    cooldown_s: float = 2e-3
+    #: Failed domain probes before the whole node is retired.
+    max_strikes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.strike_k < 1:
+            raise ValueError("strike_k must be >= 1")
+        if self.strike_window_s <= 0:
+            raise ValueError("strike_window_s must be > 0")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.max_strikes < 1:
+            raise ValueError("max_strikes must be >= 1")
+
+
+@dataclass
+class DomainHealth:
+    """One node's domain ledger (mutable, checkpointable)."""
+
+    node: int
+    state: str = HEALTHY
+    #: Recent worker-quarantine strikes: ``[time_s, worker_id]`` pairs,
+    #: pruned to the correlation window.
+    strikes: list = field(default_factory=list)
+    #: Domain-quarantine entries so far (probe-failure strike count).
+    probe_strikes: int = 0
+    quarantines: int = 0
+    cooldown_until_s: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "node": self.node,
+            "state": self.state,
+            "strikes": [[t, w] for t, w in self.strikes],
+            "probe_strikes": self.probe_strikes,
+            "quarantines": self.quarantines,
+            "cooldown_until_s": self.cooldown_until_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DomainHealth":
+        return cls(
+            node=int(data["node"]),
+            state=data["state"],
+            strikes=[[float(t), int(w)] for t, w in data["strikes"]],
+            probe_strikes=int(data["probe_strikes"]),
+            quarantines=int(data["quarantines"]),
+            cooldown_until_s=float(data["cooldown_until_s"]),
+        )
+
+
+class DomainBoard:
+    """Per-node domain breakers fed by correlated worker strikes.
+
+    Same observe/decide/actuate split as :class:`HealthBoard`: the board
+    counts strikes and answers ``should this node trip?``; the event
+    loop sweeps the node's workers and schedules the *single* domain
+    probe (one probe per domain, not per worker — the whole point of
+    recognizing the correlation).
+    """
+
+    def __init__(self, policy: DomainPolicy) -> None:
+        self.policy = policy
+        self.domains: dict[int, DomainHealth] = {}
+        self.quarantines = 0
+        self.reinstated = 0
+        self.retired = 0
+        #: Per-node quarantine entries, for the report scorecard.
+        self.by_domain: dict[int, int] = {}
+
+    def tracker(self, node: int) -> DomainHealth:
+        if node not in self.domains:
+            self.domains[node] = DomainHealth(node)
+        return self.domains[node]
+
+    # ------------------------------------------------------------------ #
+    # Observations
+    # ------------------------------------------------------------------ #
+
+    def observe_strike(self, node: int, worker_id: int, now: float) -> bool:
+        """Record a worker-level quarantine on ``node``; returns True
+        when ``strike_k`` distinct workers struck within the window and
+        the domain should trip."""
+        dh = self.tracker(node)
+        dh.strikes = [
+            [t, w]
+            for t, w in dh.strikes
+            if now - t <= self.policy.strike_window_s
+        ]
+        dh.strikes.append([now, worker_id])
+        distinct = {w for _, w in dh.strikes}
+        return dh.state == HEALTHY and len(distinct) >= self.policy.strike_k
+
+    # ------------------------------------------------------------------ #
+    # Breaker transitions
+    # ------------------------------------------------------------------ #
+
+    def quarantine(self, node: int, now: float) -> DomainHealth:
+        dh = self.tracker(node)
+        dh.state = QUARANTINED
+        dh.probe_strikes += 1
+        dh.cooldown_until_s = now + self.policy.cooldown_s
+        dh.quarantines += 1
+        self.quarantines += 1
+        self.by_domain[node] = self.by_domain.get(node, 0) + 1
+        return dh
+
+    def start_probe(self, node: int) -> None:
+        self.tracker(node).state = PROBING
+
+    def reinstate(self, node: int) -> None:
+        dh = self.tracker(node)
+        dh.state = HEALTHY
+        dh.strikes = []
+        dh.probe_strikes = 0
+        self.reinstated += 1
+
+    def retire_sick(self, node: int) -> None:
+        self.tracker(node).state = RETIRED_SICK
+        self.retired += 1
+
+    # ------------------------------------------------------------------ #
+    # Pool views
+    # ------------------------------------------------------------------ #
+
+    def state(self, node: int) -> str:
+        dh = self.domains.get(node)
+        return dh.state if dh is not None else HEALTHY
+
+    def is_serving(self, node: int) -> bool:
+        return self.state(node) == HEALTHY
+
+    def n_quarantined(self) -> int:
+        return sum(
+            1 for dh in self.domains.values()
+            if dh.state in (QUARANTINED, PROBING)
+        )
+
+    def summary(self) -> dict:
+        return {
+            "domain_quarantines": self.quarantines,
+            "domain_reinstated": self.reinstated,
+            "domain_retired": self.retired,
+            "quarantines_by_domain": {
+                str(n): self.by_domain[n] for n in sorted(self.by_domain)
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Campaign-checkpoint round trip (resume preserves quarantines)
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        return {
+            "quarantines": self.quarantines,
+            "reinstated": self.reinstated,
+            "retired": self.retired,
+            "by_domain": {str(n): c for n, c in sorted(self.by_domain.items())},
+            "domains": [self.domains[n].to_json() for n in sorted(self.domains)],
+        }
+
+    @classmethod
+    def from_json(cls, policy: DomainPolicy, data: dict) -> "DomainBoard":
+        board = cls(policy)
+        board.quarantines = int(data["quarantines"])
+        board.reinstated = int(data["reinstated"])
+        board.retired = int(data["retired"])
+        board.by_domain = {
+            int(n): int(c) for n, c in data["by_domain"].items()
+        }
+        for dd in data["domains"]:
+            dh = DomainHealth.from_json(dd)
+            board.domains[dh.node] = dh
         return board
 
 

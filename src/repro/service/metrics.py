@@ -122,6 +122,12 @@ class ServiceReport:
     retired_sick: int = 0
     #: Whole-worker kills injected by the fault plan.
     workers_killed: int = 0
+    #: Failure-domain scorecard (present when the service ran with a
+    #: :class:`~repro.comms.cluster.Topology`): topology string, nodes
+    #: lost, partitions seen/healed, domain quarantines by node,
+    #: anti-affinity placements/hedges, mirror restores, and per-node
+    #: time-to-isolate in ms.
+    domains: dict = field(default_factory=dict)
 
     @property
     def residency_hit_rate(self) -> float:
@@ -260,10 +266,11 @@ class ServiceReport:
             reinstated=daemon.get("reinstated", 0),
             retired_sick=daemon.get("retired_sick", 0),
             workers_killed=daemon.get("workers_killed", 0),
+            domains=daemon.get("domains", {}),
         )
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "requests": self.n_requests,
             "admitted": self.admitted,
             "rejected": self.rejected,
@@ -320,6 +327,11 @@ class ServiceReport:
             "retired_sick": self.retired_sick,
             "workers_killed": self.workers_killed,
         }
+        # Only topology-enabled runs carry a scorecard, so legacy report
+        # JSON stays byte-identical to what pre-domain builds emitted.
+        if self.domains:
+            out["domains"] = dict(self.domains)
+        return out
 
     @classmethod
     def from_json(cls, data: dict) -> "ServiceReport":
@@ -339,6 +351,9 @@ class ServiceReport:
                 "residency_misses": p["residency_misses"],
                 "residency_hit_rate": p["residency_hit_rate"],
                 "gauge_saved_s": p["gauge_saved_us"] / 1e6,
+                "anti_affinity_placements": p.get(
+                    "anti_affinity_placements", 0
+                ),
                 "tunecache_hits": p["tunecache_hits"],
                 "tunecache_misses": p["tunecache_misses"],
                 "tunecache_hit_rate": p["tunecache_hit_rate"],
@@ -402,13 +417,14 @@ class ServiceReport:
             reinstated=data.get("reinstated", 0),
             retired_sick=data.get("retired_sick", 0),
             workers_killed=data.get("workers_killed", 0),
+            domains=dict(data.get("domains", {})),
         )
 
     def _placement_json(self) -> dict:
         p = self.placement
         if not p:
             return {}
-        return {
+        out = {
             "grids": dict(p.get("grids", {})),
             "residency_hits": p.get("residency_hits", 0),
             "residency_misses": p.get("residency_misses", 0),
@@ -424,6 +440,11 @@ class ServiceReport:
                 p.get("tune_setup_saved_s", 0.0) * 1e6, 3
             ),
         }
+        # Anti-affinity only exists under a topology; omit the zero so
+        # legacy placement JSON is unchanged byte for byte.
+        if p.get("anti_affinity_placements"):
+            out["anti_affinity_placements"] = p["anti_affinity_placements"]
+        return out
 
     def render(self) -> str:
         util = ", ".join(
@@ -516,6 +537,31 @@ class ServiceReport:
         if self.workers_killed:
             lines.append(
                 f"faults:       {self.workers_killed} worker(s) killed"
+            )
+        if self.domains:
+            d = self.domains
+            lines.append(
+                f"domains:      topology {d.get('topology', '?')}, "
+                f"{d.get('nodes_killed', 0)} node(s) lost, "
+                f"{d.get('partitions', 0)} partition(s) "
+                f"({d.get('partition_heals', 0)} healed)"
+            )
+            by_domain = d.get("quarantines_by_domain", {})
+            quarantined = ", ".join(
+                f"node{n} x{c}" for n, c in sorted(by_domain.items())
+            )
+            lines.append(
+                f"              {d.get('domain_quarantines', 0)} domain "
+                f"quarantine(s)"
+                + (f" [{quarantined}]" if quarantined else "")
+                + f", {d.get('domain_reinstated', 0)} reinstated, "
+                f"{d.get('domain_retired', 0)} retired"
+            )
+            lines.append(
+                f"              anti-affinity: "
+                f"{d.get('anti_affinity_placements', 0)} placement(s), "
+                f"{d.get('anti_affinity_hedges', 0)} hedge(s); "
+                f"checkpoint mirror restores: {d.get('mirror_restores', 0)}"
             )
         return "\n".join(lines)
 

@@ -59,13 +59,25 @@ import itertools
 from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Iterable, Iterator
 
-from ..comms.cluster import ClusterSpec
-from ..comms.faults import FaultPlan, IntegrityPolicy, WorkerFaultPlan
+from ..comms.cluster import ClusterSpec, Topology
+from ..comms.faults import (
+    DomainFaultPlan,
+    FaultPlan,
+    HcaDegrade,
+    IntegrityPolicy,
+    SwitchPartition,
+    WorkerFaultPlan,
+)
 from ..core import RetryPolicy
 from ..gpu.specs import GTX285, GPUSpec
 from .batching import Batch, BatchPolicy, select_batch
 from .campaign import CampaignCheckpoint, CampaignCheckpointStore, SchedulerCrash
-from .elastic import ArrivalRateEstimator, ElasticPolicy, PoolController
+from .elastic import (
+    ArrivalRateEstimator,
+    ElasticPolicy,
+    PoolController,
+    spread_domain,
+)
 from .health import (
     BROWNOUT_DEGRADE,
     BROWNOUT_NORMAL,
@@ -77,6 +89,8 @@ from .health import (
     QUARANTINED,
     BrownoutController,
     BrownoutPolicy,
+    DomainBoard,
+    DomainPolicy,
     HealthBoard,
     HealthPolicy,
     HedgePolicy,
@@ -125,6 +139,14 @@ _EV_HEDGE = 5
 _EV_HEDGE_CANCEL = 6
 _EV_KILL = 7
 _EV_PROBE = 8
+# Failure-domain kinds (PR 8): correlated faults and the domain breaker's
+# single probe.  Pushed only when a DomainFaultPlan / DomainPolicy is
+# configured, so topology-free schedules stay byte-identical.
+_EV_NODE_KILL = 9
+_EV_HCA_DEGRADE = 10
+_EV_PARTITION = 11
+_EV_HEAL = 12
+_EV_DOMAIN_PROBE = 13
 
 #: Float-rounding slack for refresh-boundary arithmetic (same scale as
 #: the batching window slack).
@@ -220,6 +242,18 @@ class ServiceConfig:
     #: straggler slowdowns (the failure modes the resilience layer is
     #: exercised against).
     worker_faults: WorkerFaultPlan | None = None
+    #: Physical failure-domain hierarchy (worker -> node -> rack).
+    #: ``None`` = flat pool; every domain feature below requires it.
+    topology: Topology | None = None
+    #: Correlated fault injection at domain granularity: silent node
+    #: loss, HCA degradation, switch partitions.
+    domain_faults: DomainFaultPlan | None = None
+    #: Domain-level breaker: k-of-n correlated worker strikes escalate
+    #: to a whole-node quarantine with a single probe per domain.
+    domain_health: DomainPolicy | None = None
+    #: Place warm-pool / hedge replicas in a different failure domain
+    #: than the primary whenever one is available.
+    anti_affinity: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -248,6 +282,19 @@ class ServiceConfig:
                 f"n_workers={self.n_workers} outside the elastic range "
                 f"[{self.elastic.min_workers}, {self.elastic.max_workers}]"
             )
+        if self.topology is not None:
+            if self.n_workers > self.topology.n_workers:
+                raise ValueError(
+                    f"n_workers={self.n_workers} exceeds the topology's "
+                    f"{self.topology.n_workers} worker slot(s)"
+                )
+        else:
+            if self.domain_faults is not None:
+                raise ValueError("domain_faults requires a topology")
+            if self.domain_health is not None and self.domain_health.enabled:
+                raise ValueError("domain_health requires a topology")
+            if self.anti_affinity:
+                raise ValueError("anti_affinity requires a topology")
 
 
 @dataclass
@@ -277,6 +324,29 @@ class _ProbeRun:
     probe is the breaker's instrument, not admitted traffic.
     """
 
+    worker_id: int
+    execution: BatchExecution
+
+
+@dataclass
+class _DeadRun:
+    """A batch condemned by a *silent* node loss, awaiting detection.
+
+    The scheduler dispatched to a dead node without knowing it: the
+    send can only fail by timeout, so the failure surfaces ``detect_s``
+    after dispatch — not at the instant of death.  Rides ``_EV_DONE``
+    discriminated by type, like :class:`_ProbeRun`.
+    """
+
+    batch: Batch
+    start_s: float
+
+
+@dataclass
+class _DomainProbeRun:
+    """The domain breaker's single probe for a quarantined node."""
+
+    node: int
     worker_id: int
     execution: BatchExecution
 
@@ -325,10 +395,27 @@ class SolveService:
             tune_cache=tune_cache,
         )
 
-    def _make_worker(self, worker_id: int) -> SimWorker:
+    def _make_worker(self, worker_id: int, node: int | None = None) -> SimWorker:
         """One worker slot — the factory the elastic controller uses, so
-        a scaled-up worker is indistinguishable from a boot-time one."""
+        a scaled-up worker is indistinguishable from a boot-time one.
+
+        ``node`` is the failure domain an elastic scale-up landed on:
+        its straggler factor then derives from the (domain, seed) pair
+        instead of the pool index, so a resumed run with different
+        scale history stays deterministic per worker *identity*.
+        """
         cfg = self.config
+        if cfg.worker_faults is None:
+            straggler = 1.0
+        elif node is not None and worker_id >= cfg.n_workers:
+            straggler = cfg.worker_faults.reseeded(
+                node,
+                cfg.seed,
+                boot_workers=cfg.n_workers,
+                n_nodes=cfg.topology.n_nodes,
+            )
+        else:
+            straggler = cfg.worker_faults.straggler_factor(worker_id)
         return SimWorker(
             worker_id,
             ranks=cfg.ranks_per_worker,
@@ -350,11 +437,7 @@ class SolveService:
             fixed_iterations=cfg.fixed_iterations,
             overlap=cfg.overlap,
             residency=cfg.placement.residency,
-            straggler_factor=(
-                cfg.worker_faults.straggler_factor(worker_id)
-                if cfg.worker_faults is not None
-                else 1.0
-            ),
+            straggler_factor=straggler,
         )
 
     # ------------------------------------------------------------------ #
@@ -497,6 +580,28 @@ class _Campaign:
         #: batch a quarantined worker must survive to be reinstated.
         self.probe_template: SolveRequest | None = None
 
+        # ---- failure-domain state (all inert when topology is None) --
+        self.topology = cfg.topology
+        self.domain_board = (
+            DomainBoard(cfg.domain_health)
+            if cfg.domain_health is not None and cfg.domain_health.enabled
+            else None
+        )
+        #: Explicit node assignments for elastic scale-ups; boot workers
+        #: map through the topology's arithmetic.
+        self.worker_node: dict[int, int] = {}
+        self.dead_nodes: set[int] = set()
+        self.hca_factor: dict[int, float] = {}
+        self.partitioned: set[int] = set()
+        self.healed_racks: set[int] = set()
+        self.nodes_killed = 0
+        self.partitions_seen = 0
+        self.partition_heals = 0
+        self.anti_affinity_hedges = 0
+        #: First model time each worker was held out of service by a
+        #: breaker (worker or domain) — the time-to-isolate witness.
+        self.isolation_s: dict[int, float] = {}
+
         if restore is not None:
             self._restore(restore)
         self.placement.reset_stats()
@@ -505,6 +610,7 @@ class _Campaign:
             for w in self.workers
             if not w.retired
             and (self.board is None or self.board.is_serving(w.worker_id))
+            and self._idle_ok(w.worker_id)
         )
 
     # ------------------------------------------------------------------ #
@@ -532,10 +638,33 @@ class _Campaign:
             self.records.append(rec)
             self.queue.offer(rec, force=True)
         self.restored_requests = len(pending)
+        d = ckpt.domains
+        if d:
+            # Parsed *before* the worker rebuild: elastic workers need
+            # their node assignment to reproduce the (domain, seed)
+            # straggler factor.  ``hca_factor`` is deliberately NOT
+            # checkpointed — rebuilt workers carry base factors, and the
+            # refired HCA event re-applies the slowdown exactly once.
+            self.worker_node = {
+                int(k): int(v) for k, v in d.get("worker_nodes", {}).items()
+            }
+            self.dead_nodes = {int(n) for n in d.get("dead_nodes", [])}
+            self.partitioned = {int(r) for r in d.get("partitioned", [])}
+            self.healed_racks = {int(r) for r in d.get("healed_racks", [])}
+            self.nodes_killed = int(d.get("nodes_killed", 0))
+            self.partitions_seen = int(d.get("partitions_seen", 0))
+            self.partition_heals = int(d.get("partition_heals", 0))
+            self.anti_affinity_hedges = int(d.get("anti_affinity_hedges", 0))
+            self.isolation_s = {
+                int(k): float(v) for k, v in d.get("isolation_s", {}).items()
+            }
         for wd in ckpt.workers:
             while wd["worker_id"] >= len(self.workers):
+                wid = len(self.workers)
                 self.workers.append(
-                    self.service._make_worker(len(self.workers))
+                    self.service._make_worker(
+                        wid, node=self.worker_node.get(wid)
+                    )
                 )
             self.workers[wd["worker_id"]].restore_state(wd)
         if ckpt.tunecache is not None and self.placement.tune_cache is not None:
@@ -562,6 +691,21 @@ class _Campaign:
                         max(wh.cooldown_until_s, self.now),
                         _EV_PROBE,
                         wh.worker_id,
+                    )
+        if self.domain_board is not None and ckpt.domain_health:
+            # Same re-arm recipe as the worker board: quarantines
+            # survive the crash, in-flight probes do not.
+            self.domain_board = DomainBoard.from_json(
+                self.cfg.domain_health, ckpt.domain_health
+            )
+            for dh in self.domain_board.domains.values():
+                if dh.state == PROBING:
+                    dh.state = QUARANTINED
+                if dh.state == QUARANTINED:
+                    self._push(
+                        max(dh.cooldown_until_s, self.now),
+                        _EV_DOMAIN_PROBE,
+                        dh.node,
                     )
         if self.brownout is not None and ckpt.brownout:
             self.brownout = BrownoutController.from_json(
@@ -614,6 +758,30 @@ class _Campaign:
                 else {}
             ),
             workers_killed=self.workers_killed,
+            domain_health=(
+                self.domain_board.to_json()
+                if self.domain_board is not None
+                else {}
+            ),
+            domains=(
+                {
+                    "worker_nodes": {
+                        str(w): n for w, n in sorted(self.worker_node.items())
+                    },
+                    "dead_nodes": sorted(self.dead_nodes),
+                    "partitioned": sorted(self.partitioned),
+                    "healed_racks": sorted(self.healed_racks),
+                    "nodes_killed": self.nodes_killed,
+                    "partitions_seen": self.partitions_seen,
+                    "partition_heals": self.partition_heals,
+                    "anti_affinity_hedges": self.anti_affinity_hedges,
+                    "isolation_s": {
+                        str(w): t for w, t in sorted(self.isolation_s.items())
+                    },
+                }
+                if self.topology is not None
+                else {}
+            ),
         )
         self.store.commit(ckpt)
         self.checkpoints_committed += 1
@@ -642,15 +810,103 @@ class _Campaign:
 
     def _serving_workers(self) -> int:
         """Workers actually taking traffic: active minus the breaker's
-        quarantined/probing holds (identical to :meth:`_active_workers`
-        when health tracking is off)."""
-        if self.board is None:
+        quarantined/probing holds *and* minus whole domains parked by a
+        quarantine or partition (identical to :meth:`_active_workers`
+        when neither health tracking nor a topology is configured).
+
+        Retry-after hints divide the backlog by this count — when a
+        domain quarantine parks most of the pool, computing against the
+        full pool would tell shed clients to come back far too soon.
+        """
+        if self.board is None and self.topology is None:
             return self._active_workers()
         return sum(
             1
             for w in self.workers
-            if not w.retired and self.board.is_serving(w.worker_id)
+            if not w.retired
+            and (self.board is None or self.board.is_serving(w.worker_id))
+            and self._idle_ok(w.worker_id)
         )
+
+    # ------------------------------------------------------------------ #
+    # Failure-domain helpers (all vacuous when topology is None)
+    # ------------------------------------------------------------------ #
+
+    def _node_of(self, worker_id: int) -> int:
+        """The failure domain a worker lives on."""
+        node = self.worker_node.get(worker_id)
+        if node is not None:
+            return node
+        return self.topology.node_of_worker(worker_id)
+
+    def _members(self, node: int) -> list[int]:
+        """Every pool worker (any lifecycle state) on ``node``."""
+        return [
+            w.worker_id
+            for w in self.workers
+            if self._node_of(w.worker_id) == node
+        ]
+
+    def _node_dead(self, worker_id: int) -> bool:
+        return (
+            self.topology is not None
+            and self._node_of(worker_id) in self.dead_nodes
+        )
+
+    def _idle_ok(self, worker_id: int) -> bool:
+        """May this worker take traffic, as far as *domain* state knows?
+
+        True by construction when no topology is configured, so every
+        call site degenerates to the legacy schedule byte-for-byte.
+        """
+        if self.topology is None:
+            return True
+        node = self._node_of(worker_id)
+        if self.domain_board is not None and not self.domain_board.is_serving(
+            node
+        ):
+            return False
+        if self.topology.rack_of_node(node) in self.partitioned:
+            return False
+        return True
+
+    def _record_isolation(self, worker_id: int) -> None:
+        if self.topology is not None:
+            self.isolation_s.setdefault(worker_id, self.now)
+
+    def _domain_strike(self, worker_id: int) -> None:
+        """One worker-level fault is one strike against its domain; the
+        k-th *distinct* striking worker in the window escalates to a
+        whole-domain quarantine."""
+        if self.domain_board is None:
+            return
+        node = self._node_of(worker_id)
+        if self.domain_board.observe_strike(node, worker_id, self.now):
+            self._quarantine_domain(node)
+
+    def _reidle_members(self, nodes) -> None:
+        """Return every eligible parked worker on ``nodes`` to the idle
+        set (after a heal or a domain reinstate)."""
+        busy = {b.worker_id for b, _, _, _ in self.running.values()}
+        changed = False
+        for node in nodes:
+            for wid in self._members(node):
+                worker = self.workers[wid]
+                if (
+                    worker.retired
+                    or wid in busy
+                    or wid in self.pending_up
+                    or wid in self.idle
+                ):
+                    continue
+                if self.board is not None and not self.board.is_serving(wid):
+                    continue
+                if not self._idle_ok(wid):
+                    continue
+                self.idle.append(wid)
+                changed = True
+        if changed:
+            self.idle.sort()
 
     @staticmethod
     def _grid_label(grid: tuple[int, int] | None) -> str:
@@ -735,13 +991,22 @@ class _Campaign:
             max_batch=self.cfg.policy.max_batch,
             backlog=len(self.queue),
             quarantined=(
-                self.board.n_quarantined() if self.board is not None else 0
+                (self.board.n_quarantined() if self.board is not None else 0)
+                + self._domain_held_workers()
             ),
         )
         if delta > 0:
             for _ in range(delta):
                 wid = len(self.workers)
-                self.workers.append(self.service._make_worker(wid))
+                node = self._scale_up_node()
+                self.workers.append(self.service._make_worker(wid, node=node))
+                if node is not None:
+                    self.worker_node[wid] = node
+                    factor = self.hca_factor.get(node)
+                    if factor is not None:
+                        # New capacity on a degraded node inherits the
+                        # node's sick HCA like every co-resident worker.
+                        self.workers[wid].straggler_factor *= factor
                 self.pending_up.add(wid)
                 self._push(
                     self.now + self.cfg.elastic.spinup_s, _EV_WORKER_UP, wid
@@ -755,9 +1020,47 @@ class _Campaign:
             self.idle.remove(wid)
             self.workers[wid].retire()
 
+    def _domain_held_workers(self) -> int:
+        """Not-retired workers parked by a *domain* hold (quarantine or
+        partition) that the worker board still considers serving — the
+        controller must not read them as shrinkable idle capacity."""
+        if self.topology is None:
+            return 0
+        return sum(
+            1
+            for w in self.workers
+            if not w.retired
+            and (self.board is None or self.board.is_serving(w.worker_id))
+            and not self._idle_ok(w.worker_id)
+        )
+
+    def _scale_up_node(self) -> int | None:
+        """Anti-pack the elastic surge: least-loaded healthy domain,
+        lowest node id on ties.  ``None`` without a topology."""
+        if self.topology is None:
+            return None
+        nodes = list(range(self.topology.n_nodes))
+        healthy = [
+            n
+            for n in nodes
+            if n not in self.dead_nodes
+            and self.topology.rack_of_node(n) not in self.partitioned
+            and (
+                self.domain_board is None or self.domain_board.is_serving(n)
+            )
+        ]
+        loads: dict[int, int] = {}
+        for w in self.workers:
+            if not w.retired:
+                n = self._node_of(w.worker_id)
+                loads[n] = loads.get(n, 0) + 1
+        # With every domain unhealthy the pool still must not starve:
+        # fall back to spreading across all nodes.
+        return spread_domain(loads, healthy or nodes)
+
     def _worker_up(self, worker_id: int) -> None:
         self.pending_up.discard(worker_id)
-        if not self.workers[worker_id].retired:
+        if not self.workers[worker_id].retired and self._idle_ok(worker_id):
             self.idle.append(worker_id)
             self.idle.sort()
 
@@ -855,7 +1158,7 @@ class _Campaign:
             )
         )
         self.preemptions_total += 1
-        if not worker.retired:
+        if not worker.retired and self._idle_ok(worker.worker_id):
             self.idle.append(worker.worker_id)
             self.idle.sort()
 
@@ -903,7 +1206,32 @@ class _Campaign:
         _, _, start, end = entry
         if end - self.now <= _BOUNDARY_SLACK_S:
             return  # completing at this very instant anyway
-        wid = self.idle.pop(0)
+        pick = 0
+        if self.cfg.anti_affinity and self.topology is not None:
+            # A hedge exists because the primary looks sick; a replica
+            # sharing the primary's failure domain shares its fate.
+            # Prefer an idle worker on a *different* node — gauge-
+            # resident ones first, so the diversion never trades warmth
+            # for diversity when it can have both.
+            primary_node = self._node_of(batch.worker_id)
+            head = batch.records[0].request
+            rkey = (head.config_id, head.dims, head.mode, batch.grid)
+            best = None
+            for i, cand in enumerate(self.idle):
+                if self._node_of(cand) == primary_node:
+                    continue
+                score = (0 if self.workers[cand].resident_key == rkey else 1, i)
+                if best is None or score < best[0]:
+                    best = (score, i)
+            if best is not None:
+                pick = best[1]
+        wid = self.idle.pop(pick)
+        if (
+            self.cfg.anti_affinity
+            and self.topology is not None
+            and self._node_of(wid) != self._node_of(batch.worker_id)
+        ):
+            self.anti_affinity_hedges += 1
         worker = self.workers[wid]
         replica = Batch(
             batch_id=self._next_batch_id(),
@@ -948,6 +1276,8 @@ class _Campaign:
         hend = self.now + execution.duration_s
         self.running[replica.batch_id] = (replica, execution, self.now, hend)
         self._push(hend, _EV_DONE, (replica, execution))
+        if self._node_dead(wid):
+            self._condemn(replica.batch_id)
 
     def _resolve_hedge(self, batch: Batch) -> None:
         """``batch`` completed first: cancel the surviving copy at its
@@ -997,6 +1327,8 @@ class _Campaign:
             return
         if self.board is not None and not self.board.is_serving(worker_id):
             return
+        if not self._idle_ok(worker_id):
+            return
         if worker_id not in self.idle:
             self.idle.append(worker_id)
             self.idle.sort()
@@ -1010,6 +1342,8 @@ class _Campaign:
             self.idle.remove(worker_id)
         self.workers[worker_id].evict_residency()
         self._push(wh.cooldown_until_s, _EV_PROBE, worker_id)
+        self._record_isolation(worker_id)
+        self._domain_strike(worker_id)
 
     def _start_probe(self, worker_id: int) -> None:
         """Cooldown expired: run one seeded probe batch (representative
@@ -1018,6 +1352,16 @@ class _Campaign:
         worker."""
         worker = self.workers[worker_id]
         if worker.retired or self.board.state(worker_id) != QUARANTINED:
+            return
+        if self.topology is not None and not self._idle_ok(worker_id):
+            # The whole domain is held (quarantined or partitioned): a
+            # per-worker probe would race the domain's single probe.
+            # Retry once the domain resolves.
+            self._push(
+                self.now + max(self.board.policy.cooldown_s, 1e-6),
+                _EV_PROBE,
+                worker_id,
+            )
             return
         template = self.probe_template
         if template is None:
@@ -1038,9 +1382,15 @@ class _Campaign:
         execution = worker.execute(
             [probe_req], grid=None, tune_cache=self.placement.tune_cache
         )
-        worker.busy_s += execution.duration_s
+        if self._node_dead(worker_id):
+            # A probe sent to a dead node can only time out.
+            execution = replace(execution, ok=False)
+            duration = self.cfg.domain_faults.detect_s
+        else:
+            duration = execution.duration_s
+        worker.busy_s += duration
         self._push(
-            self.now + execution.duration_s,
+            self.now + duration,
             _EV_DONE,
             _ProbeRun(worker_id, execution),
         )
@@ -1055,8 +1405,9 @@ class _Campaign:
             return
         if run.execution.ok:
             self.board.reinstate(wid)
-            self.idle.append(wid)
-            self.idle.sort()
+            if self._idle_ok(wid):
+                self.idle.append(wid)
+                self.idle.sort()
             return
         self.board.observe_failure(wid, "probe")
         if self.board.tracker(wid).strikes >= self.board.policy.max_strikes:
@@ -1066,6 +1417,7 @@ class _Campaign:
         else:
             wh = self.board.quarantine(wid, self.now)
             self._push(wh.cooldown_until_s, _EV_PROBE, wid)
+            self._domain_strike(wid)
 
     def _kill_worker(self, worker_id: int) -> None:
         """A whole worker dies (injected correlated failure): retire it,
@@ -1085,6 +1437,8 @@ class _Campaign:
         if self.board is not None:
             self.board.observe_failure(worker_id, "kill")
             self.board.retire_sick(worker_id)
+        self._record_isolation(worker_id)
+        self._domain_strike(worker_id)
         doomed = sorted(
             bid
             for bid, (b, _, _, _) in self.running.items()
@@ -1137,6 +1491,332 @@ class _Campaign:
         self._evaluate_scale()
 
     # ------------------------------------------------------------------ #
+    # Correlated domain faults: silent node loss, HCA rot, partitions
+    # ------------------------------------------------------------------ #
+
+    def _kill_node(self, node: int) -> None:
+        """A node dies *silently*: no retire, no idle eviction — the
+        scheduler keeps dispatching to its workers and only learns of
+        the death through timed-out sends.  The resilience stack (worker
+        strikes escalating to a domain quarantine) must infer the rest.
+
+        Idempotent on the restored ``dead_nodes`` set so the refired
+        event replays safely after a scheduler resume."""
+        if self.topology is None or node in self.dead_nodes:
+            return
+        self.dead_nodes.add(node)
+        self.nodes_killed += 1
+        if self.store is not None and hasattr(self.store, "lose_domain"):
+            # The checkpoint replica hosted on this node goes with it.
+            self.store.lose_domain(node)
+        doomed = sorted(
+            bid
+            for bid, (b, _, _, _) in self.running.items()
+            if self._node_of(b.worker_id) == node
+        )
+        for bid in doomed:
+            self._condemn(bid)
+
+    def _condemn(self, batch_id: int) -> None:
+        """A batch is in flight to (or running on) a dead node: its
+        completion will never arrive.  Replace it with a timeout firing
+        ``detect_s`` from now — the earliest instant the scheduler can
+        notice anything is wrong."""
+        entry = self.running.pop(batch_id, None)
+        if entry is None:
+            return
+        batch, _, start, end = entry
+        self.cancelled.add(batch_id)
+        fail_at = self.now + self.cfg.domain_faults.detect_s
+        # Occupancy past the detection point is never spent; occupancy
+        # before it models the scheduler believing the worker is busy.
+        self.workers[batch.worker_id].busy_s -= max(end - fail_at, 0.0)
+        self._push(fail_at, _EV_DONE, _DeadRun(batch, start))
+
+    def _dead_done(self, run: _DeadRun) -> None:
+        """The send timeout fired: surface the condemned batch's failure
+        exactly like a worker crash — requeue within budget, terminal
+        fail past it — but *without* retiring the worker.  The slot
+        rejoins the idle set and keeps attracting traffic until the
+        breakers catch on: that detection lag is the cost the domain
+        quarantine exists to bound."""
+        batch = run.batch
+        cfg = self.cfg
+        wid = batch.worker_id
+        worker = self.workers[wid]
+        node = self._node_of(wid)
+        self.predicted.pop(batch.batch_id, None)
+        batch.completed_s = self.now
+        batch.duration_s = self.now - run.start_s
+        batch.ok = False
+        batch.detail = f"node {node} unreachable"
+        batch.trace.append(
+            (
+                self.now,
+                "node_dead",
+                f"send to worker {wid} timed out after "
+                f"{cfg.domain_faults.detect_s * 1e6:.1f}us",
+            )
+        )
+        partner_id = (
+            batch.hedge_of if batch.hedge_of is not None else batch.hedge_batch_id
+        )
+        if partner_id is not None and partner_id in self.running:
+            batch.trace.append(
+                (
+                    self.now,
+                    "hedge_survivor",
+                    f"records stay with running batch {partner_id}",
+                )
+            )
+        else:
+            for rec in batch.records:
+                if rec.attempts <= cfg.max_retries:
+                    rec.state = QUEUED
+                    self.queue.offer(rec, force=True)
+                    rec.note(
+                        self.now,
+                        "requeue",
+                        f"worker {wid} unreachable (node {node} lost); "
+                        f"retry {rec.attempts}/{cfg.max_retries}",
+                    )
+                else:
+                    rec.state = FAILED
+                    rec.completed_s = self.now
+                    rec.failure = StructuredFailure(
+                        kind="node_lost",
+                        detail=f"node {node} unreachable",
+                        model_time=self.now,
+                        attempts=rec.attempts,
+                    )
+                    rec.note(
+                        self.now,
+                        "fail",
+                        f"node {node} unreachable; retries exhausted",
+                    )
+                    self.completion_order.append(rec.request.req_id)
+        if (
+            not worker.retired
+            and (self.board is None or self.board.is_serving(wid))
+            and self._idle_ok(wid)
+        ):
+            self.idle.append(wid)
+            self.idle.sort()
+        if (
+            self.board is not None
+            and not worker.retired
+            and self.board.state(wid) == HEALTHY
+        ):
+            self.board.observe_failure(wid, "crash")
+            if self.board.should_trip(wid):
+                self._quarantine(wid)
+                batch.trace.append(
+                    (self.now, "quarantine", f"worker {wid} quarantined")
+                )
+        self._update_brownout()
+        self._evaluate_scale()
+        self.batches_since_commit += 1
+        if self.batches_since_commit >= cfg.checkpoint_every:
+            self._commit_checkpoint()
+
+    def _hca_degrade(self, spec: HcaDegrade) -> None:
+        """A node's HCA rots: every co-resident worker slows by the
+        spec's factor (in-flight batches keep their schedule; only
+        future executions pay).  Re-applies exactly once after resume
+        because rebuilt workers carry base factors."""
+        if spec.node in self.hca_factor:
+            return
+        self.hca_factor[spec.node] = spec.factor
+        for wid in self._members(spec.node):
+            worker = self.workers[wid]
+            if not worker.retired:
+                worker.straggler_factor *= spec.factor
+
+    def _partition(self, spec: SwitchPartition) -> None:
+        """A switch partitions a whole rack — loud, unlike a node kill:
+        the scheduler sees the link drop, parks every rack worker, and
+        requeues their in-flight work immediately.  The rack is not
+        retired; the seeded heal returns it."""
+        rack = spec.rack
+        if rack in self.partitioned or rack in self.healed_racks:
+            return
+        self.partitioned.add(rack)
+        self.partitions_seen += 1
+        member_ids = {
+            wid
+            for node in self.topology.nodes_in_rack(rack)
+            for wid in self._members(node)
+        }
+        for wid in sorted(member_ids):
+            if wid in self.idle:
+                self.idle.remove(wid)
+        cfg = self.cfg
+        doomed = sorted(
+            bid
+            for bid, (b, _, _, _) in self.running.items()
+            if b.worker_id in member_ids
+        )
+        for bid in doomed:
+            batch, _, start, end = self.running.pop(bid)
+            self.cancelled.add(bid)
+            self.predicted.pop(bid, None)
+            worker = self.workers[batch.worker_id]
+            worker.busy_s -= end - self.now
+            batch.completed_s = self.now
+            batch.duration_s = self.now - start
+            batch.ok = False
+            batch.detail = f"rack {rack} partitioned"
+            batch.trace.append(
+                (self.now, "partitioned", "switch uplink lost mid-batch")
+            )
+            partner_id = (
+                batch.hedge_of
+                if batch.hedge_of is not None
+                else batch.hedge_batch_id
+            )
+            if partner_id is not None and partner_id in self.running:
+                continue  # the surviving copy still serves these records
+            for rec in batch.records:
+                if rec.attempts <= cfg.max_retries:
+                    rec.state = QUEUED
+                    self.queue.offer(rec, force=True)
+                    rec.note(
+                        self.now,
+                        "requeue",
+                        f"rack {rack} partitioned; "
+                        f"retry {rec.attempts}/{cfg.max_retries}",
+                    )
+                else:
+                    rec.state = FAILED
+                    rec.completed_s = self.now
+                    rec.failure = StructuredFailure(
+                        kind="partition",
+                        detail=f"rack {rack} partitioned",
+                        model_time=self.now,
+                        attempts=rec.attempts,
+                    )
+                    rec.note(
+                        self.now,
+                        "fail",
+                        f"rack {rack} partitioned; retries exhausted",
+                    )
+                    self.completion_order.append(rec.request.req_id)
+        self._update_brownout()
+        self._evaluate_scale()
+
+    def _heal(self, rack: int) -> None:
+        if rack not in self.partitioned:
+            return
+        self.partitioned.discard(rack)
+        self.healed_racks.add(rack)
+        self.partition_heals += 1
+        self._reidle_members(self.topology.nodes_in_rack(rack))
+        self._evaluate_scale()
+
+    # ------------------------------------------------------------------ #
+    # Domain quarantine: escalation, single probe, reinstate/retire
+    # ------------------------------------------------------------------ #
+
+    def _quarantine_domain(self, node: int) -> None:
+        """k distinct workers on one node struck inside the window:
+        stop debating worker by worker and park the whole domain — idle
+        eviction and residency eviction for every member, one probe for
+        the node instead of one per worker."""
+        dh = self.domain_board.quarantine(node, self.now)
+        for wid in self._members(node):
+            worker = self.workers[wid]
+            if worker.retired:
+                continue
+            if wid in self.idle:
+                self.idle.remove(wid)
+            worker.evict_residency()
+            self._record_isolation(wid)
+        self._push(dh.cooldown_until_s, _EV_DOMAIN_PROBE, node)
+
+    def _start_domain_probe(self, node: int) -> None:
+        """The domain cooldown expired: one probe for the whole node,
+        on its lowest-id live member."""
+        if (
+            self.domain_board is None
+            or self.domain_board.state(node) != QUARANTINED
+        ):
+            return
+        members = [
+            wid
+            for wid in self._members(node)
+            if not self.workers[wid].retired
+        ]
+        if not members:
+            self.domain_board.retire_sick(node)
+            return
+        if self.topology.rack_of_node(node) in self.partitioned:
+            # Unreachable domains cannot be probed; wait out the heal.
+            self._push(
+                self.now + max(self.domain_board.policy.cooldown_s, 1e-6),
+                _EV_DOMAIN_PROBE,
+                node,
+            )
+            return
+        template = self.probe_template
+        if template is None:
+            self.domain_board.reinstate(node)
+            self._reidle_members((node,))
+            return
+        self.domain_board.start_probe(node)
+        wid = members[0]
+        worker = self.workers[wid]
+        probe_req = replace(
+            template,
+            # Below the per-worker probe id range, so traces never alias.
+            req_id=-(len(self.workers) + node + 1),
+            priority=PRIORITY_LOW,
+            arrival_s=self.now,
+            deadline_s=None,
+        )
+        execution = worker.execute(
+            [probe_req], grid=None, tune_cache=self.placement.tune_cache
+        )
+        if node in self.dead_nodes:
+            execution = replace(execution, ok=False)
+            duration = self.cfg.domain_faults.detect_s
+        else:
+            duration = execution.duration_s
+        worker.busy_s += duration
+        self._push(
+            self.now + duration,
+            _EV_DONE,
+            _DomainProbeRun(node, wid, execution),
+        )
+
+    def _domain_probe_done(self, run: _DomainProbeRun) -> None:
+        """The domain probe's verdict: clean reinstates every eligible
+        member at once; a strike re-quarantines, and ``max_strikes``
+        retires the whole node for good."""
+        node = run.node
+        if self.domain_board is None:
+            return
+        dh = self.domain_board.tracker(node)
+        if dh.state != PROBING:
+            return
+        if run.execution.ok:
+            self.domain_board.reinstate(node)
+            self._reidle_members((node,))
+            return
+        if dh.probe_strikes >= self.domain_board.policy.max_strikes:
+            self.domain_board.retire_sick(node)
+            for wid in self._members(node):
+                worker = self.workers[wid]
+                if not worker.retired:
+                    worker.retire()
+                    self._record_isolation(wid)
+                if wid in self.idle:
+                    self.idle.remove(wid)
+            self._evaluate_scale()  # the pool lost a whole node
+        else:
+            dh = self.domain_board.quarantine(node, self.now)
+            self._push(dh.cooldown_until_s, _EV_DOMAIN_PROBE, node)
+
+    # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
 
@@ -1182,10 +1862,24 @@ class _Campaign:
         cfg = self.cfg
         self.queue.remove(selected)
         try:
-            decision = self.placement.place(selected, self.idle)
+            decision = self.placement.place(
+                selected,
+                self.idle,
+                node_of=(self._node_of if self.topology is not None else None),
+                anti_affinity=cfg.anti_affinity,
+            )
         except ValueError as exc:
             self._fail_placement(selected, str(exc))
             return
+        if self.domain_board is not None and not self.domain_board.is_serving(
+            self._node_of(decision.worker_id)
+        ):
+            # Structural invariant (the idle set never holds a worker in
+            # a quarantined domain); a trip here is a scheduler bug.
+            raise ServiceInvariantError(
+                f"batch dispatched to worker {decision.worker_id} in "
+                f"quarantined domain {self._node_of(decision.worker_id)}"
+            )
         self.idle.remove(decision.worker_id)
         worker = self.workers[decision.worker_id]
         degraded = None
@@ -1256,6 +1950,8 @@ class _Campaign:
         end = self.now + execution.duration_s
         self.running[batch.batch_id] = (batch, execution, self.now, end)
         self._push(end, _EV_DONE, (batch, execution))
+        if self._node_dead(batch.worker_id):
+            self._condemn(batch.batch_id)
 
     def _dispatch_resume(self, run: _PreemptedRun) -> None:
         """Resume a preempted batch from its refresh-point checkpoint:
@@ -1310,6 +2006,8 @@ class _Campaign:
         end = self.now + duration
         self.running[batch.batch_id] = (batch, execution, self.now, end)
         self._push(end, _EV_DONE, (batch, execution))
+        if self._node_dead(batch.worker_id):
+            self._condemn(batch.batch_id)
 
     # ------------------------------------------------------------------ #
     # Completion
@@ -1320,7 +2018,7 @@ class _Campaign:
         self.running.pop(batch.batch_id, None)
         predicted = self.predicted.pop(batch.batch_id, 0.0)
         worker = self.workers[batch.worker_id]
-        if not worker.retired:
+        if not worker.retired and self._idle_ok(batch.worker_id):
             self.idle.append(worker.worker_id)
             self.idle.sort()
         batch.completed_s = self.now
@@ -1450,6 +2148,17 @@ class _Campaign:
         if self.cfg.worker_faults is not None:
             for kill in self.cfg.worker_faults.kills:
                 self._push(max(kill.at_s, self.now), _EV_KILL, kill.worker_id)
+        if self.cfg.domain_faults is not None:
+            df = self.cfg.domain_faults
+            for nk in df.node_kills:
+                self._push(max(nk.at_s, self.now), _EV_NODE_KILL, nk.node)
+            for hd in df.hca_degrades:
+                self._push(max(hd.at_s, self.now), _EV_HCA_DEGRADE, hd)
+            for sp in df.partitions:
+                self._push(max(sp.at_s, self.now), _EV_PARTITION, sp)
+                # The heal is seeded at schedule time (an absolute model
+                # time), so a resumed run heals at the same instant.
+                self._push(max(df.heal_time(sp), self.now), _EV_HEAL, sp.rack)
         self._push_next_arrival()
         self._dispatch()  # restored queue contents may already be ready
         while self.events:
@@ -1466,6 +2175,10 @@ class _Campaign:
             if kind == _EV_DONE:
                 if isinstance(payload, _ProbeRun):
                     self._probe_done(payload)
+                elif isinstance(payload, _DomainProbeRun):
+                    self._domain_probe_done(payload)
+                elif isinstance(payload, _DeadRun):
+                    self._dead_done(payload)
                 else:
                     batch, execution = payload
                     if batch.batch_id not in self.cancelled:
@@ -1486,6 +2199,16 @@ class _Campaign:
                 self._kill_worker(payload)
             elif kind == _EV_PROBE:
                 self._start_probe(payload)
+            elif kind == _EV_NODE_KILL:
+                self._kill_node(payload)
+            elif kind == _EV_HCA_DEGRADE:
+                self._hca_degrade(payload)
+            elif kind == _EV_PARTITION:
+                self._partition(payload)
+            elif kind == _EV_HEAL:
+                self._heal(payload)
+            elif kind == _EV_DOMAIN_PROBE:
+                self._start_domain_probe(payload)
             # _EV_TIMEOUT carries no payload: it exists to revisit the
             # queue once a batching window has expired.
             self._dispatch()
@@ -1544,4 +2267,41 @@ class _Campaign:
             out["brownout"] = self.brownout.summary()
         if self.cfg.worker_faults is not None:
             out["workers_killed"] = self.workers_killed
+        if self.topology is not None:
+            scorecard = {
+                "topology": str(self.topology),
+                "nodes_killed": self.nodes_killed,
+                "partitions": self.partitions_seen,
+                "partition_heals": self.partition_heals,
+                "anti_affinity_placements": (
+                    self.placement.stats.anti_affinity_placements
+                ),
+                "anti_affinity_hedges": self.anti_affinity_hedges,
+                "mirror_restores": (
+                    int(getattr(self.store, "mirror_restores", 0))
+                    if self.store is not None
+                    else 0
+                ),
+                "isolation_ms": self._isolation_ms(),
+            }
+            if self.domain_board is not None:
+                scorecard.update(self.domain_board.summary())
+            out["domains"] = scorecard
+        return out
+
+    def _isolation_ms(self) -> dict:
+        """Per-node time-to-isolate: the instant the *last* boot worker
+        on the node was held out of service.  Only nodes whose every
+        boot worker has been isolated appear — a partial hold is not
+        isolation."""
+        out: dict[str, float] = {}
+        boot = self.cfg.n_workers
+        for node in range(self.topology.n_nodes):
+            members = [
+                w for w in self.topology.workers_on_node(node) if w < boot
+            ]
+            if members and all(w in self.isolation_s for w in members):
+                out[str(node)] = round(
+                    max(self.isolation_s[w] for w in members) * 1e3, 6
+                )
         return out
