@@ -234,3 +234,49 @@ def test_domain_aware_isolation_beats_ledger_at_a_time(run_once):
     # The mirror leg: losing the primary's node must not lose requests.
     assert result["mirror_resume"]["mirror_restores"] >= 1
     assert result["mirror_resume"]["failed"] == 0
+
+
+def test_capacity_map_locates_knee_and_holds_fair_shares(run_once):
+    """Multi-tenant saturation map (PR 9): sweep arrival rate x tenant
+    mix x worker count and check the capacity contract — every cell
+    terminates every request, each (mix, workers) series has a visible
+    SLO-attainment knee with monotone degradation past it, equal-weight
+    tenants split saturated dispatch near 1:1, and 3:1 weights hold the
+    saturated shares near 3:1."""
+    from repro.bench.harness import capacity_sweep, render_capacity_map
+
+    result = run_once(lambda: capacity_sweep())
+    print("\n" + render_capacity_map(result))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_capacity.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    # Zero lost requests at every point of the map.
+    for cell in result["cells"]:
+        assert cell["lost"] == 0, cell
+    # Each series locates a knee inside the sweep, and more workers move
+    # it to a higher rate (the map is a capacity surface, not a line).
+    knees = {
+        (k["mix"], k["workers"]): k["knee_rate_rps"]
+        for k in result["knees"]
+    }
+    for (mix, workers), knee in knees.items():
+        assert knee is not None, f"no knee located for {mix}@{workers}"
+    assert knees[("equal", 4)] > knees[("equal", 2)]
+    # Past the knee, SLO attainment degrades monotonically with load.
+    for k in result["knees"]:
+        series = sorted(
+            (
+                c
+                for c in result["cells"]
+                if c["mix"] == k["mix"]
+                and c["workers"] == k["workers"]
+                and c["rate_rps"] >= k["knee_rate_rps"]
+            ),
+            key=lambda c: c["rate_rps"],
+        )
+        for earlier, later in zip(series, series[1:]):
+            assert later["slo_attainment"] <= earlier["slo_attainment"] + 0.02
+    # Saturated fairness: equal weights within 1.25x, 3:1 within 20%.
+    assert result["fairness"]["equal"]["imbalance"] <= 1.25
+    assert result["fairness"]["weighted_3to1"]["imbalance"] <= 1.20

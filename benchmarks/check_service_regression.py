@@ -194,6 +194,86 @@ def main(argv: list[str]) -> int:
             ),
         ]
 
+    if "capacity_map" in baseline:
+        from repro.bench.harness import capacity_sweep
+
+        cc = baseline["capacity_map"]["campaign"]
+        fresh_cap = capacity_sweep(
+            cc["requests"],
+            dims=tuple(cc["dims"]),
+            mode=cc["mode"],
+            ranks=cc["ranks_per_worker"],
+            max_batch=cc["max_batch"],
+            rates=tuple(cc["rates_rps"]),
+            workers=tuple(cc["workers"]),
+            deadline_slack_s=cc["deadline_slack_ms"] * 1e-3,
+            iterations=cc["iterations"],
+            seed=cc["seed"],
+        )
+        base_cap = baseline["capacity_map"]
+        # Hard invariants, not just drift:
+        # * no cell loses a request (completed+failed+rejected == submitted);
+        # * past each series' knee, SLO attainment degrades monotonically
+        #   with offered load (small slack for nearest-rank percentile
+        #   quantization);
+        # * equal-weight tenants split saturated dispatch within 1.25x;
+        # * 3:1 weights hold saturated shares within 20% of 3:1.
+        lost_ok = all(c["lost"] == 0 for c in fresh_cap["cells"])
+        monotone_ok = True
+        for k in fresh_cap["knees"]:
+            if k["knee_rate_rps"] is None:
+                continue
+            series = sorted(
+                (
+                    c
+                    for c in fresh_cap["cells"]
+                    if c["mix"] == k["mix"]
+                    and c["workers"] == k["workers"]
+                    and c["rate_rps"] >= k["knee_rate_rps"]
+                ),
+                key=lambda c: c["rate_rps"],
+            )
+            for earlier, later in zip(series, series[1:]):
+                if later["slo_attainment"] > earlier["slo_attainment"] + 0.02:
+                    monotone_ok = False
+        equal_fair = fresh_cap["fairness"]["equal"]["imbalance"] <= 1.25
+        weighted_fair = (
+            fresh_cap["fairness"]["weighted_3to1"]["imbalance"] <= 1.20
+        )
+        for name, ok in (
+            ("capacity_map.zero_lost", lost_ok),
+            ("capacity_map.slo_monotone_past_knee", monotone_ok),
+            ("capacity_map.equal_weight_fairness", equal_fair),
+            ("capacity_map.weighted_3to1_fairness", weighted_fair),
+        ):
+            print(f"{name:42s} {'ok' if ok else 'VIOLATED'}")
+        checks += [lost_ok, monotone_ok, equal_fair, weighted_fair]
+        # Drift guards: the knees and the saturated shares are the
+        # capacity contract; a silent shift is a scheduler change.
+        fresh_knees = {
+            (k["mix"], k["workers"]): k["knee_rate_rps"]
+            for k in fresh_cap["knees"]
+        }
+        for k in base_cap["knees"]:
+            base_knee = k["knee_rate_rps"]
+            fresh_knee = fresh_knees.get((k["mix"], k["workers"]))
+            checks.append(
+                _within(
+                    f"capacity_map.knee[{k['mix']}@{k['workers']}w]",
+                    fresh_knee if fresh_knee is not None else 0.0,
+                    base_knee if base_knee is not None else 0.0,
+                )
+            )
+        for mix_name, base_fair in base_cap["fairness"].items():
+            for tenant, share in base_fair["shares"].items():
+                checks.append(
+                    _within(
+                        f"capacity_map.share[{mix_name}:{tenant}]",
+                        fresh_cap["fairness"][mix_name]["shares"][tenant],
+                        share,
+                    )
+                )
+
     if all(checks):
         print("service bench within tolerance of baseline")
         return 0

@@ -33,6 +33,8 @@ __all__ = [
     "chaos_invert",
     "service_benchmark",
     "write_service_bench",
+    "capacity_sweep",
+    "render_capacity_map",
 ]
 
 #: Iterations per timing-only measurement.  The sustained rate is a
@@ -850,6 +852,255 @@ def domain_resilience_benchmark(
     }
 
 
+def capacity_sweep(
+    n_requests: int = 192,
+    *,
+    dims: tuple[int, int, int, int] = (4, 4, 4, 8),
+    mode: str = "double-half",
+    ranks: int = 2,
+    max_batch: int = 4,
+    rates: tuple[float, ...] = (40.0, 80.0, 160.0, 320.0),
+    workers: tuple[int, ...] = (2, 4),
+    deadline_slack_s: float = 0.15,
+    iterations: int = 10,
+    seed: int = 31,
+) -> dict:
+    """The multi-tenant saturation map: arrival rate x tenant mix x
+    worker count, one seeded streaming campaign per cell.
+
+    Each cell serves the same Poisson request stream split across two
+    tenants under weighted-fair dispatch (the ``equal`` mix at 1:1
+    weights, the ``weighted_3to1`` mix at 3:1) and reports SLO
+    attainment, throughput/goodput, the per-tenant completion shares,
+    and the no-lost-requests check.  Per (mix, workers) series the
+    *knee* is the highest swept rate whose SLO attainment still holds
+    ``slo_floor`` — beyond it the service is saturated and attainment
+    degrades monotonically with offered load, which is the capacity
+    contract the CI smoke job pins.
+    """
+    from ..service import (
+        BatchPolicy,
+        ServiceConfig,
+        SolveService,
+        TenancyPolicy,
+        stream_workload,
+    )
+
+    slo_floor = 0.95
+    mixes = {
+        "equal": ("atlas", "bell", (1.0, 1.0)),
+        "weighted_3to1": ("atlas", "bell", (3.0, 1.0)),
+    }
+    cells = []
+    for mix_name, (a, b, mix_weights) in mixes.items():
+        for n_workers in workers:
+            for rate in rates:
+                config = ServiceConfig(
+                    queue_capacity=max(4 * n_requests, 64),
+                    policy=BatchPolicy(max_batch=max_batch),
+                    n_workers=n_workers,
+                    ranks_per_worker=ranks,
+                    fixed_iterations=iterations,
+                    seed=seed,
+                    tenancy=TenancyPolicy.build(
+                        (a, b), weights=mix_weights
+                    ),
+                )
+                workload = stream_workload(
+                    n_requests,
+                    seed=seed,
+                    rate_rps=rate,
+                    dims=dims,
+                    mode=mode,
+                    priority_mix=(0.0, 1.0, 0.0),
+                    deadline_slack_s=deadline_slack_s,
+                    tenants=(a, b),
+                )
+                result = SolveService(config).serve(workload)
+                rep = result.report.to_json()
+                # Fairness shows while *both* tenants are backlogged: a
+                # finite campaign eventually serves everyone, so whole-run
+                # completion counts just mirror the arrival mix.  Count
+                # completions inside the arrival window instead — while
+                # load keeps arriving, the completion shares are the
+                # dispatch shares WFQ controls.
+                last_arrival = max(
+                    r.request.arrival_s for r in result.records
+                )
+                in_window = {
+                    name: sum(
+                        1
+                        for r in result.records
+                        if r.request.tenant == name
+                        and r.completed_s is not None
+                        and r.state == "completed"
+                        and r.completed_s <= last_arrival
+                    )
+                    for name in rep["tenants"]
+                }
+                served = sum(in_window.values())
+                cells.append(
+                    {
+                        "mix": mix_name,
+                        "workers": n_workers,
+                        "rate_rps": rate,
+                        "slo_attainment": rep["slo_attainment"],
+                        "throughput_rps": rep["throughput_rps"],
+                        "goodput_rps": rep["goodput_rps"],
+                        "completed": rep["completed"],
+                        "failed": rep["failed"],
+                        "rejected": rep["rejected"],
+                        "lost": rep["requests"]
+                        - rep["completed"]
+                        - rep["failed"]
+                        - rep["rejected"],
+                        "tenants": {
+                            name: {
+                                "weight_share": t["weight_share"],
+                                "completed": t["completed"],
+                                "completed_in_window": in_window[name],
+                                # The fairness signal: this tenant's slice
+                                # of the work served while load was still
+                                # arriving, which WFQ drives toward
+                                # weight_share under sustained backlog.
+                                "share": (
+                                    round(in_window[name] / served, 4)
+                                    if served
+                                    else 0.0
+                                ),
+                                "goodput_rps": t["goodput_rps"],
+                                "quota_rejected": t["quota_rejected"],
+                            }
+                            for name, t in rep["tenants"].items()
+                        },
+                    }
+                )
+    knees = []
+    for mix_name in mixes:
+        for n_workers in workers:
+            series = [
+                c
+                for c in cells
+                if c["mix"] == mix_name and c["workers"] == n_workers
+            ]
+            holding = [
+                c["rate_rps"]
+                for c in series
+                if c["slo_attainment"] >= slo_floor
+            ]
+            knees.append(
+                {
+                    "mix": mix_name,
+                    "workers": n_workers,
+                    "knee_rate_rps": max(holding) if holding else None,
+                }
+            )
+    # Aggregate fairness over *deep* overload (rate >= 4x the series
+    # knee): WFQ shares converge to weights only while every tenant's
+    # demand exceeds its allocation, and single cells are quantized to
+    # batch granularity — summing in-window completions across the
+    # saturated cells is the statistically honest share estimate.
+    fairness = {}
+    for mix_name, (a, b, mix_weights) in mixes.items():
+        used = []
+        for k in knees:
+            if k["mix"] != mix_name or k["knee_rate_rps"] is None:
+                continue
+            used.extend(
+                c
+                for c in cells
+                if c["mix"] == mix_name
+                and c["workers"] == k["workers"]
+                and c["rate_rps"] >= 4 * k["knee_rate_rps"]
+            )
+        counts = {
+            name: sum(c["tenants"][name]["completed_in_window"] for c in used)
+            for name in (a, b)
+        }
+        total = sum(counts.values())
+        shares = {
+            name: (counts[name] / total if total else 0.0) for name in counts
+        }
+        weight_shares = {
+            a: mix_weights[0] / sum(mix_weights),
+            b: mix_weights[1] / sum(mix_weights),
+        }
+        normalized = [
+            shares[name] / weight_shares[name] if shares[name] else 0.0
+            for name in counts
+        ]
+        fairness[mix_name] = {
+            "cells_used": len(used),
+            "completed_in_window": counts,
+            "shares": {n: round(s, 4) for n, s in shares.items()},
+            "weight_shares": weight_shares,
+            # max/min of share/weight_share: 1.0 = perfectly weighted-fair.
+            "imbalance": (
+                round(max(normalized) / min(normalized), 4)
+                if all(n > 0 for n in normalized)
+                else float("inf")
+            ),
+        }
+    return {
+        "campaign": {
+            "requests": n_requests,
+            "dims": list(dims),
+            "mode": mode,
+            "ranks_per_worker": ranks,
+            "max_batch": max_batch,
+            "rates_rps": list(rates),
+            "workers": list(workers),
+            "deadline_slack_ms": deadline_slack_s * 1e3,
+            "iterations": iterations,
+            "seed": seed,
+            "slo_floor": slo_floor,
+        },
+        "cells": cells,
+        "knees": knees,
+        "fairness": fairness,
+    }
+
+
+def render_capacity_map(cap: dict) -> str:
+    """Human-readable saturation map (the ``--capacity-sweep`` output)."""
+    lines = [
+        f"capacity sweep: {cap['campaign']['requests']} requests/cell, "
+        f"rates {cap['campaign']['rates_rps']} rps, "
+        f"workers {cap['campaign']['workers']}, "
+        f"SLO floor {cap['campaign']['slo_floor']:.2f}",
+        f"{'mix':<14} {'workers':>7} {'rate':>7} {'SLO':>7} "
+        f"{'goodput':>8} {'shares (vs weights)':>24}",
+    ]
+    for c in cap["cells"]:
+        shares = ", ".join(
+            f"{name} {t['share'] * 100:.0f}%/{t['weight_share'] * 100:.0f}%"
+            for name, t in sorted(c["tenants"].items())
+        )
+        lines.append(
+            f"{c['mix']:<14} {c['workers']:>7} {c['rate_rps']:>7.0f} "
+            f"{c['slo_attainment'] * 100:>6.1f}% "
+            f"{c['goodput_rps']:>8.1f} {shares:>24}"
+        )
+    for k in cap["knees"]:
+        knee = (
+            f"{k['knee_rate_rps']:.0f} rps"
+            if k["knee_rate_rps"] is not None
+            else "below sweep range"
+        )
+        lines.append(
+            f"knee [{k['mix']} @ {k['workers']} worker(s)]: {knee}"
+        )
+    for mix_name, f in cap.get("fairness", {}).items():
+        shares = ", ".join(
+            f"{name} {s * 100:.1f}%" for name, s in sorted(f["shares"].items())
+        )
+        lines.append(
+            f"fairness [{mix_name}]: {shares} over {f['cells_used']} "
+            f"saturated cell(s), imbalance {f['imbalance']:.3f}"
+        )
+    return "\n".join(lines)
+
+
 def write_service_bench(path: str = "BENCH_service.json", **kwargs) -> dict:
     """Run :func:`service_benchmark` plus the gauge-residency ablation
     (:func:`residency_benchmark`), the daemon-era preemption/elastic
@@ -865,6 +1116,7 @@ def write_service_bench(path: str = "BENCH_service.json", **kwargs) -> dict:
     result["daemon"] = daemon_benchmark()
     result["resilience"] = resilience_benchmark()
     result["domain_resilience"] = domain_resilience_benchmark()
+    result["capacity_map"] = capacity_sweep()
     with open(path, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -48,6 +48,20 @@ def _mix(text: str) -> tuple[float, float, float]:
     return parts
 
 
+def _names(text: str) -> tuple[str, ...]:
+    parts = tuple(p.strip() for p in text.split(",") if p.strip())
+    if not parts:
+        raise argparse.ArgumentTypeError("need at least one name")
+    return parts
+
+
+def _floats(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(p) for p in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated float list: {text!r}")
+
+
 def _grid_policy(text: str):
     """The serve-side grid knob: 'auto' (score per request), 'time'
     (pin the paper's time-only slicing), or a pinned RANKS_Z,RANKS_T."""
@@ -355,6 +369,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--anti-affinity", action="store_true",
                    help="place warm-pool and hedge replicas in a different "
                    "failure domain than the primary whenever possible")
+    # ---- multi-tenancy ------------------------------------------------- #
+    p.add_argument("--tenants", type=_names, default=None, metavar="A,B,...",
+                   help="tenant names sharing the service; enables "
+                   "per-tenant quotas, weighted-fair dispatch, and the "
+                   "per-tenant scorecard")
+    p.add_argument("--tenant-weights", type=_floats, default=None,
+                   metavar="W,W,...",
+                   help="fair-share weights, one per tenant "
+                   "(default: equal)")
+    p.add_argument("--tenant-mix", type=_floats, default=None,
+                   metavar="P,P,...",
+                   help="arrival mix across tenants as weights "
+                   "(default: uniform)")
+    p.add_argument("--quota-qps", type=float, default=None,
+                   help="per-tenant token-bucket refill rate (requests "
+                   "per model second; default: unmetered)")
+    p.add_argument("--quota-burst", type=int, default=None,
+                   help="per-tenant token-bucket capacity (back-to-back "
+                   "arrivals before the refill rate gates admission; "
+                   "default: one second of --quota-qps)")
+    p.add_argument("--capacity-sweep", action="store_true",
+                   help="instead of one campaign, sweep arrival rate x "
+                   "tenant mix x worker count and print the saturation "
+                   "map (the SLO-attainment knee); honours --json")
 
     p = sub.add_parser("experiments", help="write the full EXPERIMENTS.md")
     p.add_argument("--out", default="EXPERIMENTS.md")
@@ -619,10 +657,31 @@ def _cmd_serve(args) -> int:
         ServiceInvariantError,
         SharedTuneCache,
         SolveService,
+        TenancyPolicy,
         bursty_workload,
         stream_workload,
         synthetic_workload,
     )
+
+    if args.capacity_sweep:
+        from .bench.harness import capacity_sweep, render_capacity_map
+
+        cap = capacity_sweep()
+        print(render_capacity_map(cap))
+        if args.json:
+            import json as _json
+
+            with open(args.json, "w") as fh:
+                _json.dump(cap, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0
+
+    if not args.tenants and (
+        args.tenant_weights or args.tenant_mix or args.quota_qps
+    ):
+        print("repro serve: error: tenant options require --tenants")
+        return 2
 
     streaming = (
         args.stream
@@ -723,6 +782,16 @@ def _cmd_serve(args) -> int:
                 DomainPolicy(enabled=True) if args.domain_quarantine else None
             ),
             anti_affinity=args.anti_affinity,
+            tenancy=(
+                TenancyPolicy.build(
+                    args.tenants,
+                    weights=args.tenant_weights,
+                    quota_qps=args.quota_qps,
+                    quota_burst=args.quota_burst,
+                )
+                if args.tenants
+                else None
+            ),
         )
         tune_cache = None
         if args.tunecache and not args.no_tunecache and os.path.exists(
@@ -745,6 +814,9 @@ def _cmd_serve(args) -> int:
         )
         if args.priority_mix is not None:
             shape["priority_mix"] = args.priority_mix
+        if args.tenants:
+            shape["tenants"] = args.tenants
+            shape["tenant_mix"] = args.tenant_mix
         duration_s = (
             args.duration_ms * 1e-3 if args.duration_ms is not None else None
         )

@@ -54,6 +54,15 @@ traffic.  :class:`~repro.comms.faults.WorkerFaultPlan` injects the
 correlated whole-worker kills and straggler slowdowns these features are
 exercised against.
 
+The multi-tenant era (:mod:`repro.service.tenancy`) shares the daemon
+between competing campaigns: per-tenant token-bucket quotas
+(:class:`~repro.service.tenancy.TokenBucket`, rejects carrying an honest
+refill-derived retry-after), a start-time weighted-fair scheduler
+(:class:`~repro.service.tenancy.WeightedFairScheduler`) arbitrating
+dispatch across tenants within each priority tier, and a per-tenant
+scorecard on the report.  Tenancy-free campaigns are untouched — the
+same schedule, byte for byte.
+
 Everything is driven by *model time* — the same discrete-event clock the
 rest of the repository runs on — so a campaign with a fixed seed is
 fully deterministic: identical completion order, identical percentiles,
@@ -105,7 +114,7 @@ from .placement import (
     gauge_upload_s,
     residency_key,
 )
-from .queueing import AdmissionQueue, DrainEstimator
+from .queueing import AdmissionQueue, DrainEstimator, partition_by_tenant
 from .request import (
     PRIORITY_HIGH,
     PRIORITY_LOW,
@@ -120,6 +129,13 @@ from .service import (
     ServiceInvariantError,
     ServiceResult,
     SolveService,
+)
+from .tenancy import (
+    TenancyPolicy,
+    TenantRegistry,
+    TenantSpec,
+    TokenBucket,
+    WeightedFairScheduler,
 )
 from .workers import BatchExecution, SimWorker
 from .workload import bursty_workload, stream_workload, synthetic_workload
@@ -183,4 +199,10 @@ __all__ = [
     "DomainBoard",
     "MirroredCheckpointStore",
     "spread_domain",
+    "TenancyPolicy",
+    "TenantSpec",
+    "TenantRegistry",
+    "TokenBucket",
+    "WeightedFairScheduler",
+    "partition_by_tenant",
 ]

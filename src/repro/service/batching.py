@@ -118,11 +118,17 @@ def select_batch(
     are not ready are skipped, so a ready low-priority batch may use an
     idle worker while a fresher high-priority singleton still rides its
     window — but a ready high-priority group always wins the worker.
+
+    Groups are additionally partitioned by tenant: a batch is one
+    tenant's work, never a blend, so the weighted-fair accounting
+    upstream charges exactly one clock per dispatch.  Untenanted
+    records all share the ``None`` partition — grouping (and therefore
+    scheduling) is unchanged for tenancy-free campaigns.
     """
     groups: dict[tuple, list[RequestRecord]] = {}
     order: list[tuple] = []
     for rec in ordered:
-        key = rec.request.compat_key
+        key = (rec.request.tenant, rec.request.compat_key)
         if key not in groups:
             groups[key] = []
             order.append(key)

@@ -133,6 +133,12 @@ class CampaignCheckpoint:
     #: and the domain counters — all already-applied fault effects, so
     #: the refired fault events replay idempotently after a crash.
     domains: dict = field(default_factory=dict)
+    #: Multi-tenant state (``TenantRegistry.to_json()``): token-bucket
+    #: levels with their refill clocks, weighted-fair virtual clocks, and
+    #: per-tenant counters.  Buckets restore *verbatim* — a resumed
+    #: scheduler must not re-charge tokens for admissions the crashed one
+    #: already consumed.
+    tenancy: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Deterministic serialization (PR-2 recipe: magic + JSON + checksum)
@@ -161,6 +167,7 @@ class CampaignCheckpoint:
             "workers_killed": self.workers_killed,
             "domain_health": dict(self.domain_health),
             "domains": dict(self.domains),
+            "tenancy": dict(self.tenancy),
         }
 
     @classmethod
@@ -187,6 +194,7 @@ class CampaignCheckpoint:
             workers_killed=int(data.get("workers_killed", 0)),
             domain_health=dict(data.get("domain_health", {})),
             domains=dict(data.get("domains", {})),
+            tenancy=dict(data.get("tenancy", {})),
         )
 
     def to_bytes(self) -> bytes:

@@ -29,6 +29,17 @@ __all__ = ["percentile", "ServiceReport"]
 _N_WINDOWS = 8
 
 
+def _maybe_us(seconds: float | None) -> float | None:
+    """Seconds -> rounded microseconds, passing ``None`` through (a tier
+    or tenant with zero completions has no percentile, not a zero one)."""
+    return None if seconds is None else round(seconds * 1e6, 3)
+
+
+def _fmt_us(seconds: float | None) -> str:
+    """Render a latency percentile, showing ``n/a`` for ``None``."""
+    return "n/a" if seconds is None else f"{seconds * 1e6:.1f} us"
+
+
 def percentile(values: list[float], q: float) -> float:
     """Nearest-rank percentile (deterministic, no interpolation)."""
     if not values:
@@ -128,6 +139,12 @@ class ServiceReport:
     #: anti-affinity placements/hedges, mirror restores, and per-node
     #: time-to-isolate in ms.
     domains: dict = field(default_factory=dict)
+    #: Per-tenant scorecard (present when the service ran with a
+    #: :class:`~repro.service.tenancy.TenancyPolicy`): weight and fair
+    #: share, request/terminal counts, quota rejects and sheds, latency
+    #: percentiles (``None`` when the tenant saw zero completions), SLO
+    #: attainment, and goodput share versus the configured weight share.
+    tenants: dict = field(default_factory=dict)
 
     @property
     def residency_hit_rate(self) -> float:
@@ -203,6 +220,9 @@ class ServiceReport:
         )
 
         daemon = daemon or {}
+        tenants = cls._tenant_scorecard(
+            daemon.get("tenancy", {}), records, horizon
+        )
         return cls(
             n_requests=len(records),
             admitted=len(records) - len(rejected),
@@ -267,7 +287,79 @@ class ServiceReport:
             retired_sick=daemon.get("retired_sick", 0),
             workers_killed=daemon.get("workers_killed", 0),
             domains=daemon.get("domains", {}),
+            tenants=tenants,
         )
+
+    @staticmethod
+    def _tenant_scorecard(
+        tenancy: dict, records: list[RequestRecord], horizon: float
+    ) -> dict:
+        """Per-tenant slice of the campaign, keyed by tenant name.
+
+        Percentiles are ``None`` — not zero — for a tenant with no
+        completions: "saw no traffic" and "answered instantly" must not
+        be confusable on a dashboard.  ``goodput_share`` is the tenant's
+        slice of deadline-met completions across all *registered*
+        tenants (falling back to the completed-count slice when no
+        tenanted request carried a met deadline), which is the number
+        the weighted-fair scheduler promises converges to
+        ``weight_share`` under sustained backlog.
+        """
+        if not tenancy:
+            return {}
+        weights = tenancy.get("weights", {})
+        counters = tenancy.get("counters", {})
+        total_weight = sum(weights.values()) or 1.0
+        by_tenant = {
+            name: [r for r in records if r.request.tenant == name]
+            for name in weights
+        }
+        good = {
+            name: sum(1 for r in recs if r.met_deadline)
+            for name, recs in by_tenant.items()
+        }
+        done = {
+            name: sum(1 for r in recs if r.state == COMPLETED)
+            for name, recs in by_tenant.items()
+        }
+        share_of = good if sum(good.values()) else done
+        share_total = sum(share_of.values())
+        out: dict[str, dict] = {}
+        for name in sorted(weights):
+            recs = by_tenant[name]
+            lat = sorted(
+                r.latency_s
+                for r in recs
+                if r.state == COMPLETED and r.latency_s is not None
+            )
+            with_deadline = [
+                r
+                for r in recs
+                if r.state == COMPLETED and r.request.deadline_s is not None
+            ]
+            met = [r for r in with_deadline if r.met_deadline]
+            ctr = counters.get(name, {})
+            out[name] = {
+                "weight": float(weights[name]),
+                "weight_share": weights[name] / total_weight,
+                "requests": len(recs),
+                "completed": done[name],
+                "failed": sum(1 for r in recs if r.state == FAILED),
+                "rejected": sum(1 for r in recs if r.state == REJECTED),
+                "quota_rejected": int(ctr.get("quota_rejected", 0)),
+                "shed": int(ctr.get("shed", 0)),
+                "p50_s": percentile(lat, 50) if lat else None,
+                "p95_s": percentile(lat, 95) if lat else None,
+                "p99_s": percentile(lat, 99) if lat else None,
+                "slo_attainment": (
+                    len(met) / len(with_deadline) if with_deadline else 1.0
+                ),
+                "goodput_rps": good[name] / horizon,
+                "goodput_share": (
+                    share_of[name] / share_total if share_total else 0.0
+                ),
+            }
+        return out
 
     def to_json(self) -> dict:
         out = {
@@ -298,8 +390,8 @@ class ServiceReport:
             "priority_latency": {
                 name: {
                     "completed": tier["completed"],
-                    "p50_us": round(tier["p50_s"] * 1e6, 3),
-                    "p99_us": round(tier["p99_s"] * 1e6, 3),
+                    "p50_us": _maybe_us(tier["p50_s"]),
+                    "p99_us": _maybe_us(tier["p99_s"]),
                 }
                 for name, tier in sorted(self.priority_latency.items())
             },
@@ -331,6 +423,28 @@ class ServiceReport:
         # JSON stays byte-identical to what pre-domain builds emitted.
         if self.domains:
             out["domains"] = dict(self.domains)
+        # Same contract for tenancy: tenancy-free reports never gain the
+        # key, so their bytes match pre-tenancy builds.
+        if self.tenants:
+            out["tenants"] = {
+                name: {
+                    "weight": t["weight"],
+                    "weight_share": round(t["weight_share"], 4),
+                    "requests": t["requests"],
+                    "completed": t["completed"],
+                    "failed": t["failed"],
+                    "rejected": t["rejected"],
+                    "quota_rejected": t["quota_rejected"],
+                    "shed": t["shed"],
+                    "p50_us": _maybe_us(t["p50_s"]),
+                    "p95_us": _maybe_us(t["p95_s"]),
+                    "p99_us": _maybe_us(t["p99_s"]),
+                    "slo_attainment": round(t["slo_attainment"], 4),
+                    "goodput_rps": round(t["goodput_rps"], 3),
+                    "goodput_share": round(t["goodput_share"], 4),
+                }
+                for name, t in sorted(self.tenants.items())
+            }
         return out
 
     @classmethod
@@ -389,8 +503,16 @@ class ServiceReport:
             priority_latency={
                 name: {
                     "completed": tier["completed"],
-                    "p50_s": tier["p50_us"] / 1e6,
-                    "p99_s": tier["p99_us"] / 1e6,
+                    "p50_s": (
+                        tier["p50_us"] / 1e6
+                        if tier["p50_us"] is not None
+                        else None
+                    ),
+                    "p99_s": (
+                        tier["p99_us"] / 1e6
+                        if tier["p99_us"] is not None
+                        else None
+                    ),
                 }
                 for name, tier in data["priority_latency"].items()
             },
@@ -418,6 +540,31 @@ class ServiceReport:
             retired_sick=data.get("retired_sick", 0),
             workers_killed=data.get("workers_killed", 0),
             domains=dict(data.get("domains", {})),
+            tenants={
+                name: {
+                    "weight": t["weight"],
+                    "weight_share": t["weight_share"],
+                    "requests": t["requests"],
+                    "completed": t["completed"],
+                    "failed": t["failed"],
+                    "rejected": t["rejected"],
+                    "quota_rejected": t["quota_rejected"],
+                    "shed": t["shed"],
+                    "p50_s": (
+                        t["p50_us"] / 1e6 if t["p50_us"] is not None else None
+                    ),
+                    "p95_s": (
+                        t["p95_us"] / 1e6 if t["p95_us"] is not None else None
+                    ),
+                    "p99_s": (
+                        t["p99_us"] / 1e6 if t["p99_us"] is not None else None
+                    ),
+                    "slo_attainment": t["slo_attainment"],
+                    "goodput_rps": t["goodput_rps"],
+                    "goodput_share": t["goodput_share"],
+                }
+                for name, t in data.get("tenants", {}).items()
+            },
         )
 
     def _placement_json(self) -> dict:
@@ -491,10 +638,21 @@ class ServiceReport:
             )
         if self.priority_latency:
             tiers = "   ".join(
-                f"{name} p99 {tier['p99_s'] * 1e6:.1f} us ({tier['completed']})"
+                f"{name} p99 {_fmt_us(tier['p99_s'])} ({tier['completed']})"
                 for name, tier in sorted(self.priority_latency.items())
             )
             lines.append(f"per priority: {tiers}")
+        for name, t in sorted(self.tenants.items()):
+            lines.append(
+                f"tenant {name}:  weight {t['weight']:g} "
+                f"(share {t['weight_share'] * 100:.1f}%), "
+                f"{t['completed']}/{t['requests']} completed, "
+                f"{t['quota_rejected']} quota-rejected, {t['shed']} shed; "
+                f"p50 {_fmt_us(t['p50_s'])}  p95 {_fmt_us(t['p95_s'])}  "
+                f"p99 {_fmt_us(t['p99_s'])}; "
+                f"SLO {t['slo_attainment'] * 100:.1f}%, "
+                f"goodput share {t['goodput_share'] * 100:.1f}%"
+            )
         if self.preemptions or self.resumed_batches:
             lines.append(
                 f"preemption:   {self.preemptions} yield(s) at refresh "

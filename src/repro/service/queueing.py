@@ -15,7 +15,7 @@ import math
 
 from .request import RequestRecord
 
-__all__ = ["AdmissionQueue", "DrainEstimator"]
+__all__ = ["AdmissionQueue", "DrainEstimator", "partition_by_tenant"]
 
 
 class DrainEstimator:
@@ -107,6 +107,27 @@ def _order_key(rec: RequestRecord) -> tuple:
     req = rec.request
     deadline = req.deadline_s if req.deadline_s is not None else math.inf
     return (req.priority, deadline, req.arrival_s, req.req_id)
+
+
+def partition_by_tenant(
+    ordered: list[RequestRecord], registry
+) -> dict[str | None, list[RequestRecord]]:
+    """Split a scheduling-ordered record list into per-tenant sublists.
+
+    Each sublist preserves the global scheduling order, so per-tenant
+    batch selection sees exactly the view it would have seen had only
+    that tenant's traffic been queued.  Records whose tenant is absent
+    from ``registry`` (including untenanted ``None`` traffic) share the
+    ``None`` partition — they bypass fairness accounting and fill idle
+    capacity only when no registered tenant holds ready work in the head
+    priority tier.
+    """
+    parts: dict[str | None, list[RequestRecord]] = {}
+    for rec in ordered:
+        tenant = rec.request.tenant
+        key = tenant if tenant in registry else None
+        parts.setdefault(key, []).append(rec)
+    return parts
 
 
 class AdmissionQueue:

@@ -66,6 +66,9 @@ class SolveRequest:
     #: Absolute model-time SLO: completion after this still counts as
     #: throughput but not as *goodput*.  ``None`` = no deadline.
     deadline_s: float | None = None
+    #: Owning tenant (multi-tenant campaigns); ``None`` = untenanted
+    #: traffic, which bypasses quota and fairness accounting entirely.
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if len(self.dims) != 4:
@@ -90,7 +93,7 @@ class SolveRequest:
     # ------------------------------------------------------------------ #
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "req_id": self.req_id,
             "config_id": self.config_id,
             "dims": list(self.dims),
@@ -102,6 +105,11 @@ class SolveRequest:
             "arrival_s": self.arrival_s,
             "deadline_s": self.deadline_s,
         }
+        # Only tenanted requests carry the key, so untenanted checkpoint
+        # bytes match what pre-tenancy builds committed.
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        return out
 
     @classmethod
     def from_json(cls, data: dict) -> "SolveRequest":
@@ -118,6 +126,7 @@ class SolveRequest:
             deadline_s=(
                 float(data["deadline_s"]) if data["deadline_s"] is not None else None
             ),
+            tenant=data.get("tenant"),
         )
 
 

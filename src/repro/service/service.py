@@ -97,7 +97,8 @@ from .health import (
 )
 from .metrics import ServiceReport
 from .placement import PlacementEngine, PlacementPolicy, SharedTuneCache
-from .queueing import AdmissionQueue, DrainEstimator
+from .queueing import AdmissionQueue, DrainEstimator, partition_by_tenant
+from .tenancy import TenancyPolicy, TenantRegistry
 from .request import (
     COMPLETED,
     FAILED,
@@ -254,6 +255,10 @@ class ServiceConfig:
     #: Place warm-pool / hedge replicas in a different failure domain
     #: than the primary whenever one is available.
     anti_affinity: bool = False
+    #: Multi-tenant capacity control: per-tenant token-bucket quotas and
+    #: weighted-fair dispatch.  ``None`` (or a tenant-less policy) keeps
+    #: the whole subsystem inert — tenancy-free schedules byte-identical.
+    tenancy: TenancyPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -573,6 +578,13 @@ class _Campaign:
         self.hedges_won = 0
         self.hedges_cancelled = 0
         self.workers_killed = 0
+        #: Multi-tenant state machine (quotas, fairness clocks, per-tenant
+        #: counters); ``None`` keeps every tenancy hook inert.
+        self.tenants = (
+            TenantRegistry(cfg.tenancy)
+            if cfg.tenancy is not None and cfg.tenancy.enabled
+            else None
+        )
         #: Drain-model estimate taken at each batch's dispatch — the
         #: baseline hedging and the slow-completion signal compare to.
         self.predicted: dict[int, float] = {}
@@ -715,6 +727,12 @@ class _Campaign:
             self.hedges_launched = int(ckpt.hedges.get("launched", 0))
             self.hedges_won = int(ckpt.hedges.get("won", 0))
             self.hedges_cancelled = int(ckpt.hedges.get("cancelled", 0))
+        if self.tenants is not None and ckpt.tenancy:
+            # Bucket levels and refill clocks restore verbatim (the
+            # resumed clock continues from the commit time, so no tenant
+            # is re-charged for admissions the checkpoint already saw),
+            # and the fairness clocks pick up exactly where they ran.
+            self.tenants.restore(ckpt.tenancy)
         self.workers_killed = ckpt.workers_killed
 
     def _commit_checkpoint(self) -> None:
@@ -758,6 +776,9 @@ class _Campaign:
                 else {}
             ),
             workers_killed=self.workers_killed,
+            tenancy=(
+                self.tenants.to_json() if self.tenants is not None else {}
+            ),
             domain_health=(
                 self.domain_board.to_json()
                 if self.domain_board is not None
@@ -924,31 +945,63 @@ class _Campaign:
         self.records.append(rec)
         rec.note(self.now, "arrive", f"priority {req.priority}")
         self.arrival_est.observe(self.now)
+        if self.tenants is not None and req.tenant in self.tenants:
+            # Quota gate: one bucket token per admission.  The reject's
+            # retry-after is the bucket's *refill* time — when the tenant
+            # next has a token — not the drain estimate, which says when
+            # the cluster has room (a different, usually shorter, answer
+            # that would invite an immediate second reject).  A quota
+            # reject never reaches a worker, so it never touches the
+            # health ledgers either: it is the tenant's fault, not a
+            # worker's.
+            retry = self.tenants.admit(req.tenant, self.now)
+            if retry is not None:
+                rec.state = REJECTED
+                rec.completed_s = self.now
+                rec.retry_after_s = retry
+                rec.note(
+                    self.now,
+                    "quota",
+                    f"tenant {req.tenant} over quota; retry after "
+                    f"{retry * 1e6:.1f}us (bucket refill)",
+                )
+                return None
         level = self._update_brownout()
         if level >= BROWNOUT_SHED_LOW and req.priority != PRIORITY_HIGH:
             # HIGH is admitted at every level (capacity itself, i.e. the
             # queue bound, is its only limit); LOW sheds first, NORMAL
             # only at the top level.
             if level >= BROWNOUT_REJECT or req.priority == PRIORITY_LOW:
-                rec.state = REJECTED
-                rec.shed = True
-                rec.completed_s = self.now
-                rec.retry_after_s = self.drain.retry_after_s(
-                    len(self.queue),
-                    max_batch=cfg.policy.max_batch,
-                    n_workers=max(self._serving_workers(), 1),
-                )
-                if req.priority == PRIORITY_LOW:
-                    self.brownout.shed += 1
-                else:
-                    self.brownout.brownout_rejected += 1
-                rec.note(
-                    self.now,
-                    "shed",
-                    f"brownout level {level}; retry after "
-                    f"{rec.retry_after_s * 1e6:.1f}us",
-                )
-                return None
+                shed = True
+                if self.tenants is not None and req.tenant in self.tenants:
+                    if level < BROWNOUT_REJECT:
+                        # Weight-proportional shedding: the heaviest
+                        # tenant keeps every LOW request, lighter tenants
+                        # shed in proportion to their weight deficit —
+                        # instead of the tenant-blind shed-all.
+                        shed = self.tenants.shed_low(req.tenant)
+                    else:
+                        self.tenants.note_shed(req.tenant)
+                if shed:
+                    rec.state = REJECTED
+                    rec.shed = True
+                    rec.completed_s = self.now
+                    rec.retry_after_s = self.drain.retry_after_s(
+                        len(self.queue),
+                        max_batch=cfg.policy.max_batch,
+                        n_workers=max(self._serving_workers(), 1),
+                    )
+                    if req.priority == PRIORITY_LOW:
+                        self.brownout.shed += 1
+                    else:
+                        self.brownout.brownout_rejected += 1
+                    rec.note(
+                        self.now,
+                        "shed",
+                        f"brownout level {level}; retry after "
+                        f"{rec.retry_after_s * 1e6:.1f}us",
+                    )
+                    return None
         if not self.queue.offer(rec):
             rec.state = REJECTED
             rec.completed_s = self.now
@@ -1843,10 +1896,41 @@ class _Campaign:
                 best = (key, run)
         return best[1] if best is not None else None
 
+    def _select_fresh(self) -> list[RequestRecord] | None:
+        """The next dispatchable fresh batch.
+
+        Without tenancy this is plain :func:`select_batch` over the
+        scheduling order.  With tenants, each tenant's partition runs
+        its own selection, and the weighted-fair scheduler arbitrates
+        among the tenants whose ready batch sits in the most urgent
+        tier — so no tenant starves another within a priority class,
+        while a more urgent tier still always wins the worker.
+        """
+        ordered = self.queue.ordered()
+        if self.tenants is None:
+            return select_batch(ordered, self.now, self.cfg.policy)
+        ready: dict[str | None, list[RequestRecord]] = {}
+        for name, subset in partition_by_tenant(ordered, self.tenants).items():
+            group = select_batch(subset, self.now, self.cfg.policy)
+            if group is not None:
+                ready[name] = group
+        if not ready:
+            return None
+        best = min(g[0].request.priority for g in ready.values())
+        tier = {
+            name: g
+            for name, g in ready.items()
+            if g[0].request.priority == best
+        }
+        names = [name for name in tier if name is not None]
+        if not names:
+            return tier[None]  # only untenanted work in the head tier
+        return tier[self.tenants.wfq.pick(names)]
+
     def _dispatch(self) -> None:
         cfg = self.cfg
         while self.idle and (len(self.queue) or self.preempted):
-            selected = select_batch(self.queue.ordered(), self.now, cfg.policy)
+            selected = self._select_fresh()
             resume = self._best_preempted()
             if selected is not None and (
                 resume is None
@@ -1901,6 +1985,16 @@ class _Campaign:
         )
         self.batches.append(batch)
         self.probe_template = selected[0].request
+        if (
+            self.tenants is not None
+            and selected[0].request.tenant in self.tenants
+        ):
+            # One batch = one tenant (select_batch partitions by tenant),
+            # so the fairness clock advances by exactly this dispatch's
+            # size over the tenant's weight.
+            self.tenants.wfq.charge(
+                selected[0].request.tenant, float(len(selected))
+            )
         for rec in selected:
             rec.state = RUNNING
             rec.attempts += 1
@@ -2267,6 +2361,8 @@ class _Campaign:
             out["brownout"] = self.brownout.summary()
         if self.cfg.worker_faults is not None:
             out["workers_killed"] = self.workers_killed
+        if self.tenants is not None:
+            out["tenancy"] = self.tenants.summary()
         if self.topology is not None:
             scorecard = {
                 "topology": str(self.topology),

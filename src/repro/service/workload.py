@@ -33,6 +33,7 @@ __all__ = ["synthetic_workload", "stream_workload", "bursty_workload"]
 _SALT_ARRIVAL = 0xA881
 _SALT_PRIORITY = 0xA882
 _SALT_CONFIG = 0xA883
+_SALT_TENANT = 0xA884
 
 #: Per-priority deadline slack multipliers (HIGH is the tight tier).
 _SLACK = {PRIORITY_HIGH: 0.5, PRIORITY_NORMAL: 1.0, PRIORITY_LOW: 2.0}
@@ -43,6 +44,25 @@ def _normalized_mix(priority_mix) -> np.ndarray:
     if mix.min() < 0 or mix.sum() <= 0:
         raise ValueError("priority_mix must be nonnegative with positive sum")
     return mix / mix.sum()
+
+
+def _tenant_mix(tenants, tenant_mix) -> np.ndarray | None:
+    """Normalized tenant draw probabilities, or ``None`` when the
+    workload is untenanted (the tenant RNG is then never created, so
+    untenanted streams stay byte-identical to pre-tenancy builds)."""
+    if tenants is None:
+        if tenant_mix is not None:
+            raise ValueError("tenant_mix requires tenants")
+        return None
+    if not tenants:
+        raise ValueError("tenants must be non-empty when given")
+    if tenant_mix is None:
+        tenant_mix = [1.0] * len(tenants)
+    if len(tenant_mix) != len(tenants):
+        raise ValueError(
+            f"{len(tenants)} tenant(s) but {len(tenant_mix)} mix weight(s)"
+        )
+    return _normalized_mix(tenant_mix)
 
 
 def synthetic_workload(
@@ -59,6 +79,8 @@ def synthetic_workload(
     #: Deadline slack in model seconds for a NORMAL-priority request;
     #: HIGH gets half, LOW double.  ``None`` disables deadlines.
     deadline_slack_s: float | None = None,
+    tenants: tuple[str, ...] | None = None,
+    tenant_mix: tuple[float, ...] | None = None,
 ) -> list[SolveRequest]:
     """``n_requests`` arrivals of a Section-VIII-style campaign."""
     if n_requests < 0:
@@ -68,6 +90,7 @@ def synthetic_workload(
     if n_configs < 1:
         raise ValueError("n_configs must be >= 1")
     mix = _normalized_mix(priority_mix)
+    tmix = _tenant_mix(tenants, tenant_mix)
 
     arrival_rng = np.random.default_rng(
         np.random.SeedSequence([seed, _SALT_ARRIVAL])
@@ -86,6 +109,12 @@ def synthetic_workload(
         p=mix,
     )
     configs = config_rng.integers(0, n_configs, size=n_requests)
+    owners = None
+    if tmix is not None:
+        tenant_rng = np.random.default_rng(
+            np.random.SeedSequence([seed, _SALT_TENANT])
+        )
+        owners = tenant_rng.choice(len(tenants), size=n_requests, p=tmix)
 
     requests = []
     for i in range(n_requests):
@@ -106,6 +135,7 @@ def synthetic_workload(
                 priority=priority,
                 arrival_s=arrival,
                 deadline_s=deadline,
+                tenant=tenants[int(owners[i])] if owners is not None else None,
             )
         )
     return requests
@@ -129,13 +159,15 @@ def _stream(
     n_configs: int,
     priority_mix: tuple[float, float, float],
     deadline_slack_s: float | None,
+    tenants: tuple[str, ...] | None = None,
+    tenant_mix: tuple[float, ...] | None = None,
 ) -> Iterator[SolveRequest]:
     """Shared lazy generator behind the streaming workloads.
 
     ``gap_for(rng, now)`` draws the next interarrival gap — the hook the
     bursty process uses to vary the rate over event time.  Generation is
-    incremental draws from three ``SeedSequence``-keyed RNGs, so the
-    stream is byte-identical across runs and a resumed scheduler can
+    incremental draws from per-purpose ``SeedSequence``-keyed RNGs, so
+    the stream is byte-identical across runs and a resumed scheduler can
     regenerate it and skip the prefix it already consumed.
 
     Validation happens here, eagerly; the inner generator only draws.
@@ -149,10 +181,12 @@ def _stream(
     if n_configs < 1:
         raise ValueError("n_configs must be >= 1")
     mix = _normalized_mix(priority_mix)
+    tmix = _tenant_mix(tenants, tenant_mix)
     return _stream_gen(
         gap_for, n_requests, duration_s, mix,
         seed=seed, dims=dims, mode=mode, solver=solver, mass=mass,
         n_configs=n_configs, deadline_slack_s=deadline_slack_s,
+        tenants=tenants, tmix=tmix,
     )
 
 
@@ -169,10 +203,19 @@ def _stream_gen(
     mass: float,
     n_configs: int,
     deadline_slack_s: float | None,
+    tenants: tuple[str, ...] | None = None,
+    tmix: np.ndarray | None = None,
 ) -> Iterator[SolveRequest]:
     arrival_rng = np.random.default_rng(np.random.SeedSequence([seed, _SALT_ARRIVAL]))
     prio_rng = np.random.default_rng(np.random.SeedSequence([seed, _SALT_PRIORITY]))
     config_rng = np.random.default_rng(np.random.SeedSequence([seed, _SALT_CONFIG]))
+    # The tenant RNG exists only for tenanted streams: untenanted runs
+    # make exactly the draws pre-tenancy builds made, byte for byte.
+    tenant_rng = None
+    if tmix is not None:
+        tenant_rng = np.random.default_rng(
+            np.random.SeedSequence([seed, _SALT_TENANT])
+        )
     now = 0.0
     i = 0
     while n_requests is None or i < n_requests:
@@ -185,6 +228,9 @@ def _stream_gen(
         deadline = None
         if deadline_slack_s is not None:
             deadline = now + deadline_slack_s * _SLACK[priority]
+        tenant = None
+        if tenant_rng is not None:
+            tenant = tenants[int(tenant_rng.choice(len(tenants), p=tmix))]
         yield SolveRequest(
             req_id=i,
             config_id=int(config_rng.integers(0, n_configs)),
@@ -196,6 +242,7 @@ def _stream_gen(
             priority=priority,
             arrival_s=now,
             deadline_s=deadline,
+            tenant=tenant,
         )
         i += 1
 
@@ -213,6 +260,8 @@ def stream_workload(
     n_configs: int = 1,
     priority_mix: tuple[float, float, float] = (0.1, 0.7, 0.2),
     deadline_slack_s: float | None = None,
+    tenants: tuple[str, ...] | None = None,
+    tenant_mix: tuple[float, ...] | None = None,
 ) -> Iterator[SolveRequest]:
     """A lazy open-loop Poisson arrival stream for the daemon.
 
@@ -234,6 +283,8 @@ def stream_workload(
         n_configs=n_configs,
         priority_mix=priority_mix,
         deadline_slack_s=deadline_slack_s,
+        tenants=tenants,
+        tenant_mix=tenant_mix,
     )
 
 
@@ -253,6 +304,8 @@ def bursty_workload(
     n_configs: int = 1,
     priority_mix: tuple[float, float, float] = (0.1, 0.7, 0.2),
     deadline_slack_s: float | None = None,
+    tenants: tuple[str, ...] | None = None,
+    tenant_mix: tuple[float, ...] | None = None,
 ) -> Iterator[SolveRequest]:
     """A piecewise-constant-rate Poisson stream: quiet, burst, quiet.
 
@@ -283,4 +336,6 @@ def bursty_workload(
         n_configs=n_configs,
         priority_mix=priority_mix,
         deadline_slack_s=deadline_slack_s,
+        tenants=tenants,
+        tenant_mix=tenant_mix,
     )
