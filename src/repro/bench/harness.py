@@ -32,6 +32,7 @@ __all__ = [
     "chaos_solve",
     "chaos_invert",
     "service_benchmark",
+    "throughput_benchmark",
     "write_service_bench",
     "capacity_sweep",
     "render_capacity_map",
@@ -1061,6 +1062,130 @@ def capacity_sweep(
     }
 
 
+def hot_campaign(
+    n_requests: int = 1024,
+    *,
+    dims: tuple[int, int, int, int] = (4, 4, 4, 8),
+    rate_rps: float = 20000.0,
+    max_batch: int = 4,
+    workers: int = 2,
+    ranks: int = 2,
+    queue_capacity: int = 4096,
+    iterations: int = 10,
+    seed: int = 7,
+):
+    """The saturated scheduler campaign both raw-speed tools share.
+
+    A high arrival rate against a small lattice keeps the backlog deep
+    for the whole run, so wall-clock time is dominated by the scheduler
+    hot path (ordering, batch selection, placement, perf-model
+    evaluation) rather than by the simulated solves — exactly the code
+    the raw-speed refactor targets.  Returns ``(config, workload)``;
+    the same seed always yields the same campaign.
+    """
+    from ..service import (
+        BatchPolicy,
+        ServiceConfig,
+        synthetic_workload,
+    )
+
+    config = ServiceConfig(
+        queue_capacity=queue_capacity,
+        policy=BatchPolicy(max_batch=max_batch),
+        n_workers=workers,
+        ranks_per_worker=ranks,
+        fixed_iterations=iterations,
+    )
+    workload = synthetic_workload(
+        n_requests, seed=seed, rate_rps=rate_rps, dims=dims
+    )
+    return config, workload
+
+
+def throughput_benchmark(
+    n_requests: int = 1024,
+    *,
+    warmup_requests: int = 48,
+    repeats: int = 3,
+    **campaign_kwargs,
+) -> dict:
+    """Wall-clock requests/second of the hot campaign, legacy vs fast.
+
+    Unlike every other benchmark in this module this one measures *wall*
+    time, not model time: the raw-speed refactor is behavior-preserving
+    (byte-identical reports — asserted here), so the only thing it can
+    change is how fast the host CPU gets through the schedule.  Protocol:
+
+    * both sides run in one process via :func:`repro.fastpath.set_enabled`
+      (flipping clears the memo caches, so "fast" starts cold);
+    * a small warm-up campaign per side is excluded from timing;
+    * the ``repeats`` rounds **interleave** the two sides (legacy, fast,
+      legacy, fast, ...) so a drift in machine speed across the
+      benchmark window cancels out of the ratio;
+    * each side is the **best** of its rounds (wall benchmarks take the
+      minimum — anything slower is interference, not the code);
+    * only the dimensionless ``speedup`` is comparable across machines;
+      the absolute rps numbers are recorded for context.
+    """
+    import time as _time
+
+    from .. import fastpath
+    from ..service import SolveService
+
+    def measure(n: int) -> tuple[float, str]:
+        config, workload = hot_campaign(n, **campaign_kwargs)
+        t0 = _time.perf_counter()
+        campaign = SolveService(config).run(workload)
+        elapsed = _time.perf_counter() - t0
+        return n / elapsed, campaign.report.render_json()
+
+    before = fastpath.enabled()
+    sides = {
+        "before": {"rps": 0.0, "report": None},
+        "after": {"rps": 0.0, "report": None},
+    }
+    try:
+        for _ in range(repeats):
+            for name, flag in (("before", False), ("after", True)):
+                fastpath.set_enabled(flag)
+                # Toggling cleared the memo caches: re-warm outside the
+                # timed window every round so both sides are measured
+                # steady-state.
+                measure(warmup_requests)
+                rps, rendered = measure(n_requests)
+                if rps > sides[name]["rps"]:
+                    sides[name]["rps"] = rps
+                sides[name]["report"] = rendered
+    finally:
+        fastpath.set_enabled(before)
+    if sides["before"]["report"] != sides["after"]["report"]:
+        raise AssertionError(
+            "fastpath changed the campaign report — the throughput "
+            "comparison would be measuring a behavior change, not speed"
+        )
+    config, _ = hot_campaign(n_requests, **campaign_kwargs)
+    return {
+        "campaign": {
+            "requests": n_requests,
+            "warmup_requests": warmup_requests,
+            "repeats": repeats,
+            "queue_capacity": config.queue_capacity,
+            "max_batch": config.policy.max_batch,
+            "workers": config.n_workers,
+            "ranks_per_worker": config.ranks_per_worker,
+            "iterations": config.fixed_iterations,
+            **{
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in campaign_kwargs.items()
+            },
+        },
+        "reports_identical": True,
+        "before_rps": round(sides["before"]["rps"], 1),
+        "after_rps": round(sides["after"]["rps"], 1),
+        "speedup": round(sides["after"]["rps"] / sides["before"]["rps"], 2),
+    }
+
+
 def render_capacity_map(cap: dict) -> str:
     """Human-readable saturation map (the ``--capacity-sweep`` output)."""
     lines = [
@@ -1117,6 +1242,10 @@ def write_service_bench(path: str = "BENCH_service.json", **kwargs) -> dict:
     result["resilience"] = resilience_benchmark()
     result["domain_resilience"] = domain_resilience_benchmark()
     result["capacity_map"] = capacity_sweep()
+    # Wall-clock (not model-time) raw-speed scorecard; only its
+    # dimensionless ``speedup`` is machine-portable.  The campaign
+    # reports are not embedded (byte-identity is asserted inside).
+    result["throughput"] = throughput_benchmark()
     with open(path, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -5,6 +5,11 @@ table every CUDA developer lives in: per-kernel call counts, total time,
 share of the schedule, bytes moved, and achieved bandwidth — making it
 obvious *where* a solver configuration spends its model time (dslash vs
 BLAS vs PCIe vs waiting on the network).
+
+The second half of the module profiles the *host*, not the model:
+:func:`hotspot_profile` runs the saturated scheduler campaign under
+``cProfile`` with per-phase wall-time attribution — the evidence trail
+behind the raw-speed refactor (``repro profile --hotspots``).
 """
 
 from __future__ import annotations
@@ -14,7 +19,14 @@ from dataclasses import dataclass
 from ..gpu.streams import TimelineOp
 from .report import format_table
 
-__all__ = ["ProfileRow", "profile_ops", "profile_solve", "render_profile"]
+__all__ = [
+    "ProfileRow",
+    "profile_ops",
+    "profile_solve",
+    "render_profile",
+    "hotspot_profile",
+    "render_hotspots",
+]
 
 
 @dataclass
@@ -114,6 +126,132 @@ def profile_solve(
         return gpu.timeline.ops[i0:]
 
     return SimMPI(n_gpus).run(body)[rank]
+
+
+def hotspot_profile(
+    n_requests: int = 1024,
+    *,
+    top: int = 15,
+    fast: bool | None = None,
+    **campaign_kwargs,
+) -> dict:
+    """CPU hotspots of the saturated scheduler campaign.
+
+    Runs the shared hot campaign (:func:`repro.bench.harness.hot_campaign`,
+    the same workload the throughput benchmark times) under ``cProfile``
+    and reports the top ``top`` functions by cumulative wall time plus a
+    per-phase attribution (workload build / campaign / report render /
+    packed-record encode), each phase timed with ``perf_counter``.
+
+    ``fast`` pins the :mod:`repro.fastpath` switch for the run (``None``
+    keeps the process's current setting), so ``--hotspots`` can show
+    either the legacy profile that motivated the refactor or the
+    refactored one.
+    """
+    import cProfile
+    import pstats
+    import time as _time
+
+    from .. import codec, fastpath
+    from ..service import SolveService
+    from .harness import hot_campaign
+
+    before = fastpath.enabled()
+    if fast is not None:
+        fastpath.set_enabled(fast)
+    try:
+        phases: list[tuple[str, float]] = []
+        t0 = _time.perf_counter()
+        config, workload = hot_campaign(n_requests, **campaign_kwargs)
+        service = SolveService(config)
+        t1 = _time.perf_counter()
+        phases.append(("build workload + service", t1 - t0))
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        campaign = service.run(workload)
+        profiler.disable()
+        t2 = _time.perf_counter()
+        phases.append(("run campaign (profiled)", t2 - t1))
+
+        report_json = campaign.report.render_json()
+        t3 = _time.perf_counter()
+        phases.append(("collect + render report", t3 - t2))
+
+        packed = campaign.report.to_record_bytes()
+        t4 = _time.perf_counter()
+        phases.append(("encode packed telemetry", t4 - t3))
+    finally:
+        fastpath.set_enabled(before)
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    total_s = t4 - t0
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: -kv[1][3]
+    ):
+        filename, line, name = func
+        if name.startswith("<") and filename == "~":
+            continue
+        rows.append(
+            {
+                "function": name,
+                "where": f"{filename.rsplit('/', 1)[-1]}:{line}",
+                "calls": nc,
+                "tottime_ms": round(tt * 1e3, 3),
+                "cumtime_ms": round(ct * 1e3, 3),
+            }
+        )
+        if len(rows) >= top:
+            break
+    return {
+        "fastpath": fastpath.enabled() if fast is None else bool(fast),
+        "requests": n_requests,
+        "completed": campaign.report.to_json()["completed"],
+        "total_wall_s": round(total_s, 6),
+        "wall_rps": round(n_requests / total_s, 1),
+        "report_bytes_json": len(report_json.encode()),
+        "report_bytes_packed": len(packed),
+        "packed_magic_ok": codec.is_packed(packed),
+        "phases": [
+            {"phase": name, "wall_ms": round(dt * 1e3, 3)}
+            for name, dt in phases
+        ],
+        "hotspots": rows,
+    }
+
+
+def render_hotspots(prof: dict) -> str:
+    """The ``repro profile --hotspots`` table pair."""
+    lines = [
+        f"{prof['requests']} requests "
+        f"({'fast' if prof['fastpath'] else 'legacy'} path): "
+        f"{prof['total_wall_s'] * 1e3:.1f} ms wall, "
+        f"{prof['wall_rps']:.0f} req/s; packed report "
+        f"{prof['report_bytes_packed']} B vs {prof['report_bytes_json']} B "
+        "JSON",
+        "",
+        format_table(
+            ["phase", "wall (ms)"],
+            [[p["phase"], f"{p['wall_ms']:.3f}"] for p in prof["phases"]],
+        ),
+        "",
+        format_table(
+            ["function", "where", "calls", "tottime (ms)", "cumtime (ms)"],
+            [
+                [
+                    r["function"],
+                    r["where"],
+                    r["calls"],
+                    f"{r['tottime_ms']:.3f}",
+                    f"{r['cumtime_ms']:.3f}",
+                ]
+                for r in prof["hotspots"]
+            ],
+        ),
+    ]
+    return "\n".join(lines)
 
 
 def render_profile(ops: list[TimelineOp], *, top: int | None = None) -> str:

@@ -125,6 +125,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=10)
     p.add_argument("--gantt", action="store_true",
                    help="also draw the stream schedule of the window")
+    p.add_argument("--hotspots", action="store_true",
+                   help="profile the host CPU instead of the model: run "
+                   "the saturated scheduler campaign under cProfile with "
+                   "per-phase wall-time attribution")
+    p.add_argument("--requests", type=int, default=1024,
+                   help="campaign size for --hotspots")
+    p.add_argument("--top", type=int, default=15,
+                   help="hotspot rows to print for --hotspots")
+    p.add_argument("--legacy", action="store_true",
+                   help="profile the pre-refactor (fastpath-off) code "
+                   "paths with --hotspots")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the --hotspots profile as JSON")
 
     p = sub.add_parser(
         "chaos",
@@ -500,6 +513,24 @@ def _cmd_bench(args) -> int:
 def _cmd_profile(args) -> int:
     from .bench.profile import profile_solve, render_profile
     from .bench.trace import render_gantt
+
+    if args.hotspots:
+        import json as _json
+
+        from .bench.profile import hotspot_profile, render_hotspots
+
+        prof = hotspot_profile(
+            args.requests,
+            top=args.top,
+            fast=False if args.legacy else None,
+            iterations=args.iterations,
+        )
+        print(render_hotspots(prof))
+        if args.json:
+            with open(args.json, "w") as fh:
+                _json.dump(prof, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        return 0
 
     ops = profile_solve(
         args.dims,

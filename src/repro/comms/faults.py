@@ -41,6 +41,8 @@ from typing import Any
 
 import numpy as np
 
+from .. import codec
+
 __all__ = [
     "LinkFaults",
     "StallSpec",
@@ -109,9 +111,17 @@ def checksum_payload(data: Any) -> int:
         if not isinstance(part, np.ndarray):
             part = np.asarray(part)
         if part.dtype == object:
-            # Object arrays serialize as pointers — hash the repr instead
-            # so the digest stays a pure function of the value.
-            c = checksum_bytes(repr(part.tolist()).encode(), c)
+            # Object arrays serialize as pointers — hash a packed binary
+            # encoding of the value instead so the digest stays a pure
+            # function of the value.  struct-packed bytes beat the old
+            # repr() round trip (no giant intermediate string) and are
+            # stable against float formatting; repr remains the fallback
+            # for payload types the codec does not model.
+            value = part.tolist()
+            try:
+                c = checksum_bytes(codec.pack_value(value), c)
+            except TypeError:
+                c = checksum_bytes(repr(value).encode(), c)
         else:
             c = checksum_bytes(np.ascontiguousarray(part).tobytes(), c)
     return c

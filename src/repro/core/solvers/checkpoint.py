@@ -9,14 +9,16 @@ no extra matrix applications, just a device→host download of ``y``.
 
 :class:`SolveCheckpoint` is the serializable snapshot — enough state to
 resume the Krylov solve (solution, iteration count, residual history,
-solver identity, sloppy precision).  Serialization is hand-rolled
-(length-prefixed JSON header + the raw ``.npy`` stream of the solution)
-so the bytes are a pure function of the state — no zip timestamps, no
-pickle — and two same-seed runs produce byte-identical checkpoints.
-Each snapshot carries an xxhash-style digest of its payload, validated
-on load: a torn or corrupted checkpoint is rejected (``ValueError``),
-and the store falls back to the previous verified commit instead of
-resuming a solve from damaged state.
+solver identity, sloppy precision).  Serialization is a packed binary
+record (:mod:`repro.codec`): struct-packed tagged values behind a
+versioned, CRC32-protected frame, so the bytes are a pure function of
+the state — no zip timestamps, no pickle — and two same-seed runs
+produce byte-identical checkpoints.  A torn or corrupted checkpoint is
+rejected (``ValueError``) on load, and the store falls back to the
+previous verified commit instead of resuming a solve from damaged
+state.  Snapshots written by the pre-codec format (``RPCK\\x01`` magic,
+JSON header + ``.npy`` stream) still restore: ``from_bytes`` detects
+the frame and dispatches.
 
 :class:`CheckpointStore` is the rank-collective side: every rank
 contributes its slab at a refresh; when all ranks of the current attempt
@@ -36,12 +38,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ... import codec
 from ...comms.faults import checksum_bytes
 from .resilience import RecoveryEvent
 
 __all__ = ["SolveCheckpoint", "CheckpointStore"]
 
-_MAGIC = b"RPCK\x01"
+#: Magic of the pre-codec (JSON header + npy stream) format, kept so
+#: old on-disk checkpoints keep restoring.
+_LEGACY_MAGIC = b"RPCK\x01"
 
 
 @dataclass
@@ -70,38 +75,48 @@ class SolveCheckpoint:
     def to_bytes(self) -> bytes:
         """Serialize to deterministic bytes (same state → same bytes).
 
-        The header embeds a digest of the payload (the ``.npy`` stream),
-        so a snapshot validates itself on load."""
-        body = io.BytesIO()
-        if self.x_full is not None:
-            np.lib.format.write_array(
-                body, np.ascontiguousarray(self.x_full), version=(1, 0)
-            )
-        body_bytes = body.getvalue()
-        header = {
-            "iteration": self.iteration,
-            "rnorm": self.rnorm,
-            "reliable_updates": self.reliable_updates,
-            "history": list(self.history),
-            "solver": self.solver,
-            "sloppy_precision": self.sloppy_precision,
-            "has_x": self.x_full is not None,
-            "checksum": checksum_bytes(body_bytes),
-        }
-        blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
-        out = io.BytesIO()
-        out.write(_MAGIC)
-        out.write(struct.pack("<I", len(blob)))
-        out.write(blob)
-        out.write(body_bytes)
-        return out.getvalue()
+        One packed :mod:`repro.codec` record: the frame CRC covers the
+        whole payload (bookkeeping *and* solution data), so a snapshot
+        validates itself on load."""
+        return codec.encode_record(
+            {
+                "iteration": self.iteration,
+                "rnorm": self.rnorm,
+                "reliable_updates": self.reliable_updates,
+                "history": [float(h) for h in self.history],
+                "solver": self.solver,
+                "sloppy_precision": self.sloppy_precision,
+                "x": None if self.x_full is None else self.x_full,
+            },
+            kind=codec.KIND_CHECKPOINT,
+        )
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "SolveCheckpoint":
-        buf = io.BytesIO(data)
-        magic = buf.read(len(_MAGIC))
-        if magic != _MAGIC:
+        if codec.is_packed(data):
+            _, header = codec.decode_record(
+                data, expect_kind=codec.KIND_CHECKPOINT
+            )
+            x_full = header["x"]
+        elif data[: len(_LEGACY_MAGIC)] == _LEGACY_MAGIC:
+            header, x_full = cls._decode_legacy(data)
+        else:
             raise ValueError("not a SolveCheckpoint stream")
+        return cls(
+            iteration=header["iteration"],
+            rnorm=header["rnorm"],
+            reliable_updates=header["reliable_updates"],
+            history=list(header["history"]),
+            solver=header["solver"],
+            sloppy_precision=header["sloppy_precision"],
+            x_full=x_full,
+        )
+
+    @staticmethod
+    def _decode_legacy(data: bytes) -> tuple[dict, np.ndarray | None]:
+        """Decode the pre-codec format (JSON header + ``.npy`` stream)."""
+        buf = io.BytesIO(data)
+        buf.read(len(_LEGACY_MAGIC))
         (hlen,) = struct.unpack("<I", buf.read(4))
         header = json.loads(buf.read(hlen).decode())
         body_bytes = buf.read()
@@ -118,15 +133,7 @@ class SolveCheckpoint:
             if header["has_x"]
             else None
         )
-        return cls(
-            iteration=header["iteration"],
-            rnorm=header["rnorm"],
-            reliable_updates=header["reliable_updates"],
-            history=list(header["history"]),
-            solver=header["solver"],
-            sloppy_precision=header["sloppy_precision"],
-            x_full=x_full,
-        )
+        return header, x_full
 
 
 class CheckpointStore:

@@ -1,0 +1,51 @@
+"""Runtime switch for the raw-speed fast paths.
+
+The hot-path refactor (memoized perf-model evaluation, incrementally
+sorted admission queue) is behavior-preserving — every number it
+produces is bit-identical to the legacy formulation — so a single
+process can run either side.  That is the point: the throughput
+benchmark measures *before* and *after* on the same machine in the same
+process, and CI guards the ratio.
+
+* ``REPRO_FASTPATH=0`` in the environment starts the process on the
+  legacy paths (everything recomputed from scratch, full re-sorts).
+* :func:`set_enabled` flips at runtime — the benchmark harness brackets
+  its "before" measurement with it.  Flipping also clears the memo
+  caches so a disabled window never serves stale-warm state and an
+  enabled window starts cold.
+
+Code gates on :func:`enabled` per *operation*, never at import, so the
+toggle is always honoured.  This knob selects between two equivalent
+CPU implementations; the numba/NumPy kernel choice is the separate
+``REPRO_NO_JIT`` knob (:mod:`repro.jit`).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled", "set_enabled", "register_cache"]
+
+_ENABLED = os.environ.get("REPRO_FASTPATH", "").strip() != "0"
+
+#: Memo caches (dict-like, must support ``.clear()``) registered by the
+#: modules that gate on this switch; cleared on every toggle.
+_CACHES: list = []
+
+
+def enabled() -> bool:
+    """Whether the fast paths are live."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Switch fast paths on/off at runtime (clears registered caches)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+    for cache in _CACHES:
+        cache.clear()
+
+
+def register_cache(cache) -> None:
+    """Register a memo cache to be cleared whenever the switch flips."""
+    _CACHES.append(cache)

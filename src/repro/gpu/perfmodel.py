@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import fastpath
 from .precision import Precision
 from .specs import GPUSpec
 
@@ -99,6 +100,15 @@ class PerfModelParams:
     #: over QDR IB; a 32-rank double sum lands near 100 us round trip).
     allreduce_stage_s: float = 20.0 * US
 
+    def __post_init__(self) -> None:
+        # Per-instance memo for effective_bandwidth (the dataclass is
+        # frozen, hence the object.__setattr__).  The bandwidth is a
+        # pure function of (spec, precision, occupancy, camping) for a
+        # given params instance, and the kernel-time roofline evaluates
+        # it on every single launch the timeline charges.
+        object.__setattr__(self, "_bw_memo", {})
+        fastpath.register_cache(self._bw_memo)
+
     def effective_bandwidth(
         self,
         spec: GPUSpec,
@@ -108,6 +118,23 @@ class PerfModelParams:
         camping: bool = False,
     ) -> float:
         """Achievable device-memory bandwidth in bytes/second."""
+        if fastpath.enabled():
+            key = (spec, precision, occupancy, camping)
+            hit = self._bw_memo.get(key)
+            if hit is not None:
+                return hit
+            eff = self._bandwidth_uncached(spec, precision, occupancy, camping)
+            self._bw_memo[key] = eff
+            return eff
+        return self._bandwidth_uncached(spec, precision, occupancy, camping)
+
+    def _bandwidth_uncached(
+        self,
+        spec: GPUSpec,
+        precision: Precision,
+        occupancy: float,
+        camping: bool,
+    ) -> float:
         eff = spec.bandwidth_gbs * GB * self.bw_efficiency[precision]
         eff *= occupancy_factor(occupancy)
         if camping:

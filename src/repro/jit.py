@@ -1,0 +1,73 @@
+"""Optional numba JIT layer: one import-time decision for the package.
+
+The hot numerical loops (the dslash stencil, the clover site-block
+matvec, the fused solver reductions) each exist in two forms:
+
+* a **vectorized NumPy** form — the trusted reference every test pins;
+* a **loop form** written in the numba-compatible subset of Python
+  (plain indexing, no fancy broadcasting), compiled with ``@njit`` when
+  numba is importable.
+
+This module makes the selection *once, at import*: if numba is present
+and ``REPRO_NO_JIT`` is unset, :func:`maybe_njit` returns the real
+``numba.njit``; otherwise it is an identity decorator and the package
+runs on the NumPy paths with zero overhead and zero new dependencies
+(the container image does not ship numba; CI's fast lane additionally
+pins ``REPRO_NO_JIT=1`` to prove the fallback stays first-class).
+
+The loop forms remain callable *uncompiled* — they are ordinary Python
+functions — which is how the test suite proves jit-vs-NumPy agreement
+even on hosts without numba: the same source that numba would compile
+is executed interpreted on a small lattice and compared bit-for-bit
+against the vectorized path.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "HAVE_NUMBA",
+    "JIT_ENABLED",
+    "backend",
+    "maybe_njit",
+]
+
+#: ``REPRO_NO_JIT=1`` forces the NumPy paths even when numba is present
+#: (the CI fast lane runs the whole suite this way).
+_DISABLED = os.environ.get("REPRO_NO_JIT", "").strip() not in ("", "0")
+
+try:  # pragma: no cover - exercised only when numba is installed
+    if _DISABLED:
+        raise ImportError("REPRO_NO_JIT set")
+    from numba import njit as _numba_njit
+
+    HAVE_NUMBA = True
+except ImportError:
+    _numba_njit = None
+    HAVE_NUMBA = False
+
+#: True when the compiled fast paths are live for this process.
+JIT_ENABLED = HAVE_NUMBA and not _DISABLED
+
+
+def backend() -> str:
+    """``"numba"`` when the compiled fast paths are live, else ``"numpy"``."""
+    return "numba" if JIT_ENABLED else "numpy"
+
+
+def maybe_njit(*args, **kwargs):
+    """``numba.njit`` when live, identity decorator otherwise.
+
+    Usable both bare (``@maybe_njit``) and parametrized
+    (``@maybe_njit(cache=True)``), like ``njit`` itself.
+    """
+    if JIT_ENABLED:  # pragma: no cover - numba not in the test image
+        return _numba_njit(*args, **kwargs)
+    if len(args) == 1 and callable(args[0]) and not kwargs:
+        return args[0]
+
+    def deco(fn):
+        return fn
+
+    return deco

@@ -24,15 +24,27 @@ import numpy as np
 from .geometry import NDIM, LatticeGeometry
 from . import gamma as _gamma
 from . import su3
-from .fields import CloverField, GaugeField
+from .fields import CloverField, GaugeField, apply_chiral_blocks
 
 __all__ = [
     "field_strength",
     "make_clover",
+    "clover_apply",
     "pack_clover",
     "unpack_clover",
     "CLOVER_REALS_PER_SITE",
 ]
+
+
+def clover_apply(clover: CloverField, psi: np.ndarray) -> np.ndarray:
+    """``A psi`` on raw spinor data — the hot per-iteration entry point.
+
+    Thin alias over :func:`repro.lattice.fields.apply_chiral_blocks`,
+    which dispatches to the compiled site-block loop
+    (:mod:`repro.lattice.hotloops`) when numba is live and the einsum
+    reference otherwise.
+    """
+    return apply_chiral_blocks(clover.data, psi)
 
 #: Real numbers needed to describe one clover matrix (paper footnote 1).
 CLOVER_REALS_PER_SITE = 72
@@ -63,17 +75,24 @@ def field_strength(gauge: GaugeField, mu: int, nu: int) -> np.ndarray:
     adj = su3.adjoint
 
     u_mu, u_nu = u[mu], u[nu]
+    # Hoist every repeated neighbor gather: fancy indexing copies the
+    # whole link array, and the four leaves reuse several of them (the
+    # x-mu and x-nu gathers each appear three times below).  Same
+    # arithmetic, same matmul order — the results are bit-identical.
+    u_mu_bwd_mu = u_mu[bwd[mu]]
+    u_nu_bwd_nu = u_nu[bwd[nu]]
+    u_mu_fwd_nu = u_mu[fwd[nu]]
 
     # Leaf 1: x -> x+mu -> x+mu+nu -> x+nu -> x
-    leaf = u_mu @ u_nu[fwd[mu]] @ adj(u_mu[fwd[nu]]) @ adj(u_nu)
+    leaf = u_mu @ u_nu[fwd[mu]] @ adj(u_mu_fwd_nu) @ adj(u_nu)
     # Leaf 2: x -> x+nu -> x+nu-mu -> x-mu -> x
-    leaf = leaf + u_nu @ adj(u_mu[fwd[nu]][bwd[mu]]) @ adj(u_nu[bwd[mu]]) @ u_mu[bwd[mu]]
+    leaf = leaf + u_nu @ adj(u_mu_fwd_nu[bwd[mu]]) @ adj(u_nu[bwd[mu]]) @ u_mu_bwd_mu
     # Leaf 3: x -> x-mu -> x-mu-nu -> x-nu -> x
-    leaf = leaf + adj(u_mu[bwd[mu]]) @ adj(u_nu[bwd[mu]][bwd[nu]]) @ u_mu[bwd[mu]][
+    leaf = leaf + adj(u_mu_bwd_mu) @ adj(u_nu[bwd[mu]][bwd[nu]]) @ u_mu_bwd_mu[
         bwd[nu]
-    ] @ u_nu[bwd[nu]]
+    ] @ u_nu_bwd_nu
     # Leaf 4: x -> x-nu -> x-nu+mu -> x+mu -> x
-    leaf = leaf + adj(u_nu[bwd[nu]]) @ u_mu[bwd[nu]] @ u_nu[bwd[nu]][fwd[mu]] @ adj(u_mu)
+    leaf = leaf + adj(u_nu_bwd_nu) @ u_mu[bwd[nu]] @ u_nu_bwd_nu[fwd[mu]] @ adj(u_mu)
 
     return -0.125j * (leaf - adj(leaf))
 

@@ -1,0 +1,155 @@
+"""Loop-form hot kernels: the numba targets behind the NumPy reference.
+
+Each kernel here is the inner loop the profiler blames when a functional
+(``execute=True``) solve runs — the dslash stencil gather/contract, the
+clover site-block matvec, and the fused solver reductions.  They are
+written in the numba-compatible subset of Python (explicit site loops,
+contiguous complex128 arrays, no broadcasting tricks) so that:
+
+* with numba installed, :func:`repro.jit.maybe_njit` compiles them to
+  machine code and the dispatchers in :mod:`repro.lattice.dirac`,
+  :mod:`repro.lattice.fields` and :mod:`repro.core.blas` route the hot
+  calls here;
+* without numba (or under ``REPRO_NO_JIT=1``) the same source still
+  runs interpreted — far slower than the vectorized NumPy paths, so the
+  dispatchers then keep the einsum/vdot forms — but the tests can
+  execute it on a small lattice and pin loop-vs-NumPy agreement without
+  needing numba in the image.
+
+All kernels take raw arrays, not field objects: numba sees only
+ndarrays, and the object-world adapters stay in the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..jit import JIT_ENABLED, maybe_njit
+
+__all__ = [
+    "JIT_ENABLED",
+    "hopping_term_loops",
+    "clover_apply_loops",
+    "norm2_loops",
+    "cdot_loops",
+    "axpy_norm_loops",
+]
+
+
+@maybe_njit(cache=True)
+def hopping_term_loops(
+    u: np.ndarray,  # (4, V, 3, 3) complex128 gauge links
+    psi: np.ndarray,  # (V, 4, 3) complex128 spinor
+    fwd: np.ndarray,  # (4, V) int neighbor tables
+    bwd: np.ndarray,  # (4, V) int
+    ph_fwd: np.ndarray,  # (4, V) float boundary phases
+    ph_bwd: np.ndarray,  # (4, V) float
+    proj_minus: np.ndarray,  # (4, 4, 4) complex128: P(-)mu per direction
+    proj_plus: np.ndarray,  # (4, 4, 4) complex128: P(+)mu per direction
+    out: np.ndarray,  # (V, 4, 3) complex128, zero-initialized
+) -> None:
+    """The nearest-neighbor stencil ``D psi`` of paper eq. (2), site loop.
+
+    For each direction: gather the forward neighbor, multiply by the
+    link and project with ``P(-)mu``; gather the backward neighbor,
+    multiply by the adjoint back-link and project with ``P(+)mu``.
+    Identical arithmetic order to the einsum reference per site term —
+    link matvec first, spin projection second — so the two paths agree
+    to rounding.
+    """
+    volume = psi.shape[0]
+    # Per-call scratch: thread-safe (SimMPI rank bodies share the
+    # process) and numba-compilable, unlike module-level state.
+    scratch_f = np.zeros((4, 3), dtype=np.complex128)
+    scratch_b = np.zeros((4, 3), dtype=np.complex128)
+    for mu in range(4):
+        pm = proj_minus[mu]
+        pp = proj_plus[mu]
+        for x in range(volume):
+            xf = fwd[mu, x]
+            xb = bwd[mu, x]
+            phf = ph_fwd[mu, x]
+            phb = ph_bwd[mu, x]
+            # scratch_f[s, a] = sum_b u[mu, x, a, b] * psi[xf, s, b] * phf
+            # scratch_b[s, a] = sum_b conj(u[mu, xb, b, a]) * psi[xb, s, b] * phb
+            for s in range(4):
+                for a in range(3):
+                    accf = 0.0 + 0.0j
+                    accb = 0.0 + 0.0j
+                    for b in range(3):
+                        accf += u[mu, x, a, b] * (psi[xf, s, b] * phf)
+                        accb += np.conj(u[mu, xb, b, a]) * (psi[xb, s, b] * phb)
+                    scratch_f[s, a] = accf
+                    scratch_b[s, a] = accb
+            for s in range(4):
+                for a in range(3):
+                    acc = out[x, s, a]
+                    for t in range(4):
+                        acc += pm[s, t] * scratch_f[t, a]
+                        acc += pp[s, t] * scratch_b[t, a]
+                    out[x, s, a] = acc
+
+
+@maybe_njit(cache=True)
+def clover_apply_loops(
+    blocks: np.ndarray,  # (V, 2, 6, 6) complex128 chiral blocks
+    psi: np.ndarray,  # (V, 4, 3) complex128
+    out: np.ndarray,  # (V, 4, 3) complex128, accumulated into
+) -> None:
+    """``out += A psi`` with ``A`` in chiral-block storage.
+
+    Each chirality's 6-vector is the spin-major flattening of the two
+    spins x three colors of that chirality (spins (0,1) upper, (2,3)
+    lower — the DeGrand-Rossi convention the blocks were built in).
+    """
+    volume = psi.shape[0]
+    for x in range(volume):
+        for chirality in range(2):
+            s0 = 2 * chirality
+            for i in range(6):
+                acc = 0.0 + 0.0j
+                for j in range(6):
+                    acc += blocks[x, chirality, i, j] * psi[
+                        x, s0 + j // 3, j % 3
+                    ]
+                out[x, s0 + i // 3, i % 3] += acc
+
+
+@maybe_njit(cache=True)
+def norm2_loops(x: np.ndarray) -> float:
+    """``|x|^2`` over a flat complex array, single pass."""
+    acc = 0.0
+    flat = x.reshape(-1)
+    for i in range(flat.shape[0]):
+        v = flat[i]
+        acc += v.real * v.real + v.imag * v.imag
+    return acc
+
+
+@maybe_njit(cache=True)
+def cdot_loops(x: np.ndarray, y: np.ndarray) -> complex:
+    """``<x, y>`` (conjugate-linear in ``x``) over flat arrays."""
+    acc = 0.0 + 0.0j
+    xf = x.reshape(-1)
+    yf = y.reshape(-1)
+    for i in range(xf.shape[0]):
+        acc += np.conj(xf[i]) * yf[i]
+    return acc
+
+
+@maybe_njit(cache=True)
+def axpy_norm_loops(a: complex, x: np.ndarray, y: np.ndarray) -> float:
+    """Fused ``y += a x; return |y|^2`` — one pass, no temporary.
+
+    The NumPy form materializes ``a*x + y`` and then reduces it (two
+    traffic passes plus an allocation); the compiled loop is the single
+    pass the real QUDA kernel makes.
+    """
+    acc = 0.0
+    xf = x.reshape(-1)
+    yf = y.reshape(-1)
+    for i in range(xf.shape[0]):
+        v = yf[i] + a * xf[i]
+        yf[i] = v
+        acc += v.real * v.real + v.imag * v.imag
+    return acc

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import fastpath
 from .request import PRIORITY_HIGH, RequestRecord
 
 __all__ = ["BatchPolicy", "Batch", "select_batch"]
@@ -125,6 +126,8 @@ def select_batch(
     records all share the ``None`` partition — grouping (and therefore
     scheduling) is unchanged for tenancy-free campaigns.
     """
+    if fastpath.enabled():
+        return _select_batch_fast(ordered, now, policy)
     groups: dict[tuple, list[RequestRecord]] = {}
     order: list[tuple] = []
     for rec in ordered:
@@ -142,5 +145,63 @@ def select_batch(
             or head.request.priority <= policy.expedite_priority
         )
         if ready:
+            return group
+    return None
+
+
+def _select_batch_fast(
+    ordered: list[RequestRecord], now: float, policy: BatchPolicy
+) -> list[RequestRecord] | None:
+    """Early-exit formulation of the same selection rule.
+
+    Identical result to the legacy full scan (the fastpath equivalence
+    suite pins this), but it avoids materializing the whole group map
+    whenever the head group decides the outcome — the common case under
+    a saturated queue, where the head group is window-expired (or
+    expedited, or fills to ``max_batch``) and the legacy scan was an
+    O(backlog) dict build per scheduler pass.
+    """
+    if not ordered:
+        return None
+    max_batch = policy.max_batch
+    window = policy.max_wait_s - _WAIT_SLACK_S
+    head = ordered[0].request
+    head_key = (head.tenant, head.compat_key)
+    if now - head.arrival_s >= window or head.priority <= policy.expedite_priority:
+        # The head group is ready regardless of size; no later-seen group
+        # can outrank it.  Collect its members and stop at a full batch.
+        group = []
+        for rec in ordered:
+            req = rec.request
+            if (req.tenant, req.compat_key) == head_key:
+                group.append(rec)
+                if len(group) == max_batch:
+                    break
+        return group
+    # The head group is ready only if it fills.  Scan in order, capping
+    # every group at max_batch; the moment the head group fills it wins
+    # outright (it is checked first).  Readiness of later groups is
+    # evaluated after the scan, exactly like the legacy pass.
+    groups: dict[tuple, list[RequestRecord]] = {head_key: []}
+    order = [head_key]
+    for rec in ordered:
+        req = rec.request
+        key = (req.tenant, req.compat_key)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = []
+            order.append(key)
+        if len(group) < max_batch:
+            group.append(rec)
+            if key == head_key and len(group) == max_batch:
+                return group
+    for key in order:
+        group = groups[key]
+        first = group[0].request
+        if (
+            len(group) >= max_batch
+            or now - first.arrival_s >= window
+            or first.priority <= policy.expedite_priority
+        ):
             return group
     return None

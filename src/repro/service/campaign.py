@@ -14,10 +14,12 @@ drain/arrival estimators, the autoscaler's position) must not evaporate.
 batch boundaries — the campaign analogue of a reliable-update refresh
 point, where the scheduler's view is globally consistent: no event is
 half-processed, every request is in a well-defined lifecycle state.
-Serialization is the PR-2 recipe verbatim: magic + length-prefixed
-canonical-JSON header + checksum, so the bytes are a pure function of
-the state and a torn or corrupted snapshot is *rejected on load* rather
-than resuming a campaign from damaged bookkeeping.
+Serialization is one packed :mod:`repro.codec` record — struct-packed
+tagged values behind a versioned CRC32 frame — so the bytes are a pure
+function of the state and a torn or corrupted snapshot is *rejected on
+load* rather than resuming a campaign from damaged bookkeeping.  The
+pre-codec format (``RPCS\\x01`` magic + length-prefixed canonical JSON +
+checksum) still restores; ``from_bytes`` auto-detects the frame.
 
 :class:`CampaignCheckpointStore` keeps the latest commit plus one
 verified fallback (exactly like the solve-level store) and optionally
@@ -36,6 +38,7 @@ import os
 import struct
 from dataclasses import dataclass, field
 
+from .. import codec
 from ..comms.faults import checksum_bytes
 from .request import RequestRecord
 
@@ -46,7 +49,9 @@ __all__ = [
     "SchedulerCrash",
 ]
 
-_MAGIC = b"RPCS\x01"
+#: Magic of the pre-codec (length-prefixed canonical JSON) format, kept
+#: so old on-disk checkpoint mirrors keep restoring.
+_LEGACY_MAGIC = b"RPCS\x01"
 
 
 class SchedulerCrash(RuntimeError):
@@ -198,20 +203,22 @@ class CampaignCheckpoint:
         )
 
     def to_bytes(self) -> bytes:
-        body = json.dumps(
-            self.to_json(), sort_keys=True, separators=(",", ":")
-        ).encode()
-        out = io.BytesIO()
-        out.write(_MAGIC)
-        out.write(struct.pack("<II", len(body), checksum_bytes(body)))
-        out.write(body)
-        return out.getvalue()
+        return codec.encode_record(self.to_json(), kind=codec.KIND_CAMPAIGN)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "CampaignCheckpoint":
+        if codec.is_packed(data):
+            _, body = codec.decode_record(data, expect_kind=codec.KIND_CAMPAIGN)
+            return cls.from_json(body)
+        if data[: len(_LEGACY_MAGIC)] == _LEGACY_MAGIC:
+            return cls._decode_legacy(data)
+        raise ValueError("not a CampaignCheckpoint stream")
+
+    @classmethod
+    def _decode_legacy(cls, data: bytes) -> "CampaignCheckpoint":
+        """Decode the pre-codec (length-prefixed canonical JSON) format."""
         buf = io.BytesIO(data)
-        if buf.read(len(_MAGIC)) != _MAGIC:
-            raise ValueError("not a CampaignCheckpoint stream")
+        buf.read(len(_LEGACY_MAGIC))
         blen, expected = struct.unpack("<II", buf.read(8))
         body = buf.read(blen)
         if len(body) != blen:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from .. import codec
 from .batching import Batch, BatchPolicy
 from .request import (
     COMPLETED,
@@ -22,6 +23,7 @@ from .request import (
     REJECTED,
     RequestRecord,
 )
+from .soa import RecordColumns
 
 __all__ = ["percentile", "ServiceReport"]
 
@@ -175,32 +177,25 @@ class ServiceReport:
         placement: dict | None = None,
         daemon: dict | None = None,
     ) -> "ServiceReport":
-        completed = [r for r in records if r.state == COMPLETED]
-        failed = [r for r in records if r.state == FAILED]
-        rejected = [r for r in records if r.state == REJECTED]
-        waits = sorted(
-            r.wait_s for r in records if r.wait_s is not None
+        # One pass over the records builds the columnar (SoA) view;
+        # every aggregate below is a vectorized expression over it.
+        cols = RecordColumns(records)
+        n_completed = cols.count(cols.completed)
+        n_failed = cols.count(cols.failed)
+        n_rejected = cols.count(cols.rejected)
+        waits = cols.sorted_waits()
+        latencies = cols.sorted_latencies()
+        n_with_deadline = cols.count(cols.completed & cols.has_deadline)
+        n_met = cols.count(cols.met_deadline)
+        n_met_with_deadline = cols.count(
+            cols.met_deadline & cols.has_deadline
         )
-        latencies = sorted(
-            r.latency_s for r in completed if r.latency_s is not None
-        )
-        with_deadline = [
-            r for r in completed if r.request.deadline_s is not None
-        ]
-        met = [r for r in completed if r.met_deadline]
-        met_with_deadline = [
-            r for r in with_deadline if r.met_deadline
-        ]
         horizon = makespan_s if makespan_s > 0 else 1.0
         sizes = [b.size for b in batches]
 
         by_priority: dict[str, dict] = {}
         for value, name in PRIORITY_NAMES.items():
-            tier = [
-                r.latency_s
-                for r in completed
-                if r.request.priority == value and r.latency_s is not None
-            ]
+            tier = cols.latencies_in_order(cols.priority == value)
             if tier:
                 by_priority[name] = {
                     "completed": len(tier),
@@ -209,27 +204,22 @@ class ServiceReport:
                 }
 
         window_s = horizon / _N_WINDOWS
-        windows = [0] * _N_WINDOWS
-        for r in completed:
-            if r.completed_s is None:
-                continue
-            idx = min(int(r.completed_s / window_s), _N_WINDOWS - 1)
-            windows[idx] += 1
+        windows = cols.window_counts(window_s, _N_WINDOWS)
         throughput_windows = (
-            [round(n / window_s, 3) for n in windows] if completed else []
+            [round(n / window_s, 3) for n in windows] if n_completed else []
         )
 
         daemon = daemon or {}
         tenants = cls._tenant_scorecard(
-            daemon.get("tenancy", {}), records, horizon
+            daemon.get("tenancy", {}), cols, horizon
         )
         return cls(
-            n_requests=len(records),
-            admitted=len(records) - len(rejected),
-            rejected=len(rejected),
-            completed=len(completed),
-            failed=len(failed),
-            retries=sum(max(0, r.attempts - 1) for r in records),
+            n_requests=cols.n,
+            admitted=cols.n - n_rejected,
+            rejected=n_rejected,
+            completed=n_completed,
+            failed=n_failed,
+            retries=cols.retries(),
             recoveries=sum(b.recoveries for b in batches),
             worker_crashes=sum(1 for b in batches if b.ok is False),
             n_batches=len(batches),
@@ -243,11 +233,11 @@ class ServiceReport:
             latency_p50_s=percentile(latencies, 50),
             latency_p99_s=percentile(latencies, 99),
             makespan_s=makespan_s,
-            throughput_rps=len(completed) / horizon,
-            goodput_rps=len(met) / horizon,
+            throughput_rps=n_completed / horizon,
+            goodput_rps=n_met / horizon,
             slo_attainment=(
-                len(met_with_deadline) / len(with_deadline)
-                if with_deadline
+                n_met_with_deadline / n_with_deadline
+                if n_with_deadline
                 else 1.0
             ),
             worker_utilization=[
@@ -256,7 +246,7 @@ class ServiceReport:
             placement=placement or {},
             priority_latency=by_priority,
             throughput_windows=throughput_windows,
-            window_s=window_s if completed else 0.0,
+            window_s=window_s if n_completed else 0.0,
             preemptions=daemon.get("preemptions", 0),
             resumed_batches=daemon.get("resumed_batches", 0),
             scale_ups=daemon.get("scale_ups", 0),
@@ -270,17 +260,13 @@ class ServiceReport:
             hedges_launched=daemon.get("hedges_launched", 0),
             hedges_won=daemon.get("hedges_won", 0),
             hedges_cancelled=daemon.get("hedges_cancelled", 0),
-            shed_low=sum(
-                1
-                for r in rejected
-                if r.shed and r.request.priority == PRIORITY_LOW
+            shed_low=cols.count(
+                cols.rejected & cols.shed & (cols.priority == PRIORITY_LOW)
             ),
-            brownout_rejected=sum(
-                1
-                for r in rejected
-                if r.shed and r.request.priority != PRIORITY_LOW
+            brownout_rejected=cols.count(
+                cols.rejected & cols.shed & (cols.priority != PRIORITY_LOW)
             ),
-            degraded_served=sum(1 for r in completed if r.degraded),
+            degraded_served=cols.count(cols.completed & cols.degraded),
             brownout=daemon.get("brownout", {}),
             quarantines=daemon.get("quarantines", 0),
             reinstated=daemon.get("reinstated", 0),
@@ -292,7 +278,7 @@ class ServiceReport:
 
     @staticmethod
     def _tenant_scorecard(
-        tenancy: dict, records: list[RequestRecord], horizon: float
+        tenancy: dict, cols: RecordColumns, horizon: float
     ) -> dict:
         """Per-tenant slice of the campaign, keyed by tenant name.
 
@@ -310,49 +296,42 @@ class ServiceReport:
         weights = tenancy.get("weights", {})
         counters = tenancy.get("counters", {})
         total_weight = sum(weights.values()) or 1.0
-        by_tenant = {
-            name: [r for r in records if r.request.tenant == name]
-            for name in weights
-        }
+        masks = {name: cols.tenant_mask(name) for name in weights}
         good = {
-            name: sum(1 for r in recs if r.met_deadline)
-            for name, recs in by_tenant.items()
+            name: cols.count(cols.met_deadline & mask)
+            for name, mask in masks.items()
         }
         done = {
-            name: sum(1 for r in recs if r.state == COMPLETED)
-            for name, recs in by_tenant.items()
+            name: cols.count(cols.completed & mask)
+            for name, mask in masks.items()
         }
         share_of = good if sum(good.values()) else done
         share_total = sum(share_of.values())
         out: dict[str, dict] = {}
         for name in sorted(weights):
-            recs = by_tenant[name]
-            lat = sorted(
-                r.latency_s
-                for r in recs
-                if r.state == COMPLETED and r.latency_s is not None
+            mask = masks[name]
+            lat = cols.sorted_latencies(mask)
+            n_with_deadline = cols.count(
+                cols.completed & cols.has_deadline & mask
             )
-            with_deadline = [
-                r
-                for r in recs
-                if r.state == COMPLETED and r.request.deadline_s is not None
-            ]
-            met = [r for r in with_deadline if r.met_deadline]
+            n_met = cols.count(
+                cols.met_deadline & cols.has_deadline & mask
+            )
             ctr = counters.get(name, {})
             out[name] = {
                 "weight": float(weights[name]),
                 "weight_share": weights[name] / total_weight,
-                "requests": len(recs),
+                "requests": cols.count(mask),
                 "completed": done[name],
-                "failed": sum(1 for r in recs if r.state == FAILED),
-                "rejected": sum(1 for r in recs if r.state == REJECTED),
+                "failed": cols.count(cols.failed & mask),
+                "rejected": cols.count(cols.rejected & mask),
                 "quota_rejected": int(ctr.get("quota_rejected", 0)),
                 "shed": int(ctr.get("shed", 0)),
                 "p50_s": percentile(lat, 50) if lat else None,
                 "p95_s": percentile(lat, 95) if lat else None,
                 "p99_s": percentile(lat, 99) if lat else None,
                 "slo_attainment": (
-                    len(met) / len(with_deadline) if with_deadline else 1.0
+                    n_met / n_with_deadline if n_with_deadline else 1.0
                 ),
                 "goodput_rps": good[name] / horizon,
                 "goodput_share": (
@@ -724,4 +703,26 @@ class ServiceReport:
         return "\n".join(lines)
 
     def render_json(self) -> str:
-        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+        return codec.pretty_json(self.to_json())
+
+    # ------------------------------------------------------------------ #
+    # Packed telemetry records
+    # ------------------------------------------------------------------ #
+
+    def to_record_bytes(self) -> bytes:
+        """The report as one packed telemetry record (:mod:`repro.codec`).
+
+        The durable/wire form for scorecard shipping: CRC32-framed,
+        several times smaller and faster than the JSON artifact, which
+        remains the human/debug format (:meth:`render_json`).
+        """
+        return codec.encode_record(self.to_json(), kind=codec.KIND_TELEMETRY)
+
+    @classmethod
+    def from_record_bytes(cls, data: bytes) -> "ServiceReport":
+        """Rebuild a report from :meth:`to_record_bytes` output **or**
+        legacy JSON bytes (the format is auto-detected; damage in a
+        packed buffer still raises the structured codec errors)."""
+        return cls.from_json(
+            codec.decode_auto(data, expect_kind=codec.KIND_TELEMETRY)
+        )

@@ -12,7 +12,9 @@ schedule is a pure function of the submitted workload.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 
+from .. import fastpath
 from .request import RequestRecord
 
 __all__ = ["AdmissionQueue", "DrainEstimator", "partition_by_tenant"]
@@ -131,20 +133,48 @@ def partition_by_tenant(
 
 
 class AdmissionQueue:
-    """Bounded, priority/deadline-ordered request queue."""
+    """Bounded, priority/deadline-ordered request queue.
+
+    The scheduling order is maintained *incrementally* (SoA-style
+    parallel key/record lists kept sorted by binary-insertion) instead
+    of re-sorting the whole backlog on every :meth:`ordered` call: the
+    scheduler asks for the order at every dispatch opportunity, and
+    under a deep backlog the repeated full sorts — each one recomputing
+    every record's key tuple through two dataclass hops — were a top
+    profile entry.  Keys are computed exactly once per admission (they
+    are immutable for a queued record), so ``ordered()`` is a plain
+    list copy.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._items: list[RequestRecord] = []
+        # Live membership by object identity.  ``_items`` may lag behind
+        # it: removal tombstones entries (``_dead``) and compacts the
+        # insertion-order list lazily, so a dispatch costs O(batch log n)
+        # instead of an O(n) rebuild.  ``_dead`` maps id -> record (the
+        # retained reference keeps the id from being recycled).
+        self._ids: set[int] = set()
+        self._dead: dict[int, RequestRecord] = {}
+        # Parallel arrays, kept sorted by key (struct-of-arrays so the
+        # bisection compares bare tuples, never record objects).
+        self._sorted_keys: list[tuple] = []
+        self._sorted_recs: list[RequestRecord] = []
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._ids)
 
     @property
     def full(self) -> bool:
-        return len(self._items) >= self.capacity
+        return len(self._ids) >= self.capacity
+
+    def _compact(self) -> None:
+        """Flush tombstoned entries out of the insertion-order list."""
+        if self._dead:
+            self._items = [r for r in self._items if id(r) not in self._dead]
+            self._dead.clear()
 
     def offer(self, rec: RequestRecord, *, force: bool = False) -> bool:
         """Admit ``rec`` unless the queue is full.
@@ -156,19 +186,65 @@ class AdmissionQueue:
         """
         if self.full and not force:
             return False
+        if id(rec) in self._dead:
+            # Re-queue of a record whose earlier tombstoned copy is
+            # still physically present — flush it first so the list
+            # never holds the same record twice.
+            self._compact()
+        fresh = len(self._sorted_recs) == len(self._ids)
         self._items.append(rec)
+        self._ids.add(id(rec))
+        if fastpath.enabled() and fresh:
+            key = _order_key(rec)
+            # bisect_right keeps equal keys in insertion order, matching
+            # the stable full sort this replaces (keys end in req_id, so
+            # true ties cannot occur anyway).
+            i = bisect_right(self._sorted_keys, key)
+            self._sorted_keys.insert(i, key)
+            self._sorted_recs.insert(i, rec)
         return True
 
     def ordered(self) -> list[RequestRecord]:
         """The scheduling order: priority, then deadline, then arrival."""
+        if fastpath.enabled():
+            if len(self._sorted_recs) != len(self._ids):
+                # The sorted view went stale across a fastpath toggle;
+                # rebuild it once and resume incremental maintenance.
+                self._compact()
+                pairs = sorted(
+                    ((_order_key(r), r) for r in self._items),
+                    key=lambda kr: kr[0],
+                )
+                self._sorted_keys = [k for k, _ in pairs]
+                self._sorted_recs = [r for _, r in pairs]
+            return list(self._sorted_recs)
+        self._compact()
         return sorted(self._items, key=_order_key)
 
     def remove(self, recs: list[RequestRecord]) -> None:
         """Withdraw dispatched records (identity comparison)."""
-        drop = {id(r) for r in recs}
-        self._items = [r for r in self._items if id(r) not in drop]
+        for rec in recs:
+            rid = id(rec)
+            if rid not in self._ids:
+                continue
+            self._ids.discard(rid)
+            self._dead[rid] = rec
+            # Locate the record in the sorted view by its (immutable,
+            # near-unique) key, then by identity among key-equals.
+            key = _order_key(rec)
+            i = bisect_left(self._sorted_keys, key)
+            n = len(self._sorted_keys)
+            while i < n and self._sorted_keys[i] == key:
+                if self._sorted_recs[i] is rec:
+                    del self._sorted_keys[i]
+                    del self._sorted_recs[i]
+                    break
+                i += 1
+        if 2 * len(self._dead) >= len(self._items):
+            self._compact()
 
     def oldest_arrival(self) -> float | None:
+        self._compact()
         if not self._items:
             return None
         return min(r.request.arrival_s for r in self._items)
@@ -177,4 +253,5 @@ class AdmissionQueue:
         """The queue's contents in insertion order (for campaign
         checkpoints — ordering is recomputed from the records, so the
         insertion order is all a restore needs)."""
+        self._compact()
         return list(self._items)

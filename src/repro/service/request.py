@@ -79,6 +79,14 @@ class SolveRequest:
             raise ValueError("arrival_s must be >= 0")
         if self.deadline_s is not None and self.deadline_s < self.arrival_s:
             raise ValueError("deadline_s must not precede arrival_s")
+        # The batching key is read for every queued record on every
+        # scheduler pass; the request is frozen, so compute it once
+        # (hence the object.__setattr__).
+        object.__setattr__(
+            self,
+            "_compat_key",
+            (self.config_id, self.dims, self.mode, self.solver, self.mass),
+        )
 
     @property
     def compat_key(self) -> tuple:
@@ -86,7 +94,7 @@ class SolveRequest:
         device setup (gauge upload, ghost exchange, operators, autotune)
         serves them all, so everything that shapes the setup is in the
         key."""
-        return (self.config_id, self.dims, self.mode, self.solver, self.mass)
+        return self._compat_key
 
     # ------------------------------------------------------------------ #
     # Checkpoint serialization (campaign-level self-healing)

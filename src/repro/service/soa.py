@@ -1,0 +1,169 @@
+"""Struct-of-arrays views of scheduler hot-path state.
+
+The scorecard pass (:meth:`ServiceReport.collect`) used to make ~15
+separate list-comprehension sweeps over the request records — each one
+chasing ``record.request.attribute`` pointers through two dataclasses
+per element.  For a daemon campaign the records list is touched at every
+checkpoint commit and at final report time, so the pointer chasing is
+pure overhead.
+
+:class:`RecordColumns` transposes the array-of-structs into columnar
+NumPy arrays in **one** pass: every later aggregate (counts, masks,
+percentile inputs, per-tenant slices, throughput windows) is a
+vectorized expression over the columns.  The numbers are bit-identical
+to the record-sweep formulation — counts are exact, percentile inputs
+are the same multisets, and no floating-point *accumulation* is
+reordered — which the golden daemon report pins byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .request import COMPLETED, FAILED, QUEUED, REJECTED, RUNNING, RequestRecord
+
+__all__ = ["RecordColumns"]
+
+#: Stable state encoding for the columnar view.
+STATE_CODES = {QUEUED: 0, RUNNING: 1, COMPLETED: 2, FAILED: 3, REJECTED: 4}
+_COMPLETED = STATE_CODES[COMPLETED]
+_FAILED = STATE_CODES[FAILED]
+_REJECTED = STATE_CODES[REJECTED]
+
+
+class RecordColumns:
+    """Columnar (SoA) snapshot of a list of request records.
+
+    ``None`` timestamps are carried as NaN with a parallel validity
+    mask, so "never dispatched" and "dispatched at t=0" stay distinct.
+    """
+
+    __slots__ = (
+        "n",
+        "state",
+        "wait_s",
+        "has_wait",
+        "latency_s",
+        "has_latency",
+        "completed_s",
+        "has_completed_s",
+        "priority",
+        "has_deadline",
+        "met_deadline",
+        "attempts",
+        "shed",
+        "degraded",
+        "tenant",
+    )
+
+    def __init__(self, records: list[RequestRecord]) -> None:
+        n = len(records)
+        self.n = n
+        state = np.empty(n, dtype=np.int8)
+        wait = np.full(n, np.nan)
+        latency = np.full(n, np.nan)
+        completed_s = np.full(n, np.nan)
+        priority = np.empty(n, dtype=np.int64)
+        has_deadline = np.zeros(n, dtype=bool)
+        met = np.zeros(n, dtype=bool)
+        attempts = np.empty(n, dtype=np.int64)
+        shed = np.zeros(n, dtype=bool)
+        degraded = np.zeros(n, dtype=bool)
+        tenant: list[str | None] = [None] * n
+        # The one pass: every record's fields read exactly once.
+        for i, rec in enumerate(records):
+            req = rec.request
+            state[i] = STATE_CODES[rec.state]
+            if rec.dispatched_s is not None:
+                wait[i] = rec.dispatched_s - req.arrival_s
+            if rec.completed_s is not None:
+                completed_s[i] = rec.completed_s
+                latency[i] = rec.completed_s - req.arrival_s
+            priority[i] = req.priority
+            if req.deadline_s is not None:
+                has_deadline[i] = True
+                if rec.state == COMPLETED and rec.completed_s <= req.deadline_s:
+                    met[i] = True
+            elif rec.state == COMPLETED:
+                met[i] = True  # no SLO => trivially honoured
+            attempts[i] = rec.attempts
+            shed[i] = rec.shed
+            degraded[i] = rec.degraded
+            tenant[i] = req.tenant
+        self.state = state
+        self.wait_s = wait
+        self.has_wait = ~np.isnan(wait)
+        self.latency_s = latency
+        self.has_latency = ~np.isnan(latency)
+        self.completed_s = completed_s
+        self.has_completed_s = ~np.isnan(completed_s)
+        self.priority = priority
+        self.has_deadline = has_deadline
+        self.met_deadline = met
+        self.attempts = attempts
+        self.shed = shed
+        self.degraded = degraded
+        self.tenant = tenant
+
+    # ------------------------------------------------------------------ #
+    # Masks and counts (all exact integer work)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def completed(self) -> np.ndarray:
+        return self.state == _COMPLETED
+
+    @property
+    def failed(self) -> np.ndarray:
+        return self.state == _FAILED
+
+    @property
+    def rejected(self) -> np.ndarray:
+        return self.state == _REJECTED
+
+    @staticmethod
+    def count(mask: np.ndarray) -> int:
+        return int(np.count_nonzero(mask))
+
+    def retries(self) -> int:
+        """Dispatches beyond each request's first."""
+        if self.n == 0:
+            return 0
+        return int(np.maximum(self.attempts - 1, 0).sum())
+
+    def tenant_mask(self, name: str | None) -> np.ndarray:
+        """Rows belonging to one tenant (string identity, not position)."""
+        return np.fromiter(
+            (t == name for t in self.tenant), dtype=bool, count=self.n
+        )
+
+    # ------------------------------------------------------------------ #
+    # Percentile inputs (sorted float lists, same multisets as the
+    # record-sweep comprehensions they replace)
+    # ------------------------------------------------------------------ #
+
+    def sorted_waits(self) -> list[float]:
+        return np.sort(self.wait_s[self.has_wait]).tolist()
+
+    def sorted_latencies(self, mask: np.ndarray | None = None) -> list[float]:
+        sel = self.completed & self.has_latency
+        if mask is not None:
+            sel &= mask
+        return np.sort(self.latency_s[sel]).tolist()
+
+    def latencies_in_order(self, mask: np.ndarray) -> list[float]:
+        """Unsorted (record-order) latency slice — for callers that sort
+        downstream."""
+        return self.latency_s[self.completed & self.has_latency & mask].tolist()
+
+    # ------------------------------------------------------------------ #
+    # Throughput windows
+    # ------------------------------------------------------------------ #
+
+    def window_counts(self, window_s: float, n_windows: int) -> list[int]:
+        """Completions bucketed into fixed windows of the campaign."""
+        times = self.completed_s[self.completed & self.has_completed_s]
+        if times.size == 0:
+            return [0] * n_windows
+        idx = np.minimum((times / window_s).astype(np.int64), n_windows - 1)
+        return np.bincount(idx, minlength=n_windows).tolist()

@@ -80,25 +80,62 @@ class TestSerialization:
         with pytest.raises(ValueError, match="checksum mismatch"):
             SolveCheckpoint.from_bytes(bytes(blob))
 
-    def test_headerless_checksum_tolerated(self):
-        """Back-compat: a stream without the checksum key still loads."""
+    @staticmethod
+    def _legacy_bytes(ck, *, with_checksum):
+        """The pre-codec stream: RPCK magic + JSON header + .npy body."""
         import io
         import json
         import struct
+        import zlib
 
-        raw = _checkpoint(np.complex64, "HALF").to_bytes()
-        buf = io.BytesIO(raw)
-        magic = buf.read(5)
-        (hlen,) = struct.unpack("<I", buf.read(4))
-        header = json.loads(buf.read(hlen).decode())
-        body = buf.read()
-        del header["checksum"]
+        body = io.BytesIO()
+        if ck.x_full is not None:
+            np.lib.format.write_array(
+                body, np.ascontiguousarray(ck.x_full), version=(1, 0)
+            )
+        body_bytes = body.getvalue()
+        header = {
+            "iteration": ck.iteration,
+            "rnorm": ck.rnorm,
+            "reliable_updates": ck.reliable_updates,
+            "history": list(ck.history),
+            "solver": ck.solver,
+            "sloppy_precision": ck.sloppy_precision,
+            "has_x": ck.x_full is not None,
+        }
+        if with_checksum:
+            header["checksum"] = zlib.crc32(body_bytes) & 0xFFFFFFFF
         blob = json.dumps(
             header, sort_keys=True, separators=(",", ":")
         ).encode()
-        legacy = magic + struct.pack("<I", len(blob)) + blob + body
+        return b"RPCK\x01" + struct.pack("<I", len(blob)) + blob + body_bytes
+
+    def test_legacy_stream_still_loads(self):
+        """Back-compat: pre-codec checkpoints restore bit-for-bit."""
+        ck = _checkpoint(np.complex64, "HALF")
+        back = SolveCheckpoint.from_bytes(
+            self._legacy_bytes(ck, with_checksum=True)
+        )
+        assert back.iteration == ck.iteration
+        np.testing.assert_array_equal(back.x_full, ck.x_full)
+
+    def test_headerless_checksum_tolerated(self):
+        """Back-compat: a legacy stream without the checksum key loads."""
+        ck = _checkpoint(np.complex64, "HALF")
+        legacy = self._legacy_bytes(ck, with_checksum=False)
         back = SolveCheckpoint.from_bytes(legacy)
         assert back.iteration == 12
+
+    def test_legacy_corruption_still_rejected(self):
+        """Back-compat: the legacy embedded checksum is still enforced."""
+        blob = bytearray(
+            self._legacy_bytes(
+                _checkpoint(np.complex128, "SINGLE"), with_checksum=True
+            )
+        )
+        blob[-10] ^= 0x40
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            SolveCheckpoint.from_bytes(bytes(blob))
 
 
 class TestCheckpointStore:

@@ -1,0 +1,142 @@
+"""Jit-vs-NumPy parity for the loop-form hot kernels.
+
+The loop kernels in :mod:`repro.lattice.hotloops` are what numba
+compiles when it is installed; the vectorized NumPy forms are the
+trusted reference.  The container image deliberately does not ship
+numba, so these tests run the *same source* interpreted on a small
+lattice and pin bit-level (or rounding-level, for reordered
+accumulations) agreement — the guarantee that the jitted paths, when
+they do light up, compute the reference numbers.
+
+``REPRO_NO_JIT=1`` (the CI fast lane) must force the NumPy backend even
+on hosts that do have numba; the subprocess test pins that selection.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import jit
+from repro.lattice import hotloops, random_spinor, weak_field_gauge
+from repro.lattice.dirac import (
+    _projector_stack,
+    hopping_term,
+    hopping_term_reference,
+)
+from repro.lattice.fields import apply_chiral_blocks
+
+
+class TestBackendSelection:
+    def test_backend_consistent_with_flags(self):
+        assert jit.backend() in ("numba", "numpy")
+        assert jit.JIT_ENABLED == (jit.backend() == "numba")
+        assert hotloops.JIT_ENABLED == jit.JIT_ENABLED
+
+    def test_no_jit_env_forces_numpy_backend(self):
+        """REPRO_NO_JIT=1 selects the NumPy paths at import, always."""
+        env = dict(os.environ, REPRO_NO_JIT="1")
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro import jit; "
+                "print(jit.backend(), jit.JIT_ENABLED)",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.split() == ["numpy", "False"]
+
+    def test_maybe_njit_identity_without_numba(self):
+        if jit.JIT_ENABLED:  # pragma: no cover - numba not in test image
+            pytest.skip("numba live: decorator is the real njit")
+
+        def f(x):
+            return x + 1
+
+        assert jit.maybe_njit(f) is f
+        assert jit.maybe_njit(cache=True)(f) is f
+        assert jit.maybe_njit(f)(41) == 42
+
+
+class TestStencilParity:
+    def test_hopping_loops_match_reference(self, geo44, rng):
+        gauge = weak_field_gauge(geo44, rng, noise=0.2)
+        psi = random_spinor(geo44, rng)
+        for dagger in (False, True):
+            sgn = -1 if dagger else +1
+            proj_minus, proj_plus = _projector_stack(psi.basis, sgn)
+            out = np.zeros_like(psi.data)
+            hotloops.hopping_term_loops(
+                gauge.data,
+                psi.data,
+                geo44.neighbor_fwd,
+                geo44.neighbor_bwd,
+                geo44.boundary_phase_fwd,
+                geo44.boundary_phase_bwd,
+                proj_minus,
+                proj_plus,
+                out,
+            )
+            ref = hopping_term_reference(gauge, psi, dagger=dagger)
+            np.testing.assert_allclose(out, ref, atol=1e-13, rtol=1e-13)
+
+    def test_dispatcher_returns_reference_without_numba(self, geo44, rng):
+        if jit.JIT_ENABLED:  # pragma: no cover - numba not in test image
+            pytest.skip("numba live: dispatcher takes the compiled path")
+        gauge = weak_field_gauge(geo44, rng, noise=0.2)
+        psi = random_spinor(geo44, rng)
+        np.testing.assert_array_equal(
+            hopping_term(gauge, psi),
+            hopping_term_reference(gauge, psi),
+        )
+
+    def test_clover_loops_match_einsum(self, rng):
+        volume = 16
+        blocks = rng.normal(size=(volume, 2, 6, 6)) + 1j * rng.normal(
+            size=(volume, 2, 6, 6)
+        )
+        psi = rng.normal(size=(volume, 4, 3)) + 1j * rng.normal(
+            size=(volume, 4, 3)
+        )
+        out = np.zeros_like(psi)
+        hotloops.clover_apply_loops(
+            np.ascontiguousarray(blocks), np.ascontiguousarray(psi), out
+        )
+        ref = apply_chiral_blocks(blocks, psi)
+        np.testing.assert_allclose(out, ref, atol=1e-13, rtol=1e-13)
+
+
+class TestReductionParity:
+    @pytest.fixture
+    def vecs(self, rng):
+        shape = (64, 4, 3)
+        x = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+        y = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+        return np.ascontiguousarray(x), np.ascontiguousarray(y)
+
+    def test_norm2(self, vecs):
+        x, _ = vecs
+        loops = hotloops.norm2_loops(x)
+        ref = float(np.vdot(x, x).real)
+        assert loops == pytest.approx(ref, rel=1e-13)
+
+    def test_cdot(self, vecs):
+        x, y = vecs
+        loops = complex(hotloops.cdot_loops(x, y))
+        ref = complex(np.vdot(x, y))
+        assert loops == pytest.approx(ref, rel=1e-12)
+
+    def test_axpy_norm_fuses_update_and_reduction(self, vecs):
+        x, y = vecs
+        a = 0.3 - 0.7j
+        y_loops = y.copy()
+        fused = hotloops.axpy_norm_loops(a, x, y_loops)
+        y_ref = y + a * x
+        np.testing.assert_allclose(y_loops, y_ref, atol=1e-13, rtol=1e-13)
+        assert fused == pytest.approx(float(np.vdot(y_ref, y_ref).real), rel=1e-13)

@@ -1,0 +1,132 @@
+"""The fast paths are an implementation detail, never a behavior change.
+
+``repro.fastpath`` selects between the legacy (recompute-everything)
+and refactored (memoized, incrementally-sorted) hot paths.  These tests
+pin the whole point of the switch: both sides produce byte-identical
+campaign reports and identical model numbers, so the throughput
+benchmark's before/after comparison measures *speed* and nothing else.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.comms import FaultPlan
+from repro.core import RetryPolicy
+from repro.core.autotune import occupancy_of, tune_sweep_cost_s
+from repro.gpu.perfmodel import DEFAULT_PARAMS, PerfModelParams
+from repro.gpu.precision import Precision
+from repro.gpu.specs import GTX285
+from repro.service import (
+    BatchPolicy,
+    ServiceConfig,
+    SolveService,
+    synthetic_workload,
+)
+
+
+@pytest.fixture
+def toggled():
+    """Restore the switch (and clear memo caches) after each test."""
+    before = fastpath.enabled()
+    yield
+    fastpath.set_enabled(before)
+
+
+def _run():
+    cfg = ServiceConfig(
+        queue_capacity=64,
+        policy=BatchPolicy(max_batch=4),
+        n_workers=2,
+        ranks_per_worker=2,
+        fixed_iterations=10,
+    )
+    workload = synthetic_workload(24, seed=7, rate_rps=2000.0, dims=(4, 4, 4, 8))
+    return SolveService(cfg).run(workload)
+
+
+class TestEquivalence:
+    def test_campaign_reports_byte_identical(self, toggled):
+        fastpath.set_enabled(True)
+        fast = _run()
+        fastpath.set_enabled(False)
+        legacy = _run()
+        assert fast.completion_order == legacy.completion_order
+        assert fast.report.render_json() == legacy.report.render_json()
+
+    def test_sweep_cost_identical_and_memoized(self, toggled):
+        fastpath.set_enabled(False)
+        legacy = tune_sweep_cost_s(GTX285, local_volume=4096)
+        fastpath.set_enabled(True)
+        assert tune_sweep_cost_s(GTX285, local_volume=4096) == legacy
+        # Second call is a memo hit — still the same number.
+        assert tune_sweep_cost_s(GTX285, local_volume=4096) == legacy
+
+    def test_occupancy_identical(self, toggled):
+        for flag in (False, True):
+            fastpath.set_enabled(flag)
+            assert occupancy_of(GTX285, Precision.DOUBLE, 112, 64) == (
+                occupancy_of(GTX285, Precision.DOUBLE, 112, 64)
+            )
+        fastpath.set_enabled(False)
+        legacy = occupancy_of(GTX285, Precision.SINGLE, 64, 128)
+        fastpath.set_enabled(True)
+        assert occupancy_of(GTX285, Precision.SINGLE, 64, 128) == legacy
+
+    def test_bandwidth_identical(self, toggled):
+        params = PerfModelParams()
+        fastpath.set_enabled(False)
+        legacy = params.effective_bandwidth(
+            GTX285, Precision.SINGLE, occupancy=0.25
+        )
+        fastpath.set_enabled(True)
+        assert (
+            params.effective_bandwidth(GTX285, Precision.SINGLE, occupancy=0.25)
+            == legacy
+        )
+
+    def test_memo_does_not_confuse_params_instances(self, toggled):
+        """Two different params instances must not share sweep memos."""
+        fastpath.set_enabled(True)
+        slow = PerfModelParams(kernel_overhead_s=1e-3)
+        a = tune_sweep_cost_s(GTX285, local_volume=512, params=DEFAULT_PARAMS)
+        b = tune_sweep_cost_s(GTX285, local_volume=512, params=slow)
+        assert b > a
+
+    def test_toggle_clears_caches(self, toggled):
+        fastpath.set_enabled(True)
+        tune_sweep_cost_s(GTX285, local_volume=2048)
+        from repro.core.autotune import _sweep_memo
+
+        assert _sweep_memo
+        fastpath.set_enabled(False)
+        assert not _sweep_memo
+
+    def test_invalid_arguments_still_rejected(self, toggled):
+        fastpath.set_enabled(True)
+        with pytest.raises(ValueError):
+            occupancy_of(GTX285, Precision.SINGLE, 64, 65)
+        with pytest.raises(ValueError):
+            tune_sweep_cost_s(GTX285, local_volume=0)
+
+
+class TestChaosEquivalence:
+    def test_faulted_campaign_identical(self, toggled):
+        """Fault injection consumes seeded randomness on the hot path —
+        the fastpath must not shift a single draw."""
+        cfg = ServiceConfig(
+            queue_capacity=32,
+            policy=BatchPolicy(max_batch=4),
+            n_workers=2,
+            ranks_per_worker=2,
+            fixed_iterations=8,
+            fault_plan=FaultPlan(seed=3, send_fail_prob=0.02),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        workload = synthetic_workload(
+            16, seed=11, rate_rps=1500.0, dims=(4, 4, 4, 8)
+        )
+        fastpath.set_enabled(True)
+        fast = SolveService(cfg).run(workload)
+        fastpath.set_enabled(False)
+        legacy = SolveService(cfg).run(workload)
+        assert fast.report.render_json() == legacy.report.render_json()
